@@ -1,0 +1,329 @@
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+#include "baselines/exact_sync.hh"
+#include "baselines/fedavg.hh"
+#include "util/logging.hh"
+
+namespace socflow {
+namespace bench {
+
+const std::vector<Workload> &
+paperWorkloads()
+{
+    static const std::vector<Workload> workloads = {
+        {"MobileNet", "mobilenet_v1", "cifar10", 64},
+        {"VGG11", "vgg11", "cifar10", 32},
+        {"ResNet18", "resnet18", "cifar10", 32},
+        {"VGG11-Celeba", "vgg11", "celeba", 32},
+        {"ResNet18-Celeba", "resnet18", "celeba", 32},
+        {"LeNet5-EMNIST", "lenet5", "emnist", 32},
+        {"LeNet5-FMNIST", "lenet5", "fmnist", 32},
+    };
+    return workloads;
+}
+
+const Workload &
+transferWorkload()
+{
+    static const Workload w = {"ResNet50-Finetune", "resnet50",
+                               "cifar10", 32};
+    return w;
+}
+
+double
+benchScale()
+{
+    static const double scale = [] {
+        const char *env = std::getenv("SOCFLOW_BENCH_SCALE");
+        if (!env)
+            return 1.0;
+        const double v = std::atof(env);
+        return std::max(0.05, v);
+    }();
+    return scale;
+}
+
+std::size_t
+scaledEpochs(std::size_t full)
+{
+    const double scaled = static_cast<double>(full) * benchScale();
+    return std::max<std::size_t>(3,
+                                 static_cast<std::size_t>(scaled + 0.5));
+}
+
+core::SoCFlowConfig
+oursConfig(const Workload &w, std::size_t num_socs,
+           std::size_t num_groups)
+{
+    core::SoCFlowConfig cfg;
+    cfg.modelFamily = w.model;
+    cfg.numSocs = num_socs;
+    cfg.numGroups = num_groups;
+    cfg.groupBatch = w.batch;
+    return cfg;
+}
+
+baselines::BaselineConfig
+baselineConfig(const Workload &w, std::size_t num_socs)
+{
+    baselines::BaselineConfig cfg;
+    cfg.modelFamily = w.model;
+    cfg.numSocs = num_socs;
+    cfg.globalBatch = w.batch;
+    return cfg;
+}
+
+const std::vector<std::string> &
+suiteMethods()
+{
+    static const std::vector<std::string> methods = {
+        "PS", "RING", "HiPress", "2D-Paral", "FedAvg", "T-FedAvg",
+        "Ours"};
+    return methods;
+}
+
+namespace {
+
+/** Clone a math trajectory, substituting per-epoch time/energy. */
+core::TrainResult
+retimeTrajectory(const core::TrainResult &reference,
+                 const std::string &method,
+                 const core::EpochRecord &per_epoch)
+{
+    core::TrainResult out;
+    out.method = method;
+    out.epochs = reference.epochs;
+    for (auto &e : out.epochs) {
+        e.simSeconds = per_epoch.simSeconds;
+        e.energyJoules = per_epoch.energyJoules;
+        e.computeSeconds = per_epoch.computeSeconds;
+        e.syncSeconds = per_epoch.syncSeconds;
+        e.updateSeconds = per_epoch.updateSeconds;
+    }
+    return out;
+}
+
+} // namespace
+
+SuiteResult
+runSuite(const Workload &w, std::size_t num_socs,
+         std::size_t max_epochs, bool include_local,
+         const std::vector<float> *initial)
+{
+    SuiteResult suite;
+    if (initial == nullptr &&
+        loadSuiteCache(w, num_socs, max_epochs, include_local, suite))
+        return suite;
+    suite = SuiteResult{};
+    suite.workload = w;
+    suite.numSocs = num_socs;
+
+    const std::size_t epochs = scaledEpochs(max_epochs);
+    const std::size_t patience = 4;
+    data::DataBundle bundle = data::makeDatasetByName(w.dataset);
+
+    // 1. Exact-sync reference math via RING; this is also RING's run.
+    baselines::RingTrainer ring(baselineConfig(w, num_socs), bundle,
+                                initial);
+    core::TrainResult ringResult =
+        core::runTraining(ring, epochs, 0.0, patience);
+    suite.referenceBestAcc = ringResult.bestTestAcc();
+    // 97% relative target (the paper uses 99%): convergence on the
+    // miniature synthetic datasets is noisier, so the band is widened
+    // to keep the comparison about *time*, not accuracy jitter.
+    suite.targetAcc = 0.97 * suite.referenceBestAcc;
+
+    // 2. PS / HiPress / 2D-Paral reuse the reference trajectory and
+    //    contribute their own per-epoch timing. Because the paper-
+    //    scale factor makes per-epoch simulated time independent of
+    //    the analog's size, the timing probe runs one epoch on a
+    //    tiny stub dataset instead of a full pass.
+    data::SyntheticParams stubParams =
+        data::registryParams(w.dataset);
+    stubParams.trainSamples = 64;
+    stubParams.testSamples = 16;
+    const data::DataBundle stub = data::makeSynthetic(stubParams);
+    for (const char *method : {"PS", "HiPress", "2D-Paral"}) {
+        auto trainer = baselines::makeBaseline(
+            method, baselineConfig(w, num_socs), stub, initial);
+        const core::EpochRecord one = trainer->runEpoch();
+        MethodRun run;
+        run.method = method;
+        run.mathShared = true;
+        run.result = retimeTrajectory(ringResult, method, one);
+        suite.runs.push_back(std::move(run));
+    }
+    suite.runs.push_back({"RING", std::move(ringResult), false});
+
+    // 3. Federated baselines. FedAvg needs more epochs to reach the
+    //    same target (staleness), so it gets a larger budget.
+    {
+        baselines::FedAvgTrainer fed(baselineConfig(w, num_socs),
+                                     bundle,
+                                     baselines::FedAggregation::Star,
+                                     initial);
+        core::TrainResult fedResult = core::runTraining(
+            fed, epochs + epochs / 3, suite.targetAcc, patience + 2);
+        baselines::FedAvgTrainer tfed(baselineConfig(w, num_socs),
+                                      stub,
+                                      baselines::FedAggregation::Tree,
+                                      initial);
+        const core::EpochRecord one = tfed.runEpoch();
+        MethodRun treeRun;
+        treeRun.method = "T-FedAvg";
+        treeRun.mathShared = true;
+        treeRun.result = retimeTrajectory(fedResult, "T-FedAvg", one);
+        suite.runs.push_back({"FedAvg", std::move(fedResult), false});
+        suite.runs.push_back(std::move(treeRun));
+    }
+
+    // 4. SoCFlow. The paper groups 32 SoCs into 8 logical groups on
+    //    a 50k-sample dataset; our datasets are ~30x smaller, which
+    //    shifts the group-count knee left (Fig. 6), so the suites use
+    //    groups of ~8 SoCs. Like FedAvg it gets budget headroom --
+    //    its delayed aggregation needs a few more epochs on the
+    //    miniature datasets.
+    {
+        const std::size_t groups = std::max<std::size_t>(
+            1, num_socs / 8);
+        core::SoCFlowTrainer ours(oursConfig(w, num_socs, groups),
+                                  bundle, initial);
+        suite.runs.push_back(
+            {"Ours",
+             core::runTraining(ours, epochs + epochs / 3,
+                               suite.targetAcc, patience),
+             false});
+    }
+
+    // 5. Optional single-SoC reference ("Local" accuracy column).
+    if (include_local) {
+        baselines::LocalTrainer local(baselineConfig(w, 1), bundle,
+                                      sim::Device::SocCpu, initial);
+        suite.local =
+            core::runTraining(local, epochs, 0.0, patience);
+    }
+    if (initial == nullptr)
+        storeSuiteCache(suite, max_epochs);
+    return suite;
+}
+
+namespace {
+
+std::string
+cachePath(const Workload &w, std::size_t socs, std::size_t epochs)
+{
+    std::ostringstream oss;
+    oss << ".bench_cache/" << w.key << '_' << socs << '_' << epochs
+        << '_' << benchScale() << ".txt";
+    return oss.str();
+}
+
+void
+writeResult(std::ostream &out, const core::TrainResult &r,
+            bool math_shared)
+{
+    out << "run " << r.method << ' ' << (math_shared ? 1 : 0) << ' '
+        << r.epochs.size() << '\n';
+    for (const auto &e : r.epochs) {
+        out << e.simSeconds << ' ' << e.energyJoules << ' '
+            << e.computeSeconds << ' ' << e.syncSeconds << ' '
+            << e.updateSeconds << ' ' << e.trainLoss << ' '
+            << e.trainAcc << ' ' << e.testAcc << '\n';
+    }
+}
+
+bool
+readResult(std::istream &in, core::TrainResult &r, bool &math_shared)
+{
+    std::string tag;
+    std::size_t n = 0;
+    int shared = 0;
+    if (!(in >> tag >> r.method >> shared >> n) || tag != "run")
+        return false;
+    math_shared = shared != 0;
+    r.epochs.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto &e = r.epochs[i];
+        e.epoch = i;
+        if (!(in >> e.simSeconds >> e.energyJoules >>
+              e.computeSeconds >> e.syncSeconds >> e.updateSeconds >>
+              e.trainLoss >> e.trainAcc >> e.testAcc))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+loadSuiteCache(const Workload &w, std::size_t num_socs,
+               std::size_t max_epochs, bool need_local,
+               SuiteResult &out)
+{
+    std::ifstream in(cachePath(w, num_socs, max_epochs));
+    if (!in)
+        return false;
+    SuiteResult suite;
+    suite.workload = w;
+    suite.numSocs = num_socs;
+    std::size_t runs = 0;
+    int hasLocal = 0;
+    if (!(in >> suite.referenceBestAcc >> suite.targetAcc >> runs >>
+          hasLocal))
+        return false;
+    if (need_local && !hasLocal)
+        return false;
+    for (std::size_t i = 0; i < runs; ++i) {
+        MethodRun run;
+        if (!readResult(in, run.result, run.mathShared))
+            return false;
+        run.method = run.result.method;
+        suite.runs.push_back(std::move(run));
+    }
+    if (hasLocal) {
+        core::TrainResult local;
+        bool shared = false;
+        if (!readResult(in, local, shared))
+            return false;
+        suite.local = std::move(local);
+    }
+    out = std::move(suite);
+    inform("suite cache hit: ", w.key, " @ ", num_socs, " SoCs");
+    return true;
+}
+
+void
+storeSuiteCache(const SuiteResult &suite, std::size_t max_epochs)
+{
+    ::mkdir(".bench_cache", 0755);
+    std::ofstream out(
+        cachePath(suite.workload, suite.numSocs, max_epochs));
+    if (!out)
+        return;  // caching is best-effort
+    out.precision(17);
+    out << suite.referenceBestAcc << ' ' << suite.targetAcc << ' '
+        << suite.runs.size() << ' ' << (suite.local ? 1 : 0) << '\n';
+    for (const auto &run : suite.runs)
+        writeResult(out, run.result, run.mathShared);
+    if (suite.local)
+        writeResult(out, *suite.local, false);
+}
+
+const MethodRun &
+findRun(const SuiteResult &suite, const std::string &method)
+{
+    for (const auto &run : suite.runs)
+        if (run.method == method)
+            return run;
+    fatal("method not present in suite: ", method);
+}
+
+} // namespace bench
+} // namespace socflow

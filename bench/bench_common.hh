@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table reproduction benches.
+ *
+ * Methodology (mirrors §4 of the paper):
+ *  - every workload is a (model family, dataset analog) pair from
+ *    Table 2, trained with the same global batch across methods;
+ *  - convergence target = 99% of the exactly-synchronized reference's
+ *    best test accuracy (the paper's "99% relative convergence");
+ *  - PS / RING / HiPress / 2D-Paral share their SGD math (identical
+ *    accuracy, as in Table 3), so the reference trajectory is
+ *    computed once and each method contributes its own per-epoch
+ *    simulated time/energy; FedAvg and SoCFlow run their own math.
+ *
+ * Set SOCFLOW_BENCH_SCALE (e.g. 0.3) to shrink epoch budgets during
+ * development; the default of 1.0 reproduces the reported numbers.
+ */
+
+#ifndef SOCFLOW_BENCH_BENCH_COMMON_HH
+#define SOCFLOW_BENCH_BENCH_COMMON_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/local.hh"
+#include "core/socflow_trainer.hh"
+#include "core/train_common.hh"
+#include "data/synthetic.hh"
+
+namespace socflow {
+namespace bench {
+
+/** One evaluation workload (a row of Table 2). */
+struct Workload {
+    std::string key;      //!< label used in the paper's figures
+    std::string model;    //!< model family
+    std::string dataset;  //!< dataset analog
+    std::size_t batch = 32;  //!< global / per-group batch size
+};
+
+/** The seven from-scratch workloads of Table 2 (in figure order). */
+const std::vector<Workload> &paperWorkloads();
+
+/** The transfer-learning workload (ResNet-50, CINIC-10 -> CIFAR). */
+const Workload &transferWorkload();
+
+/** SOCFLOW_BENCH_SCALE environment knob (default 1.0, min 0.05). */
+double benchScale();
+
+/** Scale an epoch budget: max(3, round(full * benchScale())). */
+std::size_t scaledEpochs(std::size_t full);
+
+/** Default SoCFlow configuration for a workload at a SoC count. */
+core::SoCFlowConfig oursConfig(const Workload &w, std::size_t num_socs,
+                               std::size_t num_groups);
+
+/** Default baseline configuration for a workload at a SoC count. */
+baselines::BaselineConfig baselineConfig(const Workload &w,
+                                         std::size_t num_socs);
+
+/** One method's outcome within a suite. */
+struct MethodRun {
+    std::string method;
+    core::TrainResult result;
+    /** True when the math trajectory was shared from the reference
+     *  (timing/energy are still this method's own). */
+    bool mathShared = false;
+};
+
+/** Everything measured for one workload at one SoC count. */
+struct SuiteResult {
+    Workload workload;
+    std::size_t numSocs = 0;
+    double referenceBestAcc = 0.0;  //!< exact-sync best accuracy
+    double targetAcc = 0.0;         //!< 99% relative target
+    std::vector<MethodRun> runs;
+    /** Single-SoC CPU reference ("Local" column), when requested. */
+    std::optional<core::TrainResult> local;
+};
+
+/** Methods covered by runSuite, in the paper's column order. */
+const std::vector<std::string> &suiteMethods();
+
+/**
+ * Run every method on one workload.
+ * @param num_socs cluster slice size (32 in most figures).
+ * @param max_epochs full-scale epoch cap (scaled by benchScale()).
+ * @param include_local also train the single-SoC reference.
+ * @param initial optional pre-trained weights (transfer learning).
+ */
+SuiteResult runSuite(const Workload &w, std::size_t num_socs,
+                     std::size_t max_epochs, bool include_local = false,
+                     const std::vector<float> *initial = nullptr);
+
+/** Find a method's run inside a suite result (fatal if missing). */
+const MethodRun &findRun(const SuiteResult &suite,
+                         const std::string &method);
+
+/**
+ * On-disk cache so sibling benches (fig08/fig09/table3) share one
+ * suite computation instead of re-running identical math. Entries
+ * are keyed by (workload, socs, epochs, bench scale) and stored
+ * under .bench_cache/ next to the build. Delete the directory to
+ * force recomputation.
+ */
+bool loadSuiteCache(const Workload &w, std::size_t num_socs,
+                    std::size_t max_epochs, bool need_local,
+                    SuiteResult &out);
+
+/** Persist a suite result for sibling benches. */
+void storeSuiteCache(const SuiteResult &suite,
+                     std::size_t max_epochs);
+
+} // namespace bench
+} // namespace socflow
+
+#endif // SOCFLOW_BENCH_BENCH_COMMON_HH

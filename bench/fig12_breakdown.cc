@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 12: breakdown of per-epoch training time into gradient
+ * computation (Compute), gradient/weight synchronization (Sync) and
+ * parameter updates (Update) for VGG-11 and ResNet-18 at 32 SoCs.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace socflow;
+using namespace socflow::bench;
+
+namespace {
+
+void
+breakdown(const Workload &w)
+{
+    data::DataBundle bundle = data::makeDatasetByName(w.dataset);
+    Table t("Figure 12: per-epoch time breakdown (" + w.key +
+            ", 32 SoCs)");
+    t.setHeader({"method", "compute", "sync", "update", "sync-%"});
+
+    auto addRow = [&](const std::string &name,
+                      const core::EpochRecord &rec) {
+        const double total = rec.computeSeconds + rec.syncSeconds +
+                             rec.updateSeconds;
+        t.addRow({name, formatDuration(rec.computeSeconds),
+                  formatDuration(rec.syncSeconds),
+                  formatDuration(rec.updateSeconds),
+                  formatDouble(100.0 * rec.syncSeconds / total, 1)});
+    };
+
+    {
+        core::SoCFlowTrainer ours(oursConfig(w, 32, 8), bundle);
+        addRow("Ours", ours.runEpoch());
+    }
+    for (const char *m : {"RING", "HiPress", "2D-Paral", "FedAvg"}) {
+        auto trainer = baselines::makeBaseline(
+            m, baselineConfig(w, 32), bundle);
+        addRow(m, trainer->runEpoch());
+    }
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    for (const auto &w : paperWorkloads())
+        if (w.key == "VGG11" || w.key == "ResNet18")
+            breakdown(w);
+    std::printf("(paper: sync is 81%% of RING, 71-77%% of "
+                "HiPress/2D-Paral, 17-35%% of FedAvg, ~46%% of "
+                "SoCFlow)\n");
+    return 0;
+}

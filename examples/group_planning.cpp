@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Planner walkthrough: shows the three §3.1 steps on a full 60-SoC
+ * server without running any training -- group-size selection via
+ * the Eq. 1 time model, integrity-greedy logical-to-physical
+ * mapping (vs the naive strategies), and communication-group
+ * planning with its contention costs.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/group_planning
+ */
+
+#include <cstdio>
+
+#include "collectives/engine.hh"
+#include "core/comm_plan.hh"
+#include "core/group_plan.hh"
+#include "core/mapping.hh"
+#include "sim/calibration.hh"
+#include "sim/cluster.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace socflow;
+using namespace socflow::core;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    sim::ClusterConfig cc;  // 60 SoCs, 12 boards of 5
+    sim::Cluster cluster(cc);
+    collectives::CollectiveEngine engine(cluster);
+    const sim::ModelProfile &vgg = sim::modelProfile("vgg11");
+
+    // Step 1 -- group size: Eq. 1 epoch-time model across candidate
+    // group counts (the accuracy side comes from warm-up profiling,
+    // shown in bench/fig06_group_number).
+    {
+        EpochTimeModel m;
+        m.numSamples = 50000;
+        m.numSocs = 60;
+        m.groupBatch = 64;
+        m.trainSecondsPerBatch = 64.0 * vgg.cpuMsPerSample / 1000.0;
+        m.syncSeconds = 0.5;
+        Table t("Step 1: Eq. 1 per-epoch time vs group count");
+        t.setHeader({"groups", "epoch-time"});
+        for (std::size_t n : {1u, 2u, 4u, 6u, 10u, 12u, 15u, 20u}) {
+            if (60 % n != 0)
+                continue;
+            t.addRow({std::to_string(n),
+                      formatDuration(epochSeconds(m, n))});
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    // Step 2 -- mapping: conflict metric C per strategy, with 12
+    // groups of 5 (perfect fit) and 15 groups of 4 (mismatch).
+    for (std::size_t groups : {12u, 15u}) {
+        Table t("Step 2: mapping " + std::to_string(groups) +
+                " logical groups onto 12 boards of 5");
+        t.setHeader({"strategy", "conflict-C", "split-groups",
+                     "intra-sync"});
+        for (auto strat :
+             {MapStrategy::IntegrityGreedy, MapStrategy::Sequential,
+              MapStrategy::RoundRobin}) {
+            const Mapping m = mapGroups(60, 5, groups, strat);
+            std::size_t splits = 0;
+            for (std::size_t g = 0; g < m.numGroups(); ++g)
+                splits += isSplitGroup(m, g, 5) ? 1 : 0;
+            const CommPlan plan =
+                planCommGroups(conflictGraph(m, 5));
+            const double sync =
+                plannedSyncCost(engine, m, plan, vgg.paramBytes())
+                    .seconds;
+            t.addRow({mapStrategyName(strat),
+                      std::to_string(conflictC(m, 5, 12)),
+                      std::to_string(splits),
+                      formatDuration(sync)});
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    // Step 3 -- communication groups: coloring of the conflict graph
+    // and the planned-vs-unplanned cost on a mismatched mapping.
+    {
+        const Mapping m =
+            mapGroups(60, 5, 15, MapStrategy::IntegrityGreedy);
+        const auto adj = conflictGraph(m, 5);
+        const CommPlan plan = planCommGroups(adj);
+        std::printf("Step 3: %zu communication groups "
+                    "(Theorem 2 guarantees <= 2)\n",
+                    plan.numCommGroups);
+        const double planned =
+            plannedSyncCost(engine, m, plan, vgg.paramBytes()).seconds;
+        const double unplanned =
+            unplannedSyncCost(engine, m, vgg.paramBytes()).seconds;
+        std::printf("intra-group sync, planned:   %s\n",
+                    formatDuration(planned).c_str());
+        std::printf("intra-group sync, unplanned: %s\n",
+                    formatDuration(unplanned).c_str());
+    }
+    return 0;
+}

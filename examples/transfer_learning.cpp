@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Transfer-learning scenario (the paper's ResNet-50 row): pre-train
+ * on the larger CINIC-10 analog, then fine-tune on the CIFAR-10
+ * analog with SoCFlow on 32 SoCs, comparing against fine-tuning from
+ * scratch.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/transfer_learning
+ */
+
+#include <cstdio>
+
+#include "baselines/local.hh"
+#include "core/socflow_trainer.hh"
+#include "data/synthetic.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace socflow;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+
+    // 1. Pre-train on the CINIC-10 analog (more data, same classes).
+    data::DataBundle pretrainData = data::makeDatasetByName("cinic10");
+    baselines::BaselineConfig preCfg;
+    preCfg.modelFamily = "resnet50";
+    preCfg.numSocs = 1;
+    preCfg.globalBatch = 32;
+    baselines::LocalTrainer pretrainer(preCfg, pretrainData,
+                                       sim::Device::GpuV100);
+    std::printf("pre-training resnet50 on cinic10 analog...\n");
+    for (int e = 0; e < 4; ++e) {
+        pretrainer.runEpoch();
+        std::printf("  epoch %d: source-domain acc %.1f%%\n", e,
+                    100.0 * pretrainer.testAccuracy());
+    }
+    const std::vector<float> pretrained = pretrainer.weights();
+
+    // 2. Fine-tune on the CIFAR-10 analog with SoCFlow.
+    data::DataBundle target = data::makeDatasetByName("cifar10");
+    core::SoCFlowConfig cfg;
+    cfg.modelFamily = "resnet50";
+    cfg.numSocs = 32;
+    cfg.numGroups = 4;
+    cfg.groupBatch = 32;
+    cfg.sgd.learningRate = 0.02;  // gentler for fine-tuning
+
+    core::SoCFlowTrainer finetune(cfg, target, &pretrained);
+    core::SoCFlowTrainer scratch(cfg, target);
+
+    Table t("Fine-tune vs from-scratch (resnet50, 32 SoCs)");
+    t.setHeader({"epoch", "finetune-acc%", "scratch-acc%"});
+    for (int e = 0; e < 6; ++e) {
+        finetune.runEpoch();
+        scratch.runEpoch();
+        t.addRow({std::to_string(e),
+                  formatDouble(100.0 * finetune.testAccuracy(), 1),
+                  formatDouble(100.0 * scratch.testAccuracy(), 1)});
+    }
+    t.print();
+    std::printf("\ntransfer learning converges in a fraction of the "
+                "epochs -- that is why the paper's fine-tuning row "
+                "fits easily inside one idle window.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Survey tool: runs the exactly-synchronized reference trainer over
+ * any of the paper's (model, dataset) workloads and prints the
+ * per-epoch accuracy trajectory. Useful to sanity-check convergence
+ * of the scaled substrate before running the full benches.
+ *
+ * Usage: workload_survey [workload ...]
+ *   workloads: mobilenet vgg11 resnet18 vgg11-celeba resnet18-celeba
+ *              lenet5-emnist lenet5-fmnist all  (default: vgg11)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/local.hh"
+#include "data/synthetic.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace socflow;
+
+namespace {
+
+struct Workload {
+    const char *key;
+    const char *model;
+    const char *dataset;
+};
+
+const Workload workloads[] = {
+    {"mobilenet", "mobilenet_v1", "cifar10"},
+    {"vgg11", "vgg11", "cifar10"},
+    {"resnet18", "resnet18", "cifar10"},
+    {"vgg11-celeba", "vgg11", "celeba"},
+    {"resnet18-celeba", "resnet18", "celeba"},
+    {"lenet5-emnist", "lenet5", "emnist"},
+    {"lenet5-fmnist", "lenet5", "fmnist"},
+};
+
+void
+survey(const Workload &w, std::size_t epochs)
+{
+    data::DataBundle bundle = data::makeDatasetByName(w.dataset);
+    baselines::BaselineConfig cfg;
+    cfg.modelFamily = w.model;
+    cfg.numSocs = 32;
+    cfg.globalBatch = 32;
+    auto trainer = baselines::makeBaseline("RING", cfg, bundle);
+
+    Table t(std::string("exact-sync: ") + w.model + " on " + w.dataset);
+    t.setHeader({"epoch", "train-acc", "test-acc", "loss"});
+    for (std::size_t e = 0; e < epochs; ++e) {
+        core::EpochRecord rec = trainer->runEpoch();
+        t.addRow({std::to_string(e),
+                  formatDouble(100.0 * rec.trainAcc, 1),
+                  formatDouble(100.0 * trainer->testAccuracy(), 1),
+                  formatDouble(rec.trainLoss, 3)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogLevel(LogLevel::Warn);
+    std::vector<std::string> want;
+    for (int i = 1; i < argc; ++i)
+        want.push_back(argv[i]);
+    if (want.empty())
+        want.push_back("vgg11");
+
+    for (const auto &w : workloads) {
+        const bool all =
+            std::find(want.begin(), want.end(), "all") != want.end();
+        if (all || std::find(want.begin(), want.end(), w.key) !=
+                       want.end()) {
+            survey(w, 12);
+        }
+    }
+    return 0;
+}

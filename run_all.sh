@@ -1,0 +1,6 @@
+#!/bin/bash
+cd /root/repo
+rm -rf .bench_cache
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt
+echo "ALL_RUNS_COMPLETE"

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared configuration for the baseline trainers (§4.1).
+ *
+ * All baselines follow the paper's setup: FP32 training on each SoC's
+ * four big CPU cores, global batch size shared with SoCFlow, and the
+ * gradient compute/communication-overlap optimization enabled where
+ * the communication pattern permits it.
+ */
+
+#ifndef SOCFLOW_BASELINES_COMMON_HH
+#define SOCFLOW_BASELINES_COMMON_HH
+
+#include <cstdint>
+#include <string>
+
+#include "nn/sgd.hh"
+#include "sim/cluster.hh"
+
+namespace socflow {
+namespace baselines {
+
+/** Knobs shared by every baseline. */
+struct BaselineConfig {
+    std::string modelFamily = "vgg11";
+    std::size_t numSocs = 32;
+    std::size_t globalBatch = 32;
+    nn::SgdConfig sgd;
+    std::uint64_t seed = 42;
+    sim::ClusterConfig clusterTemplate;
+
+    /** HiPress/DGC: fraction of gradient entries sent per step. */
+    double compressionRatio = 0.05;
+    /** HiPress: extra compute cost of compression (fraction). */
+    double compressionOverhead = 0.05;
+
+    /** 2D-Paral: SoCs per pipeline group (stage count). */
+    std::size_t pipelineGroupSize = 4;
+    /** 2D-Paral: microbatches per global batch. */
+    std::size_t pipelineMicrobatches = 4;
+    /** 2D-Paral: activation bytes exchanged per sample per stage. */
+    double activationBytesPerSample = 4096.0;
+
+    /** FedAvg: local passes over the shard per round. */
+    std::size_t fedLocalEpochs = 1;
+    /** FedAvg: local minibatch size. */
+    std::size_t fedLocalBatch = 16;
+    /** FedAvg: label-skew of client shards (0 = IID, paper setup). */
+    double fedLabelSkew = 0.0;
+
+    /** SSP extension: staleness bound (0 = synchronous PS). */
+    std::size_t sspStaleness = 4;
+};
+
+} // namespace baselines
+} // namespace socflow
+
+#endif // SOCFLOW_BASELINES_COMMON_HH

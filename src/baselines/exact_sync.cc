@@ -1,0 +1,276 @@
+#include "baselines/exact_sync.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "collectives/reduce.hh"
+#include "util/logging.hh"
+
+namespace socflow {
+namespace baselines {
+
+namespace {
+
+sim::ClusterConfig
+clusterFor(const BaselineConfig &cfg)
+{
+    sim::ClusterConfig c = cfg.clusterTemplate;
+    c.numSocs = cfg.numSocs;
+    return c;
+}
+
+std::vector<sim::SocId>
+allSocs(std::size_t n)
+{
+    std::vector<sim::SocId> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = i;
+    return v;
+}
+
+nn::Model
+buildInitialModel(const BaselineConfig &cfg, const data::DataBundle &b,
+                  const std::vector<float> *initial)
+{
+    Rng init_rng(cfg.seed ^ 0xbeef);
+    nn::Model m = nn::buildModel(cfg.modelFamily, b.spec, init_rng);
+    if (initial)
+        m.setFlatParams(*initial);
+    return m;
+}
+
+} // namespace
+
+ExactSyncTrainer::ExactSyncTrainer(BaselineConfig config,
+                                   const data::DataBundle &bundle_in,
+                                   const std::vector<float> *initial)
+    : cfg(std::move(config)), bundle(bundle_in),
+      profile(sim::modelProfile(cfg.modelFamily)),
+      cluster(clusterFor(cfg)), engine(cluster), compute(),
+      model(buildInitialModel(cfg, bundle_in, initial)), rng(cfg.seed)
+{
+    sgd = std::make_unique<nn::Sgd>(model, cfg.sgd);
+}
+
+double
+ExactSyncTrainer::computeSecondsPerBatch(std::size_t samples) const
+{
+    // Data-parallel: each SoC computes its share of the batch.
+    const double perSoc =
+        std::ceil(static_cast<double>(samples) /
+                  static_cast<double>(cfg.numSocs));
+    return perSoc * profile.cpuMsPerSample / 1000.0;
+}
+
+core::EpochRecord
+ExactSyncTrainer::runEpoch()
+{
+    core::EpochRecord rec;
+    sim::EnergyMeter meter;
+
+    data::BatchIterator it(bundle.train.size(), cfg.globalBatch,
+                           rng.split());
+    const double syncS = syncSecondsPerBatch();
+    const double updateS = compute.updateSeconds(profile);
+
+    double lossSum = 0.0, accSum = 0.0;
+    std::size_t sampleSum = 0;
+    double cpuSocSeconds = 0.0;
+    double commSocSeconds = 0.0;
+
+    while (!it.epochDone()) {
+        const auto idx = it.next();
+        auto [x, y] = bundle.train.batch(idx);
+        model.zeroGrad();
+        nn::StepResult r = model.trainStep(x, y);
+        transformGradients();
+        sgd->step();
+
+        lossSum += r.loss * static_cast<double>(r.samples);
+        accSum += r.accuracy * static_cast<double>(r.samples);
+        sampleSum += r.samples;
+
+        const double computeS = computeSecondsPerBatch(idx.size());
+        rec.computeSeconds += computeS;
+        rec.syncSeconds += syncS;
+        rec.updateSeconds += updateS;
+        if (overlapsCompute()) {
+            rec.simSeconds += std::max(computeS, syncS) + updateS;
+        } else {
+            rec.simSeconds += computeS + syncS + updateS;
+        }
+
+        // Every SoC burns CPU power for its share, then comm power.
+        cpuSocSeconds += static_cast<double>(idx.size()) *
+                         profile.cpuMsPerSample / 1000.0;
+        commSocSeconds += syncS * static_cast<double>(cfg.numSocs);
+    }
+
+    // Replicate per-step timing to a paper-scale epoch (the math ran
+    // on the small synthetic stand-in; the simulated hardware would
+    // iterate over the full dataset).
+    const double f = bundle.timeScale();
+    rec.computeSeconds *= f;
+    rec.syncSeconds *= f;
+    rec.updateSeconds *= f;
+    rec.simSeconds *= f;
+
+    meter.accumulate(sim::PowerState::CpuTrain, cpuSocSeconds * f);
+    meter.accumulate(sim::PowerState::Comm, commSocSeconds * f);
+    const double totalSocSeconds =
+        rec.simSeconds * static_cast<double>(cfg.numSocs);
+    const double busySocSeconds =
+        cpuSocSeconds * f + commSocSeconds * f;
+    if (totalSocSeconds > busySocSeconds) {
+        meter.accumulate(sim::PowerState::Idle,
+                         totalSocSeconds - busySocSeconds);
+    }
+
+    rec.energyJoules = meter.totalJoules();
+    rec.trainLoss = sampleSum ? lossSum / sampleSum : 0.0;
+    rec.trainAcc = sampleSum ? accSum / sampleSum : 0.0;
+    sgd->decayLearningRate();
+    return rec;
+}
+
+double
+ExactSyncTrainer::testAccuracy()
+{
+    const auto &test = bundle.test;
+    const std::size_t chunk = 256;
+    std::size_t correct = 0;
+    for (std::size_t start = 0; start < test.size(); start += chunk) {
+        std::vector<std::size_t> idx;
+        for (std::size_t i = start;
+             i < std::min(test.size(), start + chunk); ++i)
+            idx.push_back(i);
+        auto [x, y] = test.batch(idx);
+        nn::StepResult r = model.evaluate(x, y);
+        correct += static_cast<std::size_t>(
+            std::lround(r.accuracy * static_cast<double>(r.samples)));
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(test.size());
+}
+
+// ------------------------------------------------------------------ PS
+
+double
+PsTrainer::syncSecondsPerBatch() const
+{
+    if (cachedSyncS < 0.0) {
+        cachedSyncS = engine
+                          .paramServer(allSocs(cfg.numSocs), 0,
+                                       profile.paramBytes())
+                          .seconds;
+    }
+    return cachedSyncS;
+}
+
+// ---------------------------------------------------------------- RING
+
+double
+RingTrainer::syncSecondsPerBatch() const
+{
+    if (cachedSyncS < 0.0) {
+        cachedSyncS =
+            engine.ringAllReduce(allSocs(cfg.numSocs),
+                                 profile.paramBytes())
+                .seconds;
+    }
+    return cachedSyncS;
+}
+
+// ------------------------------------------------------------- HiPress
+
+HiPressTrainer::HiPressTrainer(BaselineConfig config,
+                               const data::DataBundle &bundle,
+                               const std::vector<float> *initial)
+    : ExactSyncTrainer(std::move(config), bundle, initial)
+{
+    residual.assign(model.paramCount(), 0.0f);
+}
+
+double
+HiPressTrainer::syncSecondsPerBatch() const
+{
+    if (cachedSyncS < 0.0) {
+        // Sparse payload: 4-byte value + 4-byte index per kept entry.
+        // Sparse gradients cannot reduce-scatter along a ring (the
+        // index sets differ), so HiPress aggregates hierarchically --
+        // modeled as a binary aggregation/broadcast tree, which also
+        // avoids paying the ring's 2(N-1) per-round latencies on a
+        // payload this small.
+        const double bytes =
+            profile.paramBytes() * cfg.compressionRatio * 2.0;
+        cachedSyncS =
+            engine.treeAggregate(allSocs(cfg.numSocs), bytes).seconds;
+    }
+    return cachedSyncS;
+}
+
+double
+HiPressTrainer::computeSecondsPerBatch(std::size_t samples) const
+{
+    return ExactSyncTrainer::computeSecondsPerBatch(samples) *
+           (1.0 + cfg.compressionOverhead);
+}
+
+void
+HiPressTrainer::transformGradients()
+{
+    // DGC: keep top-k by magnitude, bank the rest in the residual.
+    std::vector<float> grad = model.flatGrads();
+    collectives::SparseGrad sparse =
+        collectives::compressTopK(grad, residual, cfg.compressionRatio);
+    std::vector<float> dense(grad.size(), 0.0f);
+    collectives::applySparse(sparse, dense);
+    model.setFlatGrads(dense);
+}
+
+// ------------------------------------------------------------ 2D-Paral
+
+double
+TwoDParTrainer::syncSecondsPerBatch() const
+{
+    if (cachedSyncS < 0.0) {
+        // Ring data parallelism across pipeline-group leaders. Every
+        // group still pushes a full model gradient; stage shards sync
+        // in parallel rings, so leaders carry the whole payload here.
+        const std::size_t p =
+            std::max<std::size_t>(1, cfg.pipelineGroupSize);
+        std::vector<sim::SocId> leaders;
+        for (std::size_t g = 0; g * p < cfg.numSocs; ++g)
+            leaders.push_back(g * p);
+        cachedSyncS =
+            engine.ringAllReduce(leaders, profile.paramBytes()).seconds;
+    }
+    return cachedSyncS;
+}
+
+double
+TwoDParTrainer::computeSecondsPerBatch(std::size_t samples) const
+{
+    // Pipeline of p stages over m microbatches: bubble factor
+    // (m + p - 1) / m; activations hop between adjacent stages.
+    const double p =
+        static_cast<double>(std::max<std::size_t>(1,
+                                                  cfg.pipelineGroupSize));
+    const double m = static_cast<double>(
+        std::max<std::size_t>(1, cfg.pipelineMicrobatches));
+    const double groupCount =
+        std::max(1.0, static_cast<double>(cfg.numSocs) / p);
+    const double perGroupSamples =
+        std::ceil(static_cast<double>(samples) / groupCount);
+    const double idealS =
+        perGroupSamples * profile.cpuMsPerSample / (1000.0 * p);
+    const double pipelineS = idealS * (m + p - 1.0) / m;
+    // Inter-stage activation traffic (intra-board at 1 Gbps).
+    const double actS = perGroupSamples * (p - 1.0) *
+                        cfg.activationBytesPerSample /
+                        (cluster.config().socLinkBps / 8.0);
+    return pipelineS + actS;
+}
+
+} // namespace baselines
+} // namespace socflow

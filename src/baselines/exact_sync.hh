@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The per-batch exactly-synchronized baselines: Parameter Server,
+ * Ring-AllReduce (Horovod-style), HiPress (DGC gradient compression),
+ * and 2D parallelism (pipeline-in-group x data-parallel-across).
+ *
+ * All four apply the same global-batch SGD math (so their convergence
+ * accuracy matches, as in the paper's Table 3); HiPress additionally
+ * sparsifies gradients with error feedback. They differ in the timing
+ * model of each step's synchronization, evaluated on the simulated
+ * SoC-Cluster fabric.
+ */
+
+#ifndef SOCFLOW_BASELINES_EXACT_SYNC_HH
+#define SOCFLOW_BASELINES_EXACT_SYNC_HH
+
+#include <memory>
+#include <vector>
+
+#include "baselines/common.hh"
+#include "collectives/engine.hh"
+#include "core/train_common.hh"
+#include "data/dataset.hh"
+#include "nn/zoo.hh"
+#include "quant/int8_trainer.hh"
+#include "sim/calibration.hh"
+#include "sim/energy.hh"
+
+namespace socflow {
+namespace baselines {
+
+/**
+ * Base class: one global model replica, per-batch full-batch SGD;
+ * subclasses provide the synchronization cost and may transform the
+ * gradient (HiPress).
+ */
+class ExactSyncTrainer : public core::DistTrainer
+{
+  public:
+    ExactSyncTrainer(BaselineConfig config,
+                     const data::DataBundle &bundle,
+                     const std::vector<float> *initial = nullptr);
+
+    core::EpochRecord runEpoch() override;
+    double testAccuracy() override;
+
+    /** Post-training weights (e.g. for transfer learning). */
+    std::vector<float> weights() { return model.flatParams(); }
+
+  protected:
+    /** Per-batch synchronization seconds (topology-dependent). */
+    virtual double syncSecondsPerBatch() const = 0;
+
+    /** Per-batch compute seconds across the data-parallel SoCs. */
+    virtual double computeSecondsPerBatch(std::size_t samples) const;
+
+    /** Whether sync overlaps the next batch's compute. */
+    virtual bool overlapsCompute() const { return true; }
+
+    /** Hook: transform gradients before the optimizer step. */
+    virtual void transformGradients() {}
+
+    BaselineConfig cfg;
+    const data::DataBundle &bundle;
+    const sim::ModelProfile &profile;
+    sim::Cluster cluster;
+    collectives::CollectiveEngine engine;
+    sim::ComputeModel compute;
+    nn::Model model;
+    std::unique_ptr<nn::Sgd> sgd;
+    Rng rng;
+
+    mutable double cachedSyncS = -1.0;
+};
+
+/** Parameter Server: full-gradient push/pull to one server SoC. */
+class PsTrainer : public ExactSyncTrainer
+{
+  public:
+    using ExactSyncTrainer::ExactSyncTrainer;
+    std::string methodName() const override { return "PS"; }
+
+  protected:
+    double syncSecondsPerBatch() const override;
+    bool overlapsCompute() const override { return false; }
+};
+
+/** Ring-AllReduce over every SoC (Horovod workflow). */
+class RingTrainer : public ExactSyncTrainer
+{
+  public:
+    using ExactSyncTrainer::ExactSyncTrainer;
+    std::string methodName() const override { return "RING"; }
+
+  protected:
+    double syncSecondsPerBatch() const override;
+};
+
+/** HiPress: DGC top-k sparsification with error feedback. */
+class HiPressTrainer : public ExactSyncTrainer
+{
+  public:
+    HiPressTrainer(BaselineConfig config, const data::DataBundle &bundle,
+                   const std::vector<float> *initial = nullptr);
+    std::string methodName() const override { return "HiPress"; }
+
+  protected:
+    double syncSecondsPerBatch() const override;
+    double computeSecondsPerBatch(std::size_t samples) const override;
+    void transformGradients() override;
+
+  private:
+    std::vector<float> residual;
+};
+
+/**
+ * 2D parallelism: pipeline parallelism inside fixed-size groups
+ * (PipeDream-style stages), ring data parallelism across groups.
+ */
+class TwoDParTrainer : public ExactSyncTrainer
+{
+  public:
+    using ExactSyncTrainer::ExactSyncTrainer;
+    std::string methodName() const override { return "2D-Paral"; }
+
+  protected:
+    double syncSecondsPerBatch() const override;
+    double computeSecondsPerBatch(std::size_t samples) const override;
+};
+
+} // namespace baselines
+} // namespace socflow
+
+#endif // SOCFLOW_BASELINES_EXACT_SYNC_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Federated-learning baselines: FedAvg and tree-aggregated
+ * hierarchical FedAvg (T-FedAvg).
+ *
+ * Per round (= epoch), every SoC trains locally on its shard for
+ * `fedLocalEpochs` passes, then the weights are averaged -- via a
+ * star to an aggregator SoC (FedAvg) or a binary aggregation tree
+ * (T-FedAvg). Both use the IID shard setting of the paper; a
+ * label-skew knob exposes the non-IID regime as an extension. The
+ * gradient staleness of delayed averaging (and the resulting accuracy
+ * gap and extra rounds) emerges from the real per-client math.
+ */
+
+#ifndef SOCFLOW_BASELINES_FEDAVG_HH
+#define SOCFLOW_BASELINES_FEDAVG_HH
+
+#include <memory>
+#include <vector>
+
+#include "baselines/common.hh"
+#include "collectives/engine.hh"
+#include "core/train_common.hh"
+#include "data/dataset.hh"
+#include "nn/zoo.hh"
+#include "sim/calibration.hh"
+
+namespace socflow {
+namespace baselines {
+
+/** Aggregation topologies for the federated baselines. */
+enum class FedAggregation { Star, Tree };
+
+/**
+ * FedAvg-style trainer with one replica per SoC.
+ */
+class FedAvgTrainer : public core::DistTrainer
+{
+  public:
+    FedAvgTrainer(BaselineConfig config, const data::DataBundle &bundle,
+                  FedAggregation aggregation,
+                  const std::vector<float> *initial = nullptr);
+
+    core::EpochRecord runEpoch() override;
+    double testAccuracy() override;
+    std::string methodName() const override;
+
+  private:
+    struct Client {
+        nn::Model model;
+        std::unique_ptr<nn::Sgd> sgd;
+        std::vector<std::size_t> shard;
+
+        Client(const nn::Model &proto, const nn::SgdConfig &scfg);
+    };
+
+    BaselineConfig cfg;
+    const data::DataBundle &bundle;
+    const sim::ModelProfile &profile;
+    sim::Cluster cluster;
+    collectives::CollectiveEngine engine;
+    FedAggregation agg;
+    /** Owned by pointer: Client's optimizer references its model. */
+    std::vector<std::unique_ptr<Client>> clients;
+    std::vector<float> globalWeights;
+    Rng rng;
+    double currentLr = 0.0;
+    mutable double cachedSyncS = -1.0;
+};
+
+} // namespace baselines
+} // namespace socflow
+
+#endif // SOCFLOW_BASELINES_FEDAVG_HH

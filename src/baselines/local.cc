@@ -1,0 +1,198 @@
+#include "baselines/local.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/exact_sync.hh"
+#include "baselines/fedavg.hh"
+#include "baselines/ssp.hh"
+#include "tensor/ops.hh"
+#include "sim/energy.hh"
+#include "util/logging.hh"
+
+namespace socflow {
+namespace baselines {
+
+namespace {
+
+nn::Model
+buildInitialModel(const BaselineConfig &cfg, const data::DataBundle &b,
+                  const std::vector<float> *initial)
+{
+    Rng init_rng(cfg.seed ^ 0xbeef);
+    nn::Model m = nn::buildModel(cfg.modelFamily, b.spec, init_rng);
+    if (initial)
+        m.setFlatParams(*initial);
+    return m;
+}
+
+} // namespace
+
+LocalTrainer::LocalTrainer(BaselineConfig config,
+                           const data::DataBundle &bundle_in,
+                           sim::Device device_in,
+                           const std::vector<float> *initial)
+    : cfg(std::move(config)), bundle(bundle_in),
+      profile(sim::modelProfile(cfg.modelFamily)), device(device_in),
+      compute(), model(buildInitialModel(cfg, bundle_in, initial)),
+      rng(cfg.seed)
+{
+    if (device == sim::Device::SocNpu) {
+        int8 = std::make_unique<quant::Int8Trainer>(
+            model, cfg.sgd, quant::QuantConfig{}, cfg.seed ^ 0x1117);
+    } else {
+        sgd = std::make_unique<nn::Sgd>(model, cfg.sgd);
+    }
+}
+
+std::string
+LocalTrainer::methodName() const
+{
+    switch (device) {
+      case sim::Device::SocCpu:
+        return "Local-CPU";
+      case sim::Device::SocNpu:
+        return "Local-NPU";
+      case sim::Device::GpuV100:
+        return "V100";
+      case sim::Device::GpuA100:
+        return "A100";
+    }
+    panic("unknown device");
+}
+
+core::EpochRecord
+LocalTrainer::runEpoch()
+{
+    core::EpochRecord rec;
+    sim::EnergyMeter meter;
+
+    data::BatchIterator it(bundle.train.size(), cfg.globalBatch,
+                           rng.split());
+    double lossSum = 0.0, accSum = 0.0;
+    std::size_t sampleSum = 0;
+
+    while (!it.epochDone()) {
+        const auto idx = it.next();
+        auto [x, y] = bundle.train.batch(idx);
+        nn::StepResult r;
+        if (int8) {
+            r = int8->trainStep(x, y);
+        } else {
+            model.zeroGrad();
+            r = model.trainStep(x, y);
+            sgd->step();
+        }
+        lossSum += r.loss * static_cast<double>(r.samples);
+        accSum += r.accuracy * static_cast<double>(r.samples);
+        sampleSum += r.samples;
+
+        const double stepS =
+            compute.batchSeconds(profile, device, idx.size());
+        const double updS = compute.updateSeconds(profile);
+        rec.computeSeconds += stepS;
+        rec.updateSeconds += updS;
+        rec.simSeconds += stepS + updS;
+
+        const sim::PowerState state =
+            device == sim::Device::SocCpu   ? sim::PowerState::CpuTrain
+            : device == sim::Device::SocNpu ? sim::PowerState::NpuTrain
+                                            : sim::PowerState::GpuTrain;
+        // The device stays at training power through the optimizer
+        // update as well.
+        meter.accumulate(state, stepS + updS, 1, device);
+    }
+
+    // Replicate per-step timing/energy to the paper-scale dataset.
+    const double f = bundle.timeScale();
+    rec.computeSeconds *= f;
+    rec.updateSeconds *= f;
+    rec.simSeconds *= f;
+    rec.energyJoules = meter.totalJoules() * f;
+    rec.trainLoss = sampleSum ? lossSum / sampleSum : 0.0;
+    rec.trainAcc = sampleSum ? accSum / sampleSum : 0.0;
+    if (sgd)
+        sgd->decayLearningRate();
+    else
+        int8->optimizer().decayLearningRate();
+    return rec;
+}
+
+double
+LocalTrainer::testAccuracy()
+{
+    const auto &test = bundle.test;
+    const std::size_t chunk = 256;
+    std::size_t correct = 0;
+    for (std::size_t start = 0; start < test.size(); start += chunk) {
+        std::vector<std::size_t> idx;
+        for (std::size_t i = start;
+             i < std::min(test.size(), start + chunk); ++i)
+            idx.push_back(i);
+        auto [x, y] = test.batch(idx);
+        nn::StepResult r;
+        if (int8) {
+            // Evaluate under quantized weights (what the NPU serves).
+            tensor::Tensor logits = int8->logits(x);
+            const auto preds = tensor::argmaxRows(logits);
+            std::size_t ok = 0;
+            for (std::size_t i = 0; i < y.size(); ++i)
+                ok += preds[i] == y[i] ? 1 : 0;
+            correct += ok;
+            continue;
+        }
+        r = model.evaluate(x, y);
+        correct += static_cast<std::size_t>(
+            std::lround(r.accuracy * static_cast<double>(r.samples)));
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(test.size());
+}
+
+std::unique_ptr<core::DistTrainer>
+makeBaseline(const std::string &method, const BaselineConfig &config,
+             const data::DataBundle &bundle,
+             const std::vector<float> *initial)
+{
+    if (method == "PS")
+        return std::make_unique<PsTrainer>(config, bundle, initial);
+    if (method == "RING")
+        return std::make_unique<RingTrainer>(config, bundle, initial);
+    if (method == "HiPress")
+        return std::make_unique<HiPressTrainer>(config, bundle, initial);
+    if (method == "2D-Paral")
+        return std::make_unique<TwoDParTrainer>(config, bundle, initial);
+    if (method == "FedAvg") {
+        return std::make_unique<FedAvgTrainer>(
+            config, bundle, FedAggregation::Star, initial);
+    }
+    if (method == "T-FedAvg") {
+        return std::make_unique<FedAvgTrainer>(
+            config, bundle, FedAggregation::Tree, initial);
+    }
+    if (method == "SSP") {
+        return std::make_unique<SspTrainer>(config, bundle,
+                                            config.sspStaleness,
+                                            initial);
+    }
+    if (method == "Local-CPU") {
+        return std::make_unique<LocalTrainer>(
+            config, bundle, sim::Device::SocCpu, initial);
+    }
+    if (method == "Local-NPU") {
+        return std::make_unique<LocalTrainer>(
+            config, bundle, sim::Device::SocNpu, initial);
+    }
+    if (method == "V100") {
+        return std::make_unique<LocalTrainer>(
+            config, bundle, sim::Device::GpuV100, initial);
+    }
+    if (method == "A100") {
+        return std::make_unique<LocalTrainer>(
+            config, bundle, sim::Device::GpuA100, initial);
+    }
+    fatal("unknown baseline method: ", method);
+}
+
+} // namespace baselines
+} // namespace socflow

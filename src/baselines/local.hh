@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Single-device trainers: one SoC (CPU-FP32 or NPU-INT8) and the
+ * datacenter GPUs (V100/A100) the paper compares against.
+ *
+ * The single-SoC trainers back the paper's motivation experiments
+ * (Fig. 4a/4c) and Table 3's "Local" accuracy column; the GPU trainer
+ * backs Fig. 11. All run the same real SGD math; they differ in the
+ * device timing/power model applied.
+ */
+
+#ifndef SOCFLOW_BASELINES_LOCAL_HH
+#define SOCFLOW_BASELINES_LOCAL_HH
+
+#include <memory>
+#include <vector>
+
+#include "baselines/common.hh"
+#include "core/train_common.hh"
+#include "data/dataset.hh"
+#include "nn/zoo.hh"
+#include "quant/int8_trainer.hh"
+#include "sim/calibration.hh"
+#include "sim/compute_model.hh"
+
+namespace socflow {
+namespace baselines {
+
+/**
+ * Trains on a single simulated device.
+ */
+class LocalTrainer : public core::DistTrainer
+{
+  public:
+    /**
+     * @param device SocCpu (FP32), SocNpu (INT8), GpuV100 or GpuA100
+     *        (FP32 at GPU speed/power).
+     */
+    LocalTrainer(BaselineConfig config, const data::DataBundle &bundle,
+                 sim::Device device,
+                 const std::vector<float> *initial = nullptr);
+
+    core::EpochRecord runEpoch() override;
+    double testAccuracy() override;
+    std::string methodName() const override;
+
+    /** Post-training weights (for transfer-learning handoff). */
+    std::vector<float> weights() { return model.flatParams(); }
+
+  private:
+    BaselineConfig cfg;
+    const data::DataBundle &bundle;
+    const sim::ModelProfile &profile;
+    sim::Device device;
+    sim::ComputeModel compute;
+    nn::Model model;
+    std::unique_ptr<nn::Sgd> sgd;                  //!< FP32 path
+    std::unique_ptr<quant::Int8Trainer> int8;      //!< INT8 path
+    Rng rng;
+};
+
+/**
+ * Factory covering every method string used in the benches:
+ * "PS", "RING", "HiPress", "2D-Paral", "FedAvg", "T-FedAvg",
+ * "Local-CPU", "Local-NPU", "V100", "A100".
+ */
+std::unique_ptr<core::DistTrainer> makeBaseline(
+    const std::string &method, const BaselineConfig &config,
+    const data::DataBundle &bundle,
+    const std::vector<float> *initial = nullptr);
+
+} // namespace baselines
+} // namespace socflow
+
+#endif // SOCFLOW_BASELINES_LOCAL_HH

@@ -1,0 +1,169 @@
+#include "baselines/ssp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/energy.hh"
+#include "util/logging.hh"
+
+namespace socflow {
+namespace baselines {
+
+namespace {
+
+sim::ClusterConfig
+clusterFor(const BaselineConfig &cfg)
+{
+    sim::ClusterConfig c = cfg.clusterTemplate;
+    c.numSocs = cfg.numSocs;
+    return c;
+}
+
+nn::Model
+buildInitial(const BaselineConfig &cfg, const data::DataBundle &b,
+             const std::vector<float> *initial)
+{
+    Rng init_rng(cfg.seed ^ 0xbeef);
+    nn::Model m = nn::buildModel(cfg.modelFamily, b.spec, init_rng);
+    if (initial)
+        m.setFlatParams(*initial);
+    return m;
+}
+
+} // namespace
+
+SspTrainer::SspTrainer(BaselineConfig config,
+                       const data::DataBundle &bundle_in,
+                       std::size_t staleness,
+                       const std::vector<float> *initial)
+    : cfg(std::move(config)), bundle(bundle_in),
+      profile(sim::modelProfile(cfg.modelFamily)),
+      cluster(clusterFor(cfg)), engine(cluster), bound(staleness),
+      model(buildInitial(cfg, bundle_in, initial)), rng(cfg.seed)
+{
+    sgd = std::make_unique<nn::Sgd>(model, cfg.sgd);
+    globalWeights = model.flatParams();
+    workers.resize(cfg.numSocs);
+    for (auto &w : workers) {
+        w.snapshot = globalWeights;
+        // Treat the initial snapshot as maximally stale so every
+        // worker pulls fresh weights before its first gradient.
+        w.sincePull = bound + 1;
+    }
+}
+
+core::EpochRecord
+SspTrainer::runEpoch()
+{
+    core::EpochRecord rec;
+
+    data::BatchIterator it(bundle.train.size(), cfg.globalBatch,
+                           rng.split());
+    double lossSum = 0.0, accSum = 0.0;
+    std::size_t sampleSum = 0;
+    std::size_t steps = 0;
+
+    while (!it.epochDone()) {
+        const auto idx = it.next();
+        auto [x, y] = bundle.train.batch(idx);
+        Worker &w = workers[steps % workers.size()];
+
+        // Bounded staleness, checked before compute: a worker whose
+        // snapshot is older than `bound` steps must re-pull first
+        // (bound = 0 therefore degenerates to synchronous PS).
+        if (w.sincePull > bound) {
+            w.snapshot = globalWeights;
+            w.sincePull = 0;
+        }
+
+        // Gradient against the worker's (possibly stale) snapshot.
+        model.setFlatParams(w.snapshot);
+        model.zeroGrad();
+        const nn::StepResult r = model.trainStep(x, y);
+        const std::vector<float> grads = model.flatGrads();
+
+        // Server applies the (stale) gradient to the global model;
+        // momentum is server-side state.
+        model.setFlatParams(globalWeights);
+        model.setFlatGrads(grads);
+        sgd->step();
+        globalWeights = model.flatParams();
+
+        ++w.sincePull;
+
+        lossSum += r.loss * static_cast<double>(r.samples);
+        accSum += r.accuracy * static_cast<double>(r.samples);
+        sampleSum += r.samples;
+        ++steps;
+    }
+
+    // Timing: no barrier -- workers stream pushes/pulls to the
+    // server while computing, so the epoch is bounded by the larger
+    // of aggregate compute (spread over workers) and the server's
+    // NIC drain rate under fan-in congestion.
+    const double f = bundle.timeScale();
+    const double stepsD = static_cast<double>(steps) * f;
+    const double perWorkerSteps =
+        stepsD / static_cast<double>(workers.size());
+    const double computeS = perWorkerSteps *
+                            static_cast<double>(cfg.globalBatch) *
+                            profile.cpuMsPerSample / 1000.0;
+    const double pullFraction =
+        1.0 / static_cast<double>(bound + 1);
+    const double wireBytes =
+        stepsD * profile.paramBytes() * (1.0 + pullFraction);
+    const double serverRate =
+        (cluster.config().socLinkBps / 8.0) *
+        std::pow(static_cast<double>(workers.size()),
+                 -cluster.config().congestionExponent);
+    const double syncS = wireBytes / serverRate;
+
+    rec.computeSeconds = computeS;
+    rec.syncSeconds = syncS;
+    rec.updateSeconds =
+        stepsD * profile.updateMsPerBatch / 1000.0;
+    rec.simSeconds = std::max(computeS, syncS) + rec.updateSeconds;
+
+    sim::EnergyMeter meter;
+    meter.accumulate(sim::PowerState::CpuTrain,
+                     computeS * static_cast<double>(workers.size()));
+    meter.accumulate(sim::PowerState::Comm, syncS, workers.size());
+    const double totalSocSeconds =
+        rec.simSeconds * static_cast<double>(cfg.numSocs);
+    const double busy =
+        computeS * static_cast<double>(workers.size()) +
+        syncS * static_cast<double>(workers.size());
+    if (totalSocSeconds > busy) {
+        meter.accumulate(sim::PowerState::Idle,
+                         totalSocSeconds - busy);
+    }
+    rec.energyJoules = meter.totalJoules();
+    rec.trainLoss = sampleSum ? lossSum / sampleSum : 0.0;
+    rec.trainAcc = sampleSum ? accSum / sampleSum : 0.0;
+    sgd->decayLearningRate();
+    return rec;
+}
+
+double
+SspTrainer::testAccuracy()
+{
+    model.setFlatParams(globalWeights);
+    const auto &test = bundle.test;
+    const std::size_t chunk = 256;
+    std::size_t correct = 0;
+    for (std::size_t start = 0; start < test.size(); start += chunk) {
+        std::vector<std::size_t> idx;
+        for (std::size_t i = start;
+             i < std::min(test.size(), start + chunk); ++i)
+            idx.push_back(i);
+        auto [x, y] = test.batch(idx);
+        const nn::StepResult r = model.evaluate(x, y);
+        correct += static_cast<std::size_t>(
+            std::lround(r.accuracy * static_cast<double>(r.samples)));
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(test.size());
+}
+
+} // namespace baselines
+} // namespace socflow

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Stale-Synchronous-Parallel (SSP) baseline — an extension beyond the
+ * paper's six comparison points, covering the asynchronous family its
+ * related-work section discusses (Ho et al., SSP parameter servers).
+ *
+ * Workers push gradients to a parameter server without a global
+ * barrier and re-pull the global weights only every `staleness`
+ * local steps, so each gradient may be computed against weights up
+ * to `staleness` versions old. staleness = 0 degenerates to the
+ * fully synchronous parameter server; growing staleness trades
+ * convergence quality for the removal of synchronization stalls --
+ * both effects emerge from the real math here.
+ */
+
+#ifndef SOCFLOW_BASELINES_SSP_HH
+#define SOCFLOW_BASELINES_SSP_HH
+
+#include <memory>
+#include <vector>
+
+#include "baselines/common.hh"
+#include "collectives/engine.hh"
+#include "core/train_common.hh"
+#include "data/dataset.hh"
+#include "nn/zoo.hh"
+#include "sim/calibration.hh"
+
+namespace socflow {
+namespace baselines {
+
+/**
+ * SSP trainer: one server-held global model, per-worker stale
+ * snapshots.
+ */
+class SspTrainer : public core::DistTrainer
+{
+  public:
+    /**
+     * @param staleness max pulls a worker may skip (0 = synchronous).
+     */
+    SspTrainer(BaselineConfig config, const data::DataBundle &bundle,
+               std::size_t staleness,
+               const std::vector<float> *initial = nullptr);
+
+    core::EpochRecord runEpoch() override;
+    double testAccuracy() override;
+    std::string methodName() const override { return "SSP"; }
+
+    /** Configured staleness bound. */
+    std::size_t staleness() const { return bound; }
+
+  private:
+    struct Worker {
+        /** Stale snapshot the worker computes gradients against. */
+        std::vector<float> snapshot;
+        /** Local steps since the last pull. */
+        std::size_t sincePull = 0;
+    };
+
+    BaselineConfig cfg;
+    const data::DataBundle &bundle;
+    const sim::ModelProfile &profile;
+    sim::Cluster cluster;
+    collectives::CollectiveEngine engine;
+    std::size_t bound;
+
+    /** Scratch replica used to evaluate gradients and the test set. */
+    nn::Model model;
+    std::unique_ptr<nn::Sgd> sgd;
+    /** Server-side source of truth. */
+    std::vector<float> globalWeights;
+    std::vector<Worker> workers;
+    Rng rng;
+};
+
+} // namespace baselines
+} // namespace socflow
+
+#endif // SOCFLOW_BASELINES_SSP_HH

@@ -1,0 +1,203 @@
+#include "collectives/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace collectives {
+
+CommStats &
+CommStats::operator+=(const CommStats &o)
+{
+    seconds += o.seconds;
+    wireBytes += o.wireBytes;
+    rounds += o.rounds;
+    return *this;
+}
+
+CollectiveEngine::CollectiveEngine(const sim::Cluster &cluster)
+    : clusterRef(cluster)
+{
+}
+
+std::vector<sim::FlowSpec>
+CollectiveEngine::ringRoundFlows(const std::vector<sim::SocId> &ring,
+                                 double chunk_bytes) const
+{
+    std::vector<sim::FlowSpec> flows;
+    flows.reserve(ring.size());
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        const sim::SocId src = ring[i];
+        const sim::SocId dst = ring[(i + 1) % ring.size()];
+        flows.push_back(clusterRef.transfer(src, dst, chunk_bytes));
+    }
+    return flows;
+}
+
+CommStats
+CollectiveEngine::ringAllReduce(const std::vector<sim::SocId> &ring,
+                                double bytes) const
+{
+    CommStats stats;
+    const std::size_t n = ring.size();
+    if (n <= 1 || bytes <= 0.0)
+        return stats;
+
+    const double chunk = bytes / static_cast<double>(n);
+    const std::size_t rounds = 2 * (n - 1);
+    const double roundTime =
+        clusterRef.network().makespan(ringRoundFlows(ring, chunk)) +
+        clusterRef.roundOverheadS(n);
+
+    stats.seconds = roundTime * static_cast<double>(rounds);
+    stats.wireBytes =
+        chunk * static_cast<double>(n) * static_cast<double>(rounds);
+    stats.rounds = rounds;
+    return stats;
+}
+
+CommStats
+CollectiveEngine::paramServer(const std::vector<sim::SocId> &workers,
+                              sim::SocId server, double bytes) const
+{
+    CommStats stats;
+    std::vector<sim::SocId> clients;
+    for (sim::SocId w : workers)
+        if (w != server)
+            clients.push_back(w);
+    if (clients.empty() || bytes <= 0.0)
+        return stats;
+
+    std::vector<sim::FlowSpec> push, pull;
+    for (sim::SocId c : clients) {
+        push.push_back(clusterRef.transfer(c, server, bytes));
+        pull.push_back(clusterRef.transfer(server, c, bytes));
+    }
+    const double overhead =
+        clusterRef.roundOverheadS(clients.size() + 1);
+    stats.seconds = clusterRef.network().makespan(push) + overhead +
+                    clusterRef.network().makespan(pull) + overhead;
+    stats.wireBytes = 2.0 * bytes * static_cast<double>(clients.size());
+    stats.rounds = 2;
+    return stats;
+}
+
+CommStats
+CollectiveEngine::treeAggregate(const std::vector<sim::SocId> &nodes,
+                                double bytes) const
+{
+    CommStats stats;
+    const std::size_t n = nodes.size();
+    if (n <= 1 || bytes <= 0.0)
+        return stats;
+
+    // Reduce levels: pair (i, i + stride) sends child -> parent.
+    for (std::size_t stride = 1; stride < n; stride *= 2) {
+        std::vector<sim::FlowSpec> flows;
+        for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
+            flows.push_back(
+                clusterRef.transfer(nodes[i + stride], nodes[i], bytes));
+        }
+        if (flows.empty())
+            continue;
+        stats.seconds += clusterRef.network().makespan(flows) +
+                         clusterRef.roundOverheadS(2 * flows.size());
+        stats.wireBytes += bytes * static_cast<double>(flows.size());
+        ++stats.rounds;
+    }
+    // Broadcast levels mirror the reduce levels, downward.
+    std::vector<std::size_t> strides;
+    for (std::size_t stride = 1; stride < n; stride *= 2)
+        strides.push_back(stride);
+    for (auto it = strides.rbegin(); it != strides.rend(); ++it) {
+        std::vector<sim::FlowSpec> flows;
+        for (std::size_t i = 0; i + *it < n; i += 2 * (*it)) {
+            flows.push_back(
+                clusterRef.transfer(nodes[i], nodes[i + *it], bytes));
+        }
+        if (flows.empty())
+            continue;
+        stats.seconds += clusterRef.network().makespan(flows) +
+                         clusterRef.roundOverheadS(2 * flows.size());
+        stats.wireBytes += bytes * static_cast<double>(flows.size());
+        ++stats.rounds;
+    }
+    return stats;
+}
+
+CommStats
+CollectiveEngine::broadcast(sim::SocId root,
+                            const std::vector<sim::SocId> &dests,
+                            double bytes) const
+{
+    CommStats stats;
+    std::vector<sim::SocId> nodes{root};
+    for (sim::SocId d : dests)
+        if (d != root)
+            nodes.push_back(d);
+    if (nodes.size() <= 1 || bytes <= 0.0)
+        return stats;
+
+    // Binary-tree broadcast: at each level every holder forwards to
+    // one new node.
+    std::size_t holders = 1;
+    while (holders < nodes.size()) {
+        std::vector<sim::FlowSpec> flows;
+        const std::size_t sends =
+            std::min(holders, nodes.size() - holders);
+        for (std::size_t i = 0; i < sends; ++i) {
+            flows.push_back(clusterRef.transfer(nodes[i],
+                                                nodes[holders + i],
+                                                bytes));
+        }
+        stats.seconds += clusterRef.network().makespan(flows) +
+                         clusterRef.roundOverheadS(2 * sends);
+        stats.wireBytes += bytes * static_cast<double>(sends);
+        ++stats.rounds;
+        holders += sends;
+    }
+    return stats;
+}
+
+CommStats
+CollectiveEngine::concurrentRings(
+    const std::vector<std::vector<sim::SocId>> &rings, double bytes) const
+{
+    CommStats stats;
+    std::size_t maxRounds = 0;
+    std::size_t maxParticipants = 0;
+    for (const auto &ring : rings) {
+        if (ring.size() > 1) {
+            maxRounds = std::max(maxRounds, 2 * (ring.size() - 1));
+            maxParticipants = std::max(maxParticipants, ring.size());
+        }
+    }
+    if (maxRounds == 0 || bytes <= 0.0)
+        return stats;
+
+    for (std::size_t round = 0; round < maxRounds; ++round) {
+        std::vector<sim::FlowSpec> flows;
+        for (const auto &ring : rings) {
+            if (ring.size() <= 1)
+                continue;
+            if (round >= 2 * (ring.size() - 1))
+                continue;  // this ring already finished
+            const double chunk =
+                bytes / static_cast<double>(ring.size());
+            auto ringFlows = ringRoundFlows(ring, chunk);
+            flows.insert(flows.end(), ringFlows.begin(),
+                         ringFlows.end());
+            stats.wireBytes +=
+                chunk * static_cast<double>(ring.size());
+        }
+        stats.seconds += clusterRef.network().makespan(flows) +
+                         clusterRef.roundOverheadS(maxParticipants);
+        ++stats.rounds;
+    }
+    return stats;
+}
+
+} // namespace collectives
+} // namespace socflow

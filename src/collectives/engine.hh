@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Timed collective algorithms over the SoC-Cluster fabric.
+ *
+ * Each algorithm is expressed as a sequence of synchronized rounds;
+ * every round is a set of concurrent point-to-point flows simulated
+ * on the cluster's max-min fair network, plus a fixed round overhead
+ * (barrier + transfer startup, calibrated in sim/cluster.hh). The
+ * engine reports wall-clock, bytes on the wire, and round counts;
+ * the numerical effect of the collectives is applied separately by
+ * collectives/reduce.hh.
+ */
+
+#ifndef SOCFLOW_COLLECTIVES_ENGINE_HH
+#define SOCFLOW_COLLECTIVES_ENGINE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/cluster.hh"
+
+namespace socflow {
+namespace collectives {
+
+/** Cost summary of one collective operation. */
+struct CommStats {
+    double seconds = 0.0;
+    double wireBytes = 0.0;
+    std::size_t rounds = 0;
+
+    CommStats &operator+=(const CommStats &o);
+};
+
+/**
+ * Evaluates collective communication costs on a cluster.
+ */
+class CollectiveEngine
+{
+  public:
+    explicit CollectiveEngine(const sim::Cluster &cluster);
+
+    const sim::Cluster &cluster() const { return clusterRef; }
+
+    /**
+     * Ring all-reduce over the given SoCs (reduce-scatter +
+     * all-gather, 2(N-1) rounds of size/N chunks). A single-member
+     * ring costs nothing.
+     */
+    CommStats ringAllReduce(const std::vector<sim::SocId> &ring,
+                            double bytes) const;
+
+    /**
+     * Parameter-server exchange: every worker pushes `bytes` to the
+     * server, then pulls `bytes` back (two incast/outcast rounds).
+     * The server SoC is excluded from the workers automatically.
+     */
+    CommStats paramServer(const std::vector<sim::SocId> &workers,
+                          sim::SocId server, double bytes) const;
+
+    /**
+     * Binary-tree aggregate-and-broadcast rooted at nodes[0]:
+     * ceil(log2 N) reduce levels up plus the same number of
+     * broadcast levels down, full payload per hop.
+     */
+    CommStats treeAggregate(const std::vector<sim::SocId> &nodes,
+                            double bytes) const;
+
+    /** One-to-many broadcast (sequentially pipelined binary tree). */
+    CommStats broadcast(sim::SocId root,
+                        const std::vector<sim::SocId> &dests,
+                        double bytes) const;
+
+    /**
+     * Several rings all-reducing *simultaneously* (the unplanned
+     * case the CG scheduler avoids): per round, the union of every
+     * ring's flows contends on the fabric. Rings shorter than the
+     * longest simply finish early.
+     */
+    CommStats concurrentRings(
+        const std::vector<std::vector<sim::SocId>> &rings,
+        double bytes) const;
+
+  private:
+    /** One synchronized ring round's flow set. */
+    std::vector<sim::FlowSpec> ringRoundFlows(
+        const std::vector<sim::SocId> &ring, double chunk_bytes) const;
+
+    const sim::Cluster &clusterRef;
+};
+
+} // namespace collectives
+} // namespace socflow
+
+#endif // SOCFLOW_COLLECTIVES_ENGINE_HH

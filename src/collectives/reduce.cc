@@ -1,0 +1,117 @@
+#include "collectives/reduce.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace collectives {
+
+void
+vecAdd(std::vector<float> &dst, const std::vector<float> &src)
+{
+    SOCFLOW_ASSERT(dst.size() == src.size(), "vecAdd size mismatch");
+    for (std::size_t i = 0; i < dst.size(); ++i)
+        dst[i] += src[i];
+}
+
+void
+vecScale(std::vector<float> &dst, float alpha)
+{
+    for (auto &x : dst)
+        x *= alpha;
+}
+
+void
+allReduceAverage(std::vector<std::vector<float> *> &vectors)
+{
+    SOCFLOW_ASSERT(!vectors.empty(), "allReduceAverage on empty set");
+    const std::size_t n = vectors.front()->size();
+    std::vector<float> acc(n, 0.0f);
+    for (auto *v : vectors) {
+        SOCFLOW_ASSERT(v->size() == n, "vector size mismatch");
+        vecAdd(acc, *v);
+    }
+    vecScale(acc, 1.0f / static_cast<float>(vectors.size()));
+    for (auto *v : vectors)
+        *v = acc;
+}
+
+void
+weightedAverage(const std::vector<const std::vector<float> *> &vs,
+                const std::vector<double> &weights,
+                std::vector<float> &out)
+{
+    SOCFLOW_ASSERT(!vs.empty() && vs.size() == weights.size(),
+                   "weightedAverage arity mismatch");
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    SOCFLOW_ASSERT(total > 0.0, "weights sum to zero");
+
+    const std::size_t n = vs.front()->size();
+    out.assign(n, 0.0f);
+    for (std::size_t k = 0; k < vs.size(); ++k) {
+        SOCFLOW_ASSERT(vs[k]->size() == n, "vector size mismatch");
+        const float w = static_cast<float>(weights[k] / total);
+        const auto &v = *vs[k];
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] += w * v[i];
+    }
+}
+
+SparseGrad
+compressTopK(const std::vector<float> &grad, std::vector<float> &residual,
+             double ratio)
+{
+    SOCFLOW_ASSERT(grad.size() == residual.size(),
+                   "residual size mismatch");
+    SOCFLOW_ASSERT(ratio > 0.0 && ratio <= 1.0,
+                   "compression ratio must be in (0, 1]");
+
+    // Error feedback: compress grad + residual.
+    std::vector<float> combined(grad.size());
+    for (std::size_t i = 0; i < grad.size(); ++i)
+        combined[i] = grad[i] + residual[i];
+
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(ratio * static_cast<double>(grad.size()))));
+
+    // nth_element on magnitudes to find the threshold.
+    std::vector<std::size_t> order(grad.size());
+    for (std::size_t i = 0; i < grad.size(); ++i)
+        order[i] = i;
+    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return std::abs(combined[a]) >
+                                std::abs(combined[b]);
+                     });
+
+    SparseGrad out;
+    out.indices.assign(order.begin(), order.begin() + k);
+    std::sort(out.indices.begin(), out.indices.end());
+    out.values.reserve(k);
+    for (std::size_t idx : out.indices)
+        out.values.push_back(combined[idx]);
+
+    // Residual keeps the unsent mass; sent entries are cleared.
+    residual = std::move(combined);
+    for (std::size_t idx : out.indices)
+        residual[idx] = 0.0f;
+    return out;
+}
+
+void
+applySparse(const SparseGrad &sparse, std::vector<float> &dense)
+{
+    for (std::size_t i = 0; i < sparse.indices.size(); ++i) {
+        SOCFLOW_ASSERT(sparse.indices[i] < dense.size(),
+                       "sparse index out of range");
+        dense[sparse.indices[i]] += sparse.values[i];
+    }
+}
+
+} // namespace collectives
+} // namespace socflow

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Semantic (numerical) side of the collectives: exact reductions over
+ * flat parameter/gradient vectors, plus the top-k sparsification used
+ * by the HiPress/DGC baseline.
+ *
+ * Timing and contention of these operations are modeled separately by
+ * CollectiveEngine; the math here is what the training replicas
+ * actually apply, so convergence behaviour is real.
+ */
+
+#ifndef SOCFLOW_COLLECTIVES_REDUCE_HH
+#define SOCFLOW_COLLECTIVES_REDUCE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace socflow {
+namespace collectives {
+
+/** dst += src (sizes must match). */
+void vecAdd(std::vector<float> &dst, const std::vector<float> &src);
+
+/** dst *= alpha. */
+void vecScale(std::vector<float> &dst, float alpha);
+
+/** Element-wise mean of all vectors, written back into every vector
+ *  (the semantics of an all-reduce-average). */
+void allReduceAverage(std::vector<std::vector<float> *> &vectors);
+
+/**
+ * Weighted average into `out`: out = sum_i w_i * v_i / sum_i w_i.
+ * Sizes must match; weights must not all be zero.
+ */
+void weightedAverage(const std::vector<const std::vector<float> *> &vs,
+                     const std::vector<double> &weights,
+                     std::vector<float> &out);
+
+/** A sparse gradient: parallel index/value arrays. */
+struct SparseGrad {
+    std::vector<std::size_t> indices;
+    std::vector<float> values;
+
+    /** Bytes on the wire: 4 bytes value + 4 bytes index each. */
+    double
+    wireBytes() const
+    {
+        return 8.0 * static_cast<double>(values.size());
+    }
+};
+
+/**
+ * Deep-Gradient-Compression style top-k selection: keep the `ratio`
+ * fraction of entries with the largest magnitude; everything else
+ * stays in `residual` for the next iteration (error feedback).
+ * @param grad dense gradient; compressed entries are zeroed in the
+ *        residual sense (grad itself is not modified).
+ * @param residual accumulates the unsent mass; same size as grad.
+ */
+SparseGrad compressTopK(const std::vector<float> &grad,
+                        std::vector<float> &residual, double ratio);
+
+/** Scatter-add a sparse gradient into a dense accumulator. */
+void applySparse(const SparseGrad &sparse, std::vector<float> &dense);
+
+} // namespace collectives
+} // namespace socflow
+
+#endif // SOCFLOW_COLLECTIVES_REDUCE_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Checkpoint persistence.
+ *
+ * SoCFlowTrainer serializes its training state to a byte buffer
+ * (weights + epoch + mixed-precision state); these helpers move such
+ * buffers to and from disk with a magic/version header and a simple
+ * integrity checksum, so a preempted job can resume in a later idle
+ * window even across process restarts.
+ */
+
+#ifndef SOCFLOW_CORE_CHECKPOINT_HH
+#define SOCFLOW_CORE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace socflow {
+namespace core {
+
+/** Write a checkpoint blob to `path` (fatal on I/O failure). */
+void writeCheckpointFile(const std::string &path,
+                         const std::vector<std::uint8_t> &blob);
+
+/**
+ * Read a checkpoint blob from `path`. Missing files, short files,
+ * bad magic and checksum mismatches are user errors (fatal).
+ */
+std::vector<std::uint8_t> readCheckpointFile(const std::string &path);
+
+/** True when `path` holds a well-formed checkpoint. */
+bool isCheckpointFile(const std::string &path);
+
+/** FNV-1a checksum used by the file format (exposed for tests). */
+std::uint64_t checkpointChecksum(const std::vector<std::uint8_t> &blob);
+
+} // namespace core
+} // namespace socflow
+
+#endif // SOCFLOW_CORE_CHECKPOINT_HH

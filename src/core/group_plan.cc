@@ -1,0 +1,46 @@
+#include "core/group_plan.hh"
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace core {
+
+double
+epochSeconds(const EpochTimeModel &m, std::size_t num_groups)
+{
+    SOCFLOW_ASSERT(num_groups > 0 && m.groupBatch > 0 && m.numSocs > 0,
+                   "bad epoch-time model inputs");
+    const double n = static_cast<double>(num_groups);
+    const double steps = static_cast<double>(m.numSamples) /
+                         (n * static_cast<double>(m.groupBatch));
+    return steps * (m.trainSecondsPerBatch * n /
+                        static_cast<double>(m.numSocs) +
+                    m.syncSeconds);
+}
+
+GroupSizeDecision
+selectGroupCount(
+    const std::vector<std::size_t> &candidates,
+    const std::function<double(std::size_t)> &first_epoch_accuracy,
+    double collapse_threshold, double relative_drop)
+{
+    SOCFLOW_ASSERT(!candidates.empty(), "no group-count candidates");
+    GroupSizeDecision d;
+    double best = 0.0;
+    for (std::size_t n : candidates) {
+        const double acc = first_epoch_accuracy(n);
+        d.profiledCandidates.push_back(n);
+        d.profiledAccuracy.push_back(acc);
+        const bool collapsed =
+            acc < collapse_threshold ||
+            (best > 0.0 && acc < best * (1.0 - relative_drop));
+        if (collapsed)
+            break;
+        best = std::max(best, acc);
+        d.chosenGroups = n;
+    }
+    return d;
+}
+
+} // namespace core
+} // namespace socflow

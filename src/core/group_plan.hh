@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Group-size selection (§3.1, step 1).
+ *
+ * Two mechanisms from the paper: (a) the per-epoch time model of
+ * Eq. 1, showing T_epoch falls with the group count N; and (b) the
+ * first-epoch profiling heuristic -- accuracy after one epoch tracks
+ * convergence accuracy (Fig. 6), so the planner profiles candidate
+ * group counts from small to large during warm-up and stops at the
+ * first one whose first-epoch accuracy collapses.
+ */
+
+#ifndef SOCFLOW_CORE_GROUP_PLAN_HH
+#define SOCFLOW_CORE_GROUP_PLAN_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace socflow {
+namespace core {
+
+/** Inputs of the Eq. 1 epoch-time model. */
+struct EpochTimeModel {
+    std::size_t numSamples = 0;     //!< NUM_sample
+    std::size_t numSocs = 0;        //!< M
+    std::size_t groupBatch = 0;     //!< BS_g
+    double trainSecondsPerBatch = 0.0;  //!< T_train for BS_g on 1 SoC
+    double syncSeconds = 0.0;           //!< T_sync per step
+};
+
+/**
+ * Eq. 1: T_epoch = NUM/(N*BS_g) * (T_train * N/M + T_sync).
+ * @param num_groups N.
+ */
+double epochSeconds(const EpochTimeModel &model, std::size_t num_groups);
+
+/** Result of the warm-up profiling pass. */
+struct GroupSizeDecision {
+    std::size_t chosenGroups = 1;
+    /** first-epoch accuracy of each profiled candidate, in order. */
+    std::vector<double> profiledAccuracy;
+    /** candidates actually profiled (prefix of the input list). */
+    std::vector<std::size_t> profiledCandidates;
+};
+
+/**
+ * Profile candidates from small to large with `first_epoch_accuracy`
+ * (a callback that trains one epoch at the given group count and
+ * returns test accuracy). Stops at the first candidate whose
+ * accuracy drops below `collapse_threshold` (absolute, e.g. 0.15 per
+ * the paper) or falls more than `relative_drop` below the best seen;
+ * returns the largest candidate before the collapse.
+ */
+GroupSizeDecision selectGroupCount(
+    const std::vector<std::size_t> &candidates,
+    const std::function<double(std::size_t)> &first_epoch_accuracy,
+    double collapse_threshold = 0.15, double relative_drop = 0.30);
+
+} // namespace core
+} // namespace socflow
+
+#endif // SOCFLOW_CORE_GROUP_PLAN_HH

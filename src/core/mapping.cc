@@ -1,0 +1,192 @@
+#include "core/mapping.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace core {
+
+const char *
+mapStrategyName(MapStrategy s)
+{
+    switch (s) {
+      case MapStrategy::IntegrityGreedy:
+        return "integrity-greedy";
+      case MapStrategy::RoundRobin:
+        return "round-robin";
+      case MapStrategy::Sequential:
+        return "sequential";
+    }
+    panic("unknown mapping strategy");
+}
+
+namespace {
+
+Mapping
+mapIntegrityGreedy(std::size_t num_socs, std::size_t socs_per_board,
+                   std::size_t num_groups)
+{
+    const std::size_t groupSize = num_socs / num_groups;
+    const std::size_t numBoards =
+        (num_socs + socs_per_board - 1) / socs_per_board;
+
+    Mapping m;
+    m.members.assign(num_groups, {});
+
+    // Free slot count per board (last board may be partial).
+    std::vector<std::size_t> freeSlots(numBoards, socs_per_board);
+    if (num_socs % socs_per_board != 0)
+        freeSlots.back() = num_socs % socs_per_board;
+    std::vector<std::size_t> cursor(numBoards, 0);
+
+    auto takeSlot = [&](std::size_t board) {
+        const sim::SocId soc = board * socs_per_board + cursor[board];
+        ++cursor[board];
+        --freeSlots[board];
+        return soc;
+    };
+
+    // Step 1: place as many whole groups as fit on each board.
+    std::size_t nextGroup = 0;
+    for (std::size_t b = 0; b < numBoards && nextGroup < num_groups;
+         ++b) {
+        while (freeSlots[b] >= groupSize && nextGroup < num_groups) {
+            for (std::size_t i = 0; i < groupSize; ++i)
+                m.members[nextGroup].push_back(takeSlot(b));
+            ++nextGroup;
+        }
+    }
+
+    // Step 2: squeeze the remaining slots into 1-D board order and
+    // lay the remaining groups contiguously across them.
+    for (std::size_t b = 0; b < numBoards && nextGroup < num_groups;
+         ++b) {
+        while (freeSlots[b] > 0 && nextGroup < num_groups) {
+            m.members[nextGroup].push_back(takeSlot(b));
+            if (m.members[nextGroup].size() == groupSize)
+                ++nextGroup;
+        }
+    }
+    SOCFLOW_ASSERT(nextGroup == num_groups,
+                   "integrity-greedy mapping left groups unplaced");
+    return m;
+}
+
+Mapping
+mapRoundRobin(std::size_t num_socs, std::size_t num_groups)
+{
+    Mapping m;
+    m.members.assign(num_groups, {});
+    for (sim::SocId s = 0; s < num_socs; ++s)
+        m.members[s % num_groups].push_back(s);
+    return m;
+}
+
+Mapping
+mapSequential(std::size_t num_socs, std::size_t num_groups)
+{
+    const std::size_t groupSize = num_socs / num_groups;
+    Mapping m;
+    m.members.assign(num_groups, {});
+    for (sim::SocId s = 0; s < num_socs; ++s)
+        m.members[s / groupSize].push_back(s);
+    return m;
+}
+
+} // namespace
+
+Mapping
+mapGroups(std::size_t num_socs, std::size_t socs_per_board,
+          std::size_t num_groups, MapStrategy strategy)
+{
+    if (num_groups == 0 || num_socs == 0)
+        fatal("mapping requires SoCs and at least one group");
+    if (num_socs % num_groups != 0) {
+        fatal("SoC count ", num_socs,
+              " is not divisible into ", num_groups, " equal groups");
+    }
+    switch (strategy) {
+      case MapStrategy::IntegrityGreedy:
+        return mapIntegrityGreedy(num_socs, socs_per_board, num_groups);
+      case MapStrategy::RoundRobin:
+        return mapRoundRobin(num_socs, num_groups);
+      case MapStrategy::Sequential:
+        return mapSequential(num_socs, num_groups);
+    }
+    panic("unknown mapping strategy");
+}
+
+bool
+isSplitGroup(const Mapping &mapping, std::size_t group,
+             std::size_t socs_per_board)
+{
+    SOCFLOW_ASSERT(group < mapping.numGroups(), "group out of range");
+    const auto &socs = mapping.members[group];
+    if (socs.empty())
+        return false;
+    const std::size_t board0 = socs.front() / socs_per_board;
+    for (sim::SocId s : socs)
+        if (s / socs_per_board != board0)
+            return true;
+    return false;
+}
+
+std::size_t
+conflictC(const Mapping &mapping, std::size_t socs_per_board,
+          std::size_t num_boards)
+{
+    std::vector<std::size_t> splitOnBoard(num_boards, 0);
+    for (std::size_t g = 0; g < mapping.numGroups(); ++g) {
+        if (!isSplitGroup(mapping, g, socs_per_board))
+            continue;
+        std::set<std::size_t> boards;
+        for (sim::SocId s : mapping.members[g])
+            boards.insert(s / socs_per_board);
+        for (std::size_t b : boards) {
+            SOCFLOW_ASSERT(b < num_boards, "board index out of range");
+            ++splitOnBoard[b];
+        }
+    }
+    std::size_t c = 0;
+    for (std::size_t v : splitOnBoard)
+        c = std::max(c, v);
+    return c;
+}
+
+std::vector<std::vector<std::size_t>>
+conflictGraph(const Mapping &mapping, std::size_t socs_per_board)
+{
+    const std::size_t n = mapping.numGroups();
+    std::vector<std::set<std::size_t>> boardsOf(n);
+    std::vector<bool> split(n, false);
+    for (std::size_t g = 0; g < n; ++g) {
+        split[g] = isSplitGroup(mapping, g, socs_per_board);
+        for (sim::SocId s : mapping.members[g])
+            boardsOf[g].insert(s / socs_per_board);
+    }
+
+    std::vector<std::vector<std::size_t>> adj(n);
+    for (std::size_t a = 0; a < n; ++a) {
+        if (!split[a])
+            continue;
+        for (std::size_t b = a + 1; b < n; ++b) {
+            if (!split[b])
+                continue;
+            const bool share = std::any_of(
+                boardsOf[a].begin(), boardsOf[a].end(),
+                [&](std::size_t board) {
+                    return boardsOf[b].count(board) > 0;
+                });
+            if (share) {
+                adj[a].push_back(b);
+                adj[b].push_back(a);
+            }
+        }
+    }
+    return adj;
+}
+
+} // namespace core
+} // namespace socflow

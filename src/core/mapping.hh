@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Logical-to-physical topology mapping (§3.1, step 2).
+ *
+ * M SoCs are divided into N logical groups (LGs) of size M/N and must
+ * be placed onto K PCB boards of fixed capacity. A group that spans
+ * boards ("split") communicates through the shared per-board NICs;
+ * the conflict metric C is the maximum, over boards, of the number of
+ * split groups touching that board. The paper's integrity-greedy
+ * mapping (1) packs as many whole groups per board as possible, then
+ * (2) lays the remaining groups contiguously across the squeezed
+ * 1-D order of the remaining slots. Theorem 1: this minimizes C;
+ * Theorem 2: every split group then conflicts with at most two other
+ * groups -- which is what makes communication-group planning
+ * 2-colorable (comm_plan.hh).
+ */
+
+#ifndef SOCFLOW_CORE_MAPPING_HH
+#define SOCFLOW_CORE_MAPPING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/cluster.hh"
+
+namespace socflow {
+namespace core {
+
+/** Placement of logical groups onto physical SoCs. */
+struct Mapping {
+    /** members[g] lists the SoC ids of logical group g, in order. */
+    std::vector<std::vector<sim::SocId>> members;
+
+    /** Number of logical groups. */
+    std::size_t numGroups() const { return members.size(); }
+};
+
+/** Strategies available for the mapping ablation. */
+enum class MapStrategy {
+    IntegrityGreedy,  //!< the paper's algorithm
+    RoundRobin,       //!< soc i -> group i % N (worst case)
+    Sequential,       //!< contiguous blocks ignoring board edges
+};
+
+/** Printable strategy name. */
+const char *mapStrategyName(MapStrategy s);
+
+/**
+ * Map `num_socs` SoCs (with `socs_per_board` per board) into
+ * `num_groups` equal groups. num_socs must be divisible by
+ * num_groups (a user error otherwise).
+ */
+Mapping mapGroups(std::size_t num_socs, std::size_t socs_per_board,
+                  std::size_t num_groups, MapStrategy strategy);
+
+/** True when group g spans more than one board. */
+bool isSplitGroup(const Mapping &mapping, std::size_t group,
+                  std::size_t socs_per_board);
+
+/**
+ * Conflict metric C: max over boards of the number of split groups
+ * with at least one SoC on that board (Eq. 2-3).
+ */
+std::size_t conflictC(const Mapping &mapping,
+                      std::size_t socs_per_board,
+                      std::size_t num_boards);
+
+/**
+ * Conflict graph over logical groups: an edge connects two *split*
+ * groups that share a board (they contend for its NIC). Whole groups
+ * never appear in any edge.
+ * @return adjacency list indexed by group.
+ */
+std::vector<std::vector<std::size_t>> conflictGraph(
+    const Mapping &mapping, std::size_t socs_per_board);
+
+} // namespace core
+} // namespace socflow
+
+#endif // SOCFLOW_CORE_MAPPING_HH

@@ -1,0 +1,62 @@
+#include "core/mixed_precision.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace socflow {
+namespace core {
+
+MixedPrecisionController::MixedPrecisionController(
+    double cpu_ms_per_sample, double npu_ms_per_sample)
+{
+    SOCFLOW_ASSERT(cpu_ms_per_sample > 0.0 && npu_ms_per_sample > 0.0,
+                   "per-sample times must be positive");
+    // beta is the NPU's share of the combined compute power: the
+    // batch fraction the NPU must receive so both processors finish
+    // together (Eq. 6; throughput is 1/time-per-sample).
+    beta_ = cpu_ms_per_sample / (npu_ms_per_sample + cpu_ms_per_sample);
+}
+
+void
+MixedPrecisionController::updateAlpha(const tensor::Tensor &logits_fp32,
+                                      const tensor::Tensor &logits_int8)
+{
+    const double cos =
+        tensor::cosineSimilarity(logits_fp32, logits_int8);
+    // Cosine similarity of logits is the confidence; clamp to [0, 1]
+    // (anti-correlated logits mean the INT8 model is unusable).
+    alpha_ = std::clamp(cos, 0.0, 1.0);
+}
+
+void
+MixedPrecisionController::setAlpha(double alpha)
+{
+    SOCFLOW_ASSERT(alpha >= 0.0 && alpha <= 1.0, "alpha out of range");
+    alpha_ = alpha;
+}
+
+double
+MixedPrecisionController::cpuFraction() const
+{
+    return std::max(std::exp(-alpha_), 1.0 - beta_);
+}
+
+void
+MixedPrecisionController::mergeWeights(const std::vector<float> &w_fp32,
+                                       const std::vector<float> &w_int8,
+                                       std::vector<float> &out) const
+{
+    SOCFLOW_ASSERT(w_fp32.size() == w_int8.size(),
+                   "weight vector size mismatch");
+    const float a = static_cast<float>(std::exp(-alpha_));
+    const float b = 1.0f - a;
+    out.resize(w_fp32.size());
+    for (std::size_t i = 0; i < w_fp32.size(); ++i)
+        out[i] = a * w_fp32[i] + b * w_int8[i];
+}
+
+} // namespace core
+} // namespace socflow

@@ -1,0 +1,527 @@
+#include "core/socflow_trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "collectives/reduce.hh"
+#include "util/logging.hh"
+
+namespace socflow {
+namespace core {
+
+namespace {
+
+sim::ClusterConfig
+makeClusterConfig(const SoCFlowConfig &cfg)
+{
+    sim::ClusterConfig c = cfg.clusterTemplate;
+    c.numSocs = cfg.numSocs;
+    return c;
+}
+
+} // namespace
+
+SoCFlowTrainer::GroupState::GroupState(std::vector<sim::SocId> socs_in,
+                                       const nn::Model &proto,
+                                       const nn::SgdConfig &scfg,
+                                       const quant::QuantConfig &qcfg,
+                                       std::uint64_t seed)
+    : socs(std::move(socs_in)), fp32(proto), int8(proto)
+{
+    sgd = std::make_unique<nn::Sgd>(fp32, scfg);
+    int8Trainer =
+        std::make_unique<quant::Int8Trainer>(int8, scfg, qcfg, seed);
+}
+
+SoCFlowTrainer::SoCFlowTrainer(SoCFlowConfig config,
+                               const data::DataBundle &bundle_in,
+                               const std::vector<float> *initial)
+    : cfg(std::move(config)), bundle(bundle_in),
+      profile(sim::modelProfile(cfg.modelFamily)),
+      cluster(makeClusterConfig(cfg)), engine(cluster), compute(),
+      meter(), dvfs(cfg.numSocs, cfg.dvfs, cfg.seed ^ 0xdf5),
+      fullMapping(mapGroups(cfg.numSocs, cluster.config().socsPerBoard,
+                            cfg.numGroups, cfg.mapping)),
+      mapping(fullMapping),
+      plan(planCommGroups(
+          conflictGraph(mapping, cluster.config().socsPerBoard))),
+      mpc(profile.cpuMsPerSample,
+          profile.cpuMsPerSample / profile.npuSpeedup),
+      rng(cfg.seed)
+{
+    if (cfg.numGroups == 0 || cfg.numGroups > cfg.numSocs)
+        fatal("invalid group count ", cfg.numGroups);
+
+    Rng initRng(cfg.seed ^ 0xbeef);
+    nn::Model proto =
+        nn::buildModel(cfg.modelFamily, bundle.spec, initRng);
+    if (initial)
+        proto.setFlatParams(*initial);
+
+    groups.reserve(mapping.numGroups());
+    for (std::size_t g = 0; g < mapping.numGroups(); ++g) {
+        groups.push_back(std::make_unique<GroupState>(
+            mapping.members[g], proto, cfg.sgd, cfg.quant,
+            cfg.seed + 101 * (g + 1)));
+    }
+}
+
+double
+SoCFlowTrainer::cpuFraction() const
+{
+    if (cfg.npuOnly)
+        return 0.0;
+    if (!cfg.useMixedPrecision)
+        return 1.0;
+    if (cfg.fixedCpuFraction >= 0.0)
+        return cfg.fixedCpuFraction;
+    return mpc.cpuFraction();
+}
+
+std::size_t
+SoCFlowTrainer::mappingConflictC() const
+{
+    return conflictC(mapping, cluster.config().socsPerBoard,
+                     cluster.config().numBoards());
+}
+
+double
+SoCFlowTrainer::groupComputeSeconds(const GroupState &g,
+                                    double cpu_fraction) const
+{
+    const double batch = static_cast<double>(cfg.groupBatch);
+    const double cpuMs = profile.cpuMsPerSample;
+    const double npuMs = profile.cpuMsPerSample / profile.npuSpeedup;
+    // Per-sample time of one SoC running its CPU and NPU in parallel
+    // on its share, given the batch split.
+    const double perSampleMs =
+        std::max(cpu_fraction * cpuMs, (1.0 - cpu_fraction) * npuMs);
+
+    if (cfg.rebalanceUnderclock) {
+        // Workload rebalancing: shares proportional to clock factor,
+        // so the group finishes together.
+        double clockSum = 0.0;
+        for (sim::SocId s : g.socs)
+            clockSum += dvfs.clockFactor(s);
+        return perSampleMs * batch / (1000.0 * clockSum);
+    }
+    // Equal shares: the slowest SoC dominates.
+    double minClock = 1.0;
+    for (sim::SocId s : g.socs)
+        minClock = std::min(minClock, dvfs.clockFactor(s));
+    const double perSoc = batch / static_cast<double>(g.socs.size());
+    return perSampleMs * perSoc / (1000.0 * minClock);
+}
+
+double
+SoCFlowTrainer::stepSyncSeconds() const
+{
+    if (cachedStepSyncS >= 0.0)
+        return cachedStepSyncS;
+    const double bytes = profile.paramBytes();
+    collectives::CommStats stats;
+    if (cfg.usePlanning) {
+        stats = plannedSyncCost(engine, mapping, plan, bytes);
+    } else {
+        stats = unplannedSyncCost(engine, mapping, bytes);
+    }
+    cachedStepSyncS = stats.seconds;
+    return stats.seconds;
+}
+
+double
+SoCFlowTrainer::epochSyncSeconds() const
+{
+    if (cachedEpochSyncS >= 0.0)
+        return cachedEpochSyncS;
+    double total = 0.0;
+    if (groups.size() > 1) {
+        std::vector<sim::SocId> leaders;
+        for (const auto &g : groups)
+            leaders.push_back(g->socs.front());
+        // Order the leader ring by SoC id so neighbouring leaders
+        // share boards where possible (fewer NIC crossings).
+        std::sort(leaders.begin(), leaders.end());
+        total += engine.ringAllReduce(leaders, profile.paramBytes())
+                     .seconds;
+        // Leaders broadcast the averaged weights inside their groups
+        // (groups run concurrently; charge the slowest).
+        double worstBcast = 0.0;
+        for (const auto &g : groups) {
+            if (g->socs.size() <= 1)
+                continue;
+            std::vector<sim::SocId> members(g->socs.begin() + 1,
+                                            g->socs.end());
+            worstBcast = std::max(
+                worstBcast,
+                engine.broadcast(g->socs.front(), members,
+                                 profile.paramBytes())
+                    .seconds);
+        }
+        total += worstBcast;
+    }
+    // Cross-group data shuffle: each SoC receives a fresh shard from
+    // the control plane through the 20 Gbps switch.
+    const double shardBytes =
+        static_cast<double>(bundle.train.size()) * 4.0 *
+        static_cast<double>(bundle.train.sampleNumel()) /
+        static_cast<double>(cfg.numSocs);
+    total += shardBytes / (cluster.config().socLinkBps / 8.0) +
+             cluster.config().messageLatencyS;
+    cachedEpochSyncS = total;
+    return total;
+}
+
+void
+SoCFlowTrainer::profileAlpha()
+{
+    if (!cfg.useMixedPrecision || cfg.fixedCpuFraction >= 0.0 ||
+        cfg.npuOnly)
+        return;
+    const std::size_t n =
+        std::min(cfg.validationSamples, bundle.train.size());
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i)
+        idx[i] = rng.uniformInt(bundle.train.size());
+    auto [x, y] = bundle.train.batch(idx);
+    GroupState &g = *groups.front();
+
+    // Confidence probe. The paper profiles the CPU/NPU error gap on
+    // a validation slice (Eq. 4 uses logits). Because our on-chip
+    // merge re-synchronizes the replicas every batch, the *logit*
+    // cosine saturates near 1; the *gradient* cosine between the
+    // FP32 and INT8 paths (UI8's direction-deviation metric, which
+    // the paper builds on) reproduces the reported exponential decay
+    // of alpha as training converges, so the probe uses gradients.
+    g.fp32.zeroGrad();
+    g.fp32.trainStep(x, y);
+    std::vector<float> gradFp = g.fp32.flatGrads();
+    g.fp32.zeroGrad();
+    std::vector<float> gradInt = g.int8Trainer->probeGradients(x, y);
+
+    const std::size_t flat = gradFp.size();
+    tensor::Tensor tf =
+        tensor::Tensor::fromValues({flat}, std::move(gradFp));
+    tensor::Tensor ti =
+        tensor::Tensor::fromValues({flat}, std::move(gradInt));
+    mpc.updateAlpha(tf, ti);
+}
+
+EpochRecord
+SoCFlowTrainer::runEpoch()
+{
+    EpochRecord rec;
+    meter.reset();
+
+    if (cfg.dvfsEnabled)
+        dvfs.step();
+
+    // Profile alpha/beta before the epoch (the paper profiles the
+    // validation set on CPU/NPU prior to each training epoch).
+    profileAlpha();
+    const double fCpu = cpuFraction();
+
+    // Cross-group shuffle: fresh IID shards each epoch.
+    auto shards =
+        data::shardIid(bundle.train.size(), groups.size(), rng);
+
+    std::size_t steps = 0;
+    for (const auto &shard : shards)
+        steps = std::max<std::size_t>(
+            steps, shard.size() / cfg.groupBatch);
+    steps = std::max<std::size_t>(steps, 1);
+
+    const double stepSync = stepSyncSeconds();
+    const double updateS = compute.updateSeconds(profile);
+
+    double lossSum = 0.0, accSum = 0.0;
+    std::size_t sampleSum = 0;
+    double cpuSocSecondsSum = 0.0;
+    double npuSocSecondsSum = 0.0;
+    double commSocSecondsSum = 0.0;
+
+    std::vector<std::size_t> cursor(groups.size(), 0);
+    for (std::size_t step = 0; step < steps; ++step) {
+        double stepComputeS = 0.0;
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            GroupState &g = *groups[gi];
+            const auto &shard = shards[gi];
+            if (shard.empty())
+                continue;
+
+            // Assemble this group's batch from its shard.
+            std::vector<std::size_t> batchIdx;
+            batchIdx.reserve(cfg.groupBatch);
+            for (std::size_t i = 0;
+                 i < cfg.groupBatch && cursor[gi] < shard.size();
+                 ++i, ++cursor[gi]) {
+                batchIdx.push_back(shard[cursor[gi]]);
+            }
+            if (batchIdx.empty())
+                continue;
+            auto [x, y] = bundle.train.batch(batchIdx);
+
+            // Split CPU/NPU portions of the batch.
+            std::size_t nCpu = static_cast<std::size_t>(
+                std::lround(fCpu * static_cast<double>(batchIdx.size())));
+            if (cfg.npuOnly)
+                nCpu = 0;
+            else if (!cfg.useMixedPrecision)
+                nCpu = batchIdx.size();
+            else
+                nCpu = std::clamp<std::size_t>(nCpu, 1,
+                                               batchIdx.size() - 1);
+
+            nn::StepResult rCpu{}, rNpu{};
+            if (nCpu > 0) {
+                std::vector<std::size_t> front(batchIdx.begin(),
+                                               batchIdx.begin() + nCpu);
+                auto [xc, yc] = bundle.train.batch(front);
+                g.fp32.zeroGrad();
+                rCpu = g.fp32.trainStep(xc, yc);
+                g.sgd->step();
+            }
+            if (nCpu < batchIdx.size()) {
+                std::vector<std::size_t> back(batchIdx.begin() + nCpu,
+                                              batchIdx.end());
+                auto [xn, yn] = bundle.train.batch(back);
+                rNpu = g.int8Trainer->trainStep(xn, yn);
+            }
+
+            // On-chip aggregation (Eq. 5), then intra-group sync
+            // (implicit: the group replica is the synced state).
+            if (nCpu > 0 && nCpu < batchIdx.size()) {
+                std::vector<float> merged;
+                mpc.mergeWeights(g.fp32.flatParams(),
+                                 g.int8.flatParams(), merged);
+                g.fp32.setFlatParams(merged);
+                g.int8.setFlatParams(merged);
+            } else if (nCpu == 0) {
+                g.fp32.setFlatParams(g.int8.flatParams());
+            } else {
+                g.int8.setFlatParams(g.fp32.flatParams());
+            }
+
+            lossSum += rCpu.loss * static_cast<double>(rCpu.samples) +
+                       rNpu.loss * static_cast<double>(rNpu.samples);
+            accSum +=
+                rCpu.accuracy * static_cast<double>(rCpu.samples) +
+                rNpu.accuracy * static_cast<double>(rNpu.samples);
+            sampleSum += rCpu.samples + rNpu.samples;
+
+            stepComputeS =
+                std::max(stepComputeS, groupComputeSeconds(g, fCpu));
+        }
+
+        // Timing: groups compute concurrently; syncs follow the CG
+        // plan and overlap with the next step's compute when enabled.
+        rec.computeSeconds += stepComputeS;
+        rec.syncSeconds += stepSync;
+        rec.updateSeconds += updateS;
+        if (cfg.overlapCommCompute) {
+            rec.simSeconds += std::max(stepComputeS, stepSync) + updateS;
+        } else {
+            rec.simSeconds += stepComputeS + stepSync + updateS;
+        }
+
+        // Energy: CPU/NPU busy shares plus comm power.
+        const double batch = static_cast<double>(cfg.groupBatch) *
+                             static_cast<double>(groups.size());
+        cpuSocSecondsSum +=
+            fCpu * batch * profile.cpuMsPerSample / 1000.0;
+        npuSocSecondsSum += (1.0 - fCpu) * batch *
+                            profile.cpuMsPerSample /
+                            (profile.npuSpeedup * 1000.0);
+        commSocSecondsSum +=
+            stepSync * static_cast<double>(cfg.numSocs);
+    }
+
+    // Replicate per-step timing/energy to the paper-scale dataset
+    // (the math ran on the small synthetic stand-in).
+    const double f = bundle.timeScale();
+    rec.computeSeconds *= f;
+    rec.syncSeconds *= f;
+    rec.updateSeconds *= f;
+    rec.simSeconds *= f;
+    cpuSocSecondsSum *= f;
+    npuSocSecondsSum *= f;
+    commSocSecondsSum *= f;
+
+    // Delayed cross-group aggregation (leaders' ring + broadcast).
+    if (groups.size() > 1) {
+        std::vector<std::vector<float>> weights;
+        weights.reserve(groups.size());
+        for (auto &g : groups)
+            weights.push_back(g->fp32.flatParams());
+        std::vector<std::vector<float> *> ptrs;
+        for (auto &w : weights)
+            ptrs.push_back(&w);
+        collectives::allReduceAverage(ptrs);
+        for (auto &g : groups) {
+            g->fp32.setFlatParams(weights.front());
+            g->int8.setFlatParams(weights.front());
+        }
+    }
+    // Delayed aggregation happens once per epoch and is not scaled.
+    const double epochSync = epochSyncSeconds();
+    rec.syncSeconds += epochSync;
+    rec.simSeconds += epochSync;
+    commSocSecondsSum += epochSync * static_cast<double>(cfg.numSocs);
+
+    meter.accumulate(sim::PowerState::CpuTrain, cpuSocSecondsSum);
+    meter.accumulate(sim::PowerState::NpuTrain, npuSocSecondsSum);
+    meter.accumulate(sim::PowerState::Comm, commSocSecondsSum);
+
+    // Idle energy for the remaining SoC-seconds of the epoch.
+    const double totalSocSeconds =
+        rec.simSeconds * static_cast<double>(cfg.numSocs);
+    const double busySocSeconds =
+        cpuSocSecondsSum + npuSocSecondsSum + commSocSecondsSum;
+    if (totalSocSeconds > busySocSeconds) {
+        meter.accumulate(sim::PowerState::Idle,
+                         totalSocSeconds - busySocSeconds);
+    }
+
+    rec.energyJoules = meter.totalJoules();
+    rec.trainLoss = sampleSum ? lossSum / sampleSum : 0.0;
+    rec.trainAcc = sampleSum ? accSum / sampleSum : 0.0;
+    for (auto &g : groups) {
+        g->sgd->decayLearningRate();
+        g->int8Trainer->optimizer().decayLearningRate();
+    }
+    ++epochCounter;
+    return rec;
+}
+
+double
+SoCFlowTrainer::testAccuracy()
+{
+    GroupState &g = *groups.front();
+    const auto &test = bundle.test;
+    const std::size_t chunk = 256;
+    std::size_t correct = 0;
+    for (std::size_t start = 0; start < test.size(); start += chunk) {
+        std::vector<std::size_t> idx;
+        for (std::size_t i = start;
+             i < std::min(test.size(), start + chunk); ++i)
+            idx.push_back(i);
+        auto [x, y] = test.batch(idx);
+        nn::StepResult r = g.fp32.evaluate(x, y);
+        correct += static_cast<std::size_t>(
+            std::lround(r.accuracy * static_cast<double>(r.samples)));
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(test.size());
+}
+
+void
+SoCFlowTrainer::preemptGroup(std::size_t group_index)
+{
+    if (groups.size() <= 1)
+        fatal("cannot preempt the last remaining logical group");
+    SOCFLOW_ASSERT(group_index < groups.size(), "group out of range");
+    groups.erase(groups.begin() +
+                 static_cast<std::ptrdiff_t>(group_index));
+    rebuildTopology();
+    inform("preempted logical group ", group_index, "; ",
+           groups.size(), " groups remain");
+}
+
+void
+SoCFlowTrainer::setActiveGroups(std::size_t n)
+{
+    if (n == 0 || n > fullMapping.numGroups()) {
+        fatal("active group count must be in [1, ",
+              fullMapping.numGroups(), "], got ", n);
+    }
+    if (n == groups.size())
+        return;
+    if (n < groups.size()) {
+        groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(n),
+                     groups.end());
+    } else {
+        // Re-admit groups seeded from the consensus checkpoint.
+        const std::vector<float> w = globalWeights();
+        nn::Model proto = groups.front()->fp32;
+        proto.setFlatParams(w);
+        while (groups.size() < n) {
+            const std::size_t g = groups.size();
+            groups.push_back(std::make_unique<GroupState>(
+                fullMapping.members[g], proto, cfg.sgd, cfg.quant,
+                cfg.seed + 997 * (g + 1) + epochCounter));
+        }
+    }
+    rebuildTopology();
+}
+
+void
+SoCFlowTrainer::rebuildTopology()
+{
+    mapping.members.clear();
+    for (const auto &g : groups)
+        mapping.members.push_back(g->socs);
+    plan = planCommGroups(
+        conflictGraph(mapping, cluster.config().socsPerBoard));
+    cachedStepSyncS = -1.0;
+    cachedEpochSyncS = -1.0;
+}
+
+std::vector<float>
+SoCFlowTrainer::globalWeights() const
+{
+    return groups.front()->fp32.flatParams();
+}
+
+std::vector<std::uint8_t>
+SoCFlowTrainer::saveCheckpoint() const
+{
+    const std::vector<float> w = globalWeights();
+    const std::uint64_t epoch = epochCounter;
+    const double alphaVal = mpc.alpha();
+    const std::uint64_t n = w.size();
+
+    std::vector<std::uint8_t> out(sizeof(epoch) + sizeof(alphaVal) +
+                                  sizeof(n) + n * sizeof(float));
+    std::uint8_t *p = out.data();
+    std::memcpy(p, &epoch, sizeof(epoch));
+    p += sizeof(epoch);
+    std::memcpy(p, &alphaVal, sizeof(alphaVal));
+    p += sizeof(alphaVal);
+    std::memcpy(p, &n, sizeof(n));
+    p += sizeof(n);
+    std::memcpy(p, w.data(), n * sizeof(float));
+    return out;
+}
+
+void
+SoCFlowTrainer::loadCheckpoint(const std::vector<std::uint8_t> &bytes)
+{
+    std::uint64_t epoch = 0, n = 0;
+    double alphaVal = 1.0;
+    if (bytes.size() < sizeof(epoch) + sizeof(alphaVal) + sizeof(n))
+        fatal("checkpoint too short");
+    const std::uint8_t *p = bytes.data();
+    std::memcpy(&epoch, p, sizeof(epoch));
+    p += sizeof(epoch);
+    std::memcpy(&alphaVal, p, sizeof(alphaVal));
+    p += sizeof(alphaVal);
+    std::memcpy(&n, p, sizeof(n));
+    p += sizeof(n);
+    if (bytes.size() !=
+        sizeof(epoch) + sizeof(alphaVal) + sizeof(n) + n * sizeof(float))
+        fatal("checkpoint size mismatch");
+
+    std::vector<float> w(n);
+    std::memcpy(w.data(), p, n * sizeof(float));
+    for (auto &g : groups) {
+        g->fp32.setFlatParams(w);
+        g->int8.setFlatParams(w);
+        g->sgd->resetState();
+    }
+    epochCounter = epoch;
+    mpc.setAlpha(std::clamp(alphaVal, 0.0, 1.0));
+}
+
+} // namespace core
+} // namespace socflow

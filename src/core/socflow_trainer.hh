@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The SoCFlow distributed training engine.
+ *
+ * Combines every technique from the paper:
+ *  - group-wise parallelism: N logical groups, SSGD (per-batch ring
+ *    all-reduce) inside a group, delayed per-epoch weight averaging
+ *    across groups via leader SoCs, with cross-group data shuffling;
+ *  - integrity-greedy logical-to-physical mapping;
+ *  - communication-group planning with compute/communication overlap;
+ *  - data-parallel mixed-precision training (CPU FP32 + NPU INT8 per
+ *    SoC, alpha/beta-controlled batch split, Eq. 5 weight merge);
+ *  - underclocking-aware workload rebalancing;
+ *  - checkpointing with group-granular preemption.
+ *
+ * The *math* (SGD, quantization, averaging) is executed for real on
+ * scaled models; wall-clock and energy are those the calibrated
+ * SoC-Cluster simulator attributes to the full-size workload.
+ *
+ * Within a logical group, synchronized SGD on identical replicas is
+ * mathematically equivalent to one replica consuming the group batch,
+ * so each group holds one FP32 replica plus one INT8 replica (the
+ * per-SoC CPU/NPU pair); the simulator still charges compute and
+ * network time for all member SoCs individually.
+ */
+
+#ifndef SOCFLOW_CORE_SOCFLOW_TRAINER_HH
+#define SOCFLOW_CORE_SOCFLOW_TRAINER_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collectives/engine.hh"
+#include "core/comm_plan.hh"
+#include "core/mapping.hh"
+#include "core/mixed_precision.hh"
+#include "core/train_common.hh"
+#include "data/dataset.hh"
+#include "nn/sgd.hh"
+#include "nn/zoo.hh"
+#include "quant/int8_trainer.hh"
+#include "sim/calibration.hh"
+#include "sim/cluster.hh"
+#include "sim/dvfs.hh"
+#include "sim/energy.hh"
+
+namespace socflow {
+namespace core {
+
+/** All knobs of the SoCFlow engine (defaults = the full system). */
+struct SoCFlowConfig {
+    std::string modelFamily = "vgg11";
+    std::size_t numSocs = 32;
+    std::size_t numGroups = 8;
+    std::size_t groupBatch = 32;  //!< BS_g
+    nn::SgdConfig sgd;
+    quant::QuantConfig quant;
+
+    // Ablation toggles (Fig. 13 / Fig. 14).
+    MapStrategy mapping = MapStrategy::IntegrityGreedy;
+    bool usePlanning = true;       //!< CG planning (vs all-at-once)
+    bool useMixedPrecision = true; //!< CPU+NPU (vs CPU only)
+    bool npuOnly = false;          //!< INT8 only (Ours-INT8)
+    /** >= 0 fixes the CPU batch share (Ours-Half uses 0.5). */
+    double fixedCpuFraction = -1.0;
+    bool overlapCommCompute = true;
+
+    // Operational features.
+    bool dvfsEnabled = false;
+    bool rebalanceUnderclock = true;
+    sim::DvfsConfig dvfs;
+
+    std::size_t validationSamples = 128;  //!< for alpha profiling
+    std::uint64_t seed = 42;
+    sim::ClusterConfig clusterTemplate;   //!< numSocs is overridden
+};
+
+/**
+ * SoCFlow engine; one instance trains one model on one dataset.
+ */
+class SoCFlowTrainer : public DistTrainer
+{
+  public:
+    /**
+     * @param config engine configuration.
+     * @param bundle dataset (train/test) to learn.
+     * @param initial optional pre-trained weights (transfer
+     *        learning); must match the built model's flat size.
+     */
+    SoCFlowTrainer(SoCFlowConfig config, const data::DataBundle &bundle,
+                   const std::vector<float> *initial = nullptr);
+
+    EpochRecord runEpoch() override;
+    double testAccuracy() override;
+    std::string methodName() const override { return "Ours"; }
+
+    /** Current mixed-precision state (for the Fig. 14 ablation). */
+    double alpha() const { return mpc.alpha(); }
+    double beta() const { return mpc.beta(); }
+    double cpuFraction() const;
+
+    /** Conflict metric C of the active mapping. */
+    std::size_t mappingConflictC() const;
+
+    /** Number of communication groups the planner chose. */
+    std::size_t numCommGroups() const { return plan.numCommGroups; }
+
+    /** Number of currently active logical groups. */
+    std::size_t activeGroups() const { return groups.size(); }
+
+    /**
+     * Preempt one logical group (its SoCs return to user workloads).
+     * The group's shard is redistributed next epoch; training
+     * continues on the remaining groups. Preempting the last group
+     * is a user error.
+     */
+    void preemptGroup(std::size_t group_index);
+
+    /**
+     * Resize the active group set to `n` (1 <= n <= the configured
+     * group count). Shrinking preempts trailing groups; growing
+     * re-admits groups seeded from the current consensus weights
+     * (the checkpoint/resume path of the harvesting scheduler).
+     * Optimizer momentum is reset for re-admitted groups.
+     */
+    void setActiveGroups(std::size_t n);
+
+    /** Serialize weights + training state to a byte buffer. */
+    std::vector<std::uint8_t> saveCheckpoint() const;
+
+    /** Restore from a buffer produced by saveCheckpoint(). */
+    void loadCheckpoint(const std::vector<std::uint8_t> &bytes);
+
+    /** Consensus (post-sync) weights of the global model. */
+    std::vector<float> globalWeights() const;
+
+    /** Epochs completed so far. */
+    std::size_t epochsDone() const { return epochCounter; }
+
+  private:
+    /** Per-logical-group replica state. */
+    struct GroupState {
+        std::vector<sim::SocId> socs;
+        nn::Model fp32;
+        std::unique_ptr<nn::Sgd> sgd;
+        nn::Model int8;
+        std::unique_ptr<quant::Int8Trainer> int8Trainer;
+
+        GroupState(std::vector<sim::SocId> socs, const nn::Model &proto,
+                   const nn::SgdConfig &scfg,
+                   const quant::QuantConfig &qcfg, std::uint64_t seed);
+    };
+
+    /** Per-step compute seconds for one group (slowest member SoC). */
+    double groupComputeSeconds(const GroupState &g,
+                               double cpu_fraction) const;
+
+    /** Intra-group sync seconds for one step across all groups. */
+    double stepSyncSeconds() const;
+
+    /** Cross-group (per-epoch) aggregation seconds. */
+    double epochSyncSeconds() const;
+
+    /** Profile alpha on the validation slice. */
+    void profileAlpha();
+
+    /** Rebuild mapping/plan after a preemption. */
+    void rebuildTopology();
+
+    SoCFlowConfig cfg;
+    const data::DataBundle &bundle;
+    const sim::ModelProfile &profile;
+    sim::Cluster cluster;
+    collectives::CollectiveEngine engine;
+    sim::ComputeModel compute;
+    sim::EnergyMeter meter;
+    sim::UnderclockModel dvfs;
+
+    Mapping fullMapping;  //!< as configured, before any preemption
+    Mapping mapping;      //!< currently active groups
+    CommPlan plan;
+    MixedPrecisionController mpc;
+
+    /**
+     * Owned by pointer: GroupState's optimizer holds a reference to
+     * its sibling model, so the object must never be moved.
+     */
+    std::vector<std::unique_ptr<GroupState>> groups;
+    Rng rng;
+    std::size_t epochCounter = 0;
+
+    // Cached per-step sync costs (topology-dependent only; reset by
+    // rebuildTopology). Mutable: they memoize const cost queries.
+    mutable double cachedStepSyncS = -1.0;
+    mutable double cachedEpochSyncS = -1.0;
+};
+
+} // namespace core
+} // namespace socflow
+
+#endif // SOCFLOW_CORE_SOCFLOW_TRAINER_HH

@@ -1,0 +1,100 @@
+#include "core/train_common.hh"
+
+#include <algorithm>
+
+namespace socflow {
+namespace core {
+
+double
+TrainResult::totalSeconds() const
+{
+    double s = 0.0;
+    for (const auto &e : epochs)
+        s += e.simSeconds;
+    return s;
+}
+
+double
+TrainResult::totalEnergyJoules() const
+{
+    double s = 0.0;
+    for (const auto &e : epochs)
+        s += e.energyJoules;
+    return s;
+}
+
+double
+TrainResult::finalTestAcc() const
+{
+    return epochs.empty() ? 0.0 : epochs.back().testAcc;
+}
+
+double
+TrainResult::bestTestAcc() const
+{
+    double best = 0.0;
+    for (const auto &e : epochs)
+        best = std::max(best, e.testAcc);
+    return best;
+}
+
+double
+TrainResult::secondsToAccuracy(double target) const
+{
+    double s = 0.0;
+    for (const auto &e : epochs) {
+        s += e.simSeconds;
+        if (e.testAcc >= target)
+            return s;
+    }
+    return s;
+}
+
+double
+TrainResult::joulesToAccuracy(double target) const
+{
+    double s = 0.0;
+    for (const auto &e : epochs) {
+        s += e.energyJoules;
+        if (e.testAcc >= target)
+            return s;
+    }
+    return s;
+}
+
+bool
+TrainResult::reached(double target) const
+{
+    for (const auto &e : epochs)
+        if (e.testAcc >= target)
+            return true;
+    return false;
+}
+
+TrainResult
+runTraining(DistTrainer &trainer, std::size_t max_epochs,
+            double target_acc, std::size_t patience)
+{
+    TrainResult result;
+    result.method = trainer.methodName();
+    double best = 0.0;
+    std::size_t sinceBest = 0;
+    for (std::size_t e = 0; e < max_epochs; ++e) {
+        EpochRecord rec = trainer.runEpoch();
+        rec.epoch = e;
+        rec.testAcc = trainer.testAccuracy();
+        result.epochs.push_back(rec);
+        if (target_acc > 0.0 && rec.testAcc >= target_acc)
+            break;
+        if (rec.testAcc > best + 1e-9) {
+            best = rec.testAcc;
+            sinceBest = 0;
+        } else if (patience > 0 && ++sinceBest >= patience) {
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace core
+} // namespace socflow

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Common result types and the convergence loop shared by SoCFlow and
+ * every baseline trainer.
+ *
+ * Each trainer advances one *epoch* of real SGD math per call and
+ * reports the simulated wall-clock/energy that epoch would cost on
+ * the SoC-Cluster (or GPU). The driver loop runs until a target test
+ * accuracy or an epoch cap, mirroring the paper's time-to-accuracy
+ * methodology.
+ */
+
+#ifndef SOCFLOW_CORE_TRAIN_COMMON_HH
+#define SOCFLOW_CORE_TRAIN_COMMON_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace socflow {
+namespace core {
+
+/** Everything measured for one training epoch. */
+struct EpochRecord {
+    std::size_t epoch = 0;
+    double simSeconds = 0.0;      //!< simulated wall-clock
+    double energyJoules = 0.0;    //!< simulated energy
+    double computeSeconds = 0.0;  //!< gradient computation share
+    double syncSeconds = 0.0;     //!< gradient/weight sync share
+    double updateSeconds = 0.0;   //!< optimizer update share
+    double trainLoss = 0.0;
+    double trainAcc = 0.0;
+    double testAcc = 0.0;         //!< filled by the driver loop
+};
+
+/** A whole training run. */
+struct TrainResult {
+    std::string method;
+    std::vector<EpochRecord> epochs;
+
+    double totalSeconds() const;
+    double totalEnergyJoules() const;
+    double finalTestAcc() const;
+    double bestTestAcc() const;
+
+    /** Simulated seconds until test accuracy first reaches target;
+     *  returns totalSeconds() when never reached. */
+    double secondsToAccuracy(double target) const;
+
+    /** Simulated joules until target; total when never reached. */
+    double joulesToAccuracy(double target) const;
+
+    /** True when the target accuracy was reached at any epoch. */
+    bool reached(double target) const;
+};
+
+/**
+ * Interface implemented by SoCFlow and all baselines.
+ */
+class DistTrainer
+{
+  public:
+    virtual ~DistTrainer() = default;
+
+    /** Run one epoch of real training; fills all but testAcc. */
+    virtual EpochRecord runEpoch() = 0;
+
+    /** Current accuracy on the held-out test set. */
+    virtual double testAccuracy() = 0;
+
+    /** Method name for reports ("PS", "RING", "Ours", ...). */
+    virtual std::string methodName() const = 0;
+};
+
+/**
+ * Drive a trainer until `target_acc` is reached (checked every
+ * epoch) or `max_epochs` elapse. target_acc <= 0 disables the early
+ * stop. Also stops early when accuracy has clearly plateaued
+ * (no improvement for `patience` epochs; 0 disables).
+ */
+TrainResult runTraining(DistTrainer &trainer, std::size_t max_epochs,
+                        double target_acc = 0.0,
+                        std::size_t patience = 0);
+
+} // namespace core
+} // namespace socflow
+
+#endif // SOCFLOW_CORE_TRAIN_COMMON_HH

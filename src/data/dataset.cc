@@ -1,0 +1,140 @@
+#include "data/dataset.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace data {
+
+Dataset::Dataset(std::string name, Tensor images, std::vector<int> labels,
+                 std::size_t classes)
+    : name_(std::move(name)), images_(std::move(images)),
+      labels_(std::move(labels)), classes_(classes)
+{
+    SOCFLOW_ASSERT(images_.rank() == 4, "dataset images must be NCHW");
+    SOCFLOW_ASSERT(images_.dim(0) == labels_.size(),
+                   "image/label count mismatch");
+    for (int y : labels_) {
+        SOCFLOW_ASSERT(y >= 0 && static_cast<std::size_t>(y) < classes_,
+                       "label out of range");
+    }
+}
+
+std::size_t
+Dataset::sampleNumel() const
+{
+    return images_.dim(1) * images_.dim(2) * images_.dim(3);
+}
+
+std::pair<Tensor, std::vector<int>>
+Dataset::batch(const std::vector<std::size_t> &indices) const
+{
+    const std::size_t per = sampleNumel();
+    Tensor x({indices.size(), images_.dim(1), images_.dim(2),
+              images_.dim(3)});
+    std::vector<int> y(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const std::size_t s = indices[i];
+        SOCFLOW_ASSERT(s < size(), "batch index out of range");
+        std::copy(images_.data() + s * per,
+                  images_.data() + (s + 1) * per, x.data() + i * per);
+        y[i] = labels_[s];
+    }
+    return {std::move(x), std::move(y)};
+}
+
+std::pair<Tensor, std::vector<int>>
+Dataset::all() const
+{
+    std::vector<std::size_t> idx(size());
+    std::iota(idx.begin(), idx.end(), 0);
+    return batch(idx);
+}
+
+std::vector<std::vector<std::size_t>>
+shardIid(std::size_t n, std::size_t shards, Rng &rng)
+{
+    SOCFLOW_ASSERT(shards > 0, "need at least one shard");
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    std::vector<std::vector<std::size_t>> out(shards);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i % shards].push_back(order[i]);
+    return out;
+}
+
+std::vector<std::vector<std::size_t>>
+shardByLabelSkew(const std::vector<int> &labels, std::size_t shards,
+                 double skew, std::size_t classes, Rng &rng)
+{
+    SOCFLOW_ASSERT(shards > 0, "need at least one shard");
+    SOCFLOW_ASSERT(skew >= 0.0 && skew <= 1.0, "skew must be in [0,1]");
+
+    // Bucket indices by label, shuffled within each bucket.
+    std::vector<std::vector<std::size_t>> byLabel(classes);
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        byLabel[static_cast<std::size_t>(labels[i])].push_back(i);
+    for (auto &bucket : byLabel)
+        rng.shuffle(bucket);
+
+    std::vector<std::vector<std::size_t>> out(shards);
+    std::vector<std::size_t> leftovers;
+
+    // Each shard first claims `skew` of its quota from its dominant
+    // class; the remainder is filled IID from the leftovers.
+    const std::size_t quota = labels.size() / shards;
+    const std::size_t dominant =
+        static_cast<std::size_t>(skew * static_cast<double>(quota));
+    for (std::size_t s = 0; s < shards; ++s) {
+        auto &bucket = byLabel[s % classes];
+        const std::size_t take = std::min(dominant, bucket.size());
+        out[s].insert(out[s].end(), bucket.end() - take, bucket.end());
+        bucket.resize(bucket.size() - take);
+    }
+    for (auto &bucket : byLabel)
+        leftovers.insert(leftovers.end(), bucket.begin(), bucket.end());
+    rng.shuffle(leftovers);
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < leftovers.size(); ++i, ++cursor)
+        out[cursor % shards].push_back(leftovers[i]);
+    return out;
+}
+
+BatchIterator::BatchIterator(std::size_t n, std::size_t batch_size,
+                             Rng rng_in)
+    : batchSize(batch_size), order(n), rng(rng_in)
+{
+    SOCFLOW_ASSERT(batch_size > 0, "batch size must be positive");
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+}
+
+std::vector<std::size_t>
+BatchIterator::next()
+{
+    SOCFLOW_ASSERT(!epochDone(), "epoch exhausted; call reset()");
+    const std::size_t end = std::min(order.size(), cursor + batchSize);
+    std::vector<std::size_t> batch(order.begin() + cursor,
+                                   order.begin() + end);
+    cursor = end;
+    return batch;
+}
+
+void
+BatchIterator::reset()
+{
+    cursor = 0;
+    rng.shuffle(order);
+}
+
+std::size_t
+BatchIterator::batchesPerEpoch() const
+{
+    return (order.size() + batchSize - 1) / batchSize;
+}
+
+} // namespace data
+} // namespace socflow

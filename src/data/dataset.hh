@@ -1,0 +1,128 @@
+/**
+ * @file
+ * In-memory labeled image datasets and batching helpers.
+ */
+
+#ifndef SOCFLOW_DATA_DATASET_HH
+#define SOCFLOW_DATA_DATASET_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/zoo.hh"
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace socflow {
+namespace data {
+
+using tensor::Tensor;
+
+/**
+ * A labeled dataset held fully in memory: images [N, C, H, W] plus
+ * integer labels.
+ */
+class Dataset
+{
+  public:
+    Dataset() = default;
+    Dataset(std::string name, Tensor images, std::vector<int> labels,
+            std::size_t classes);
+
+    const std::string &name() const { return name_; }
+    std::size_t size() const { return labels_.size(); }
+    std::size_t classes() const { return classes_; }
+    const Tensor &images() const { return images_; }
+    const std::vector<int> &labels() const { return labels_; }
+
+    /** Gather a batch by sample indices. */
+    std::pair<Tensor, std::vector<int>> batch(
+        const std::vector<std::size_t> &indices) const;
+
+    /** Gather the whole dataset as one batch (for evaluation). */
+    std::pair<Tensor, std::vector<int>> all() const;
+
+    /** Per-sample element count (C*H*W). */
+    std::size_t sampleNumel() const;
+
+  private:
+    std::string name_;
+    Tensor images_;
+    std::vector<int> labels_;
+    std::size_t classes_ = 0;
+};
+
+/** A train/test pair plus the input geometry for model builders. */
+struct DataBundle {
+    Dataset train;
+    Dataset test;
+    nn::NetSpec spec;
+    /**
+     * Size of the real dataset this synthetic bundle stands in for
+     * (e.g. 50000 for CIFAR-10). Trainers replicate per-step timing
+     * and energy by paperTrainSamples / train.size() so simulated
+     * epochs cost what a paper-scale epoch would; 0 disables.
+     */
+    double paperTrainSamples = 0.0;
+
+    /** Timing replication factor (1 when no paper-scale is set). */
+    double
+    timeScale() const
+    {
+        if (paperTrainSamples <= 0.0 || train.size() == 0)
+            return 1.0;
+        return paperTrainSamples / static_cast<double>(train.size());
+    }
+};
+
+/**
+ * Split sample indices into IID shards of near-equal size after a
+ * global shuffle.
+ */
+std::vector<std::vector<std::size_t>> shardIid(std::size_t n,
+                                               std::size_t shards,
+                                               Rng &rng);
+
+/**
+ * Split with label skew: a `skew` fraction of each shard comes from
+ * one dominant class (round-robin over classes); the rest is IID.
+ * skew = 0 reduces to shardIid. Used for the non-IID federated
+ * comparison.
+ */
+std::vector<std::vector<std::size_t>> shardByLabelSkew(
+    const std::vector<int> &labels, std::size_t shards, double skew,
+    std::size_t classes, Rng &rng);
+
+/**
+ * Reshuffling minibatch index stream over [0, n).
+ */
+class BatchIterator
+{
+  public:
+    BatchIterator(std::size_t n, std::size_t batch_size, Rng rng);
+
+    /** Indices of the next minibatch (last batch may be short). */
+    std::vector<std::size_t> next();
+
+    /** True when the current epoch is exhausted. */
+    bool epochDone() const { return cursor >= order.size(); }
+
+    /** Start a new epoch (reshuffles). */
+    void reset();
+
+    /** Batches per epoch. */
+    std::size_t batchesPerEpoch() const;
+
+  private:
+    std::size_t batchSize;
+    std::vector<std::size_t> order;
+    std::size_t cursor = 0;
+    Rng rng;
+};
+
+} // namespace data
+} // namespace socflow
+
+#endif // SOCFLOW_DATA_DATASET_HH

@@ -1,0 +1,62 @@
+#include "nn/sgd.hh"
+
+namespace socflow {
+namespace nn {
+
+Sgd::Sgd(Model &m, SgdConfig config) : model(m), cfg(config)
+{
+    for (Param *p : model.params())
+        velocity.emplace_back(p->value.numel(), 0.0f);
+}
+
+void
+Sgd::step()
+{
+    const auto params = model.params();
+
+    // Global gradient-norm clipping keeps the easy, low-noise tasks
+    // from exploding under momentum.
+    float clipScale = 1.0f;
+    if (cfg.clipNorm > 0.0) {
+        double sq = 0.0;
+        for (Param *p : params) {
+            const float *g = p->grad.data();
+            for (std::size_t i = 0; i < p->grad.numel(); ++i)
+                sq += static_cast<double>(g[i]) * g[i];
+        }
+        const double norm = std::sqrt(sq);
+        if (norm > cfg.clipNorm)
+            clipScale = static_cast<float>(cfg.clipNorm / norm);
+    }
+
+    const float lr = static_cast<float>(cfg.learningRate);
+    const float mu = static_cast<float>(cfg.momentum);
+    const float wd = static_cast<float>(cfg.weightDecay);
+    for (std::size_t k = 0; k < params.size(); ++k) {
+        Param *p = params[k];
+        float *v = velocity[k].data();
+        float *w = p->value.data();
+        const float *g = p->grad.data();
+        for (std::size_t i = 0; i < p->value.numel(); ++i) {
+            const float grad = clipScale * g[i] + wd * w[i];
+            v[i] = mu * v[i] + grad;
+            w[i] -= lr * v[i];
+        }
+    }
+}
+
+void
+Sgd::decayLearningRate()
+{
+    cfg.learningRate *= cfg.lrDecayPerEpoch;
+}
+
+void
+Sgd::resetState()
+{
+    for (auto &v : velocity)
+        std::fill(v.begin(), v.end(), 0.0f);
+}
+
+} // namespace nn
+} // namespace socflow

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Stochastic gradient descent with momentum and weight decay.
+ *
+ * This is the optimizer SoCFlow runs on the SoC CPU (FP32 path); the
+ * INT8 path in src/quant applies its own quantized update.
+ */
+
+#ifndef SOCFLOW_NN_SGD_HH
+#define SOCFLOW_NN_SGD_HH
+
+#include <vector>
+
+#include "nn/model.hh"
+
+namespace socflow {
+namespace nn {
+
+/** Hyperparameters for SGD. */
+struct SgdConfig {
+    double learningRate = 0.05;
+    double momentum = 0.9;
+    double weightDecay = 5e-4;
+    /** Multiplicative LR decay applied by trainers once per epoch. */
+    double lrDecayPerEpoch = 0.88;
+    /** Global gradient-norm clip; <= 0 disables. */
+    double clipNorm = 4.0;
+};
+
+/**
+ * SGD state bound to one model instance.
+ */
+class Sgd
+{
+  public:
+    Sgd(Model &model, SgdConfig config);
+
+    /** Apply one update from the accumulated gradients. */
+    void step();
+
+    /** Current configuration (mutable for LR schedules). */
+    SgdConfig &config() { return cfg; }
+    const SgdConfig &config() const { return cfg; }
+
+    /** Zero momentum buffers (e.g. after a weight overwrite). */
+    void resetState();
+
+    /** Apply the per-epoch learning-rate decay. */
+    void decayLearningRate();
+
+  private:
+    Model &model;
+    SgdConfig cfg;
+    std::vector<std::vector<float>> velocity;
+};
+
+} // namespace nn
+} // namespace socflow
+
+#endif // SOCFLOW_NN_SGD_HH

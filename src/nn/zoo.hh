@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Model zoo: scaled-down, fully trainable members of the model
+ * families evaluated in the paper (LeNet-5, VGG-11, ResNet-18,
+ * ResNet-50, MobileNet-V1).
+ *
+ * The scaled models preserve each family's topology (conv stacks,
+ * residual blocks, depthwise-separable blocks) so convergence
+ * *dynamics* are family-faithful, while parameter counts stay small
+ * enough to train hundreds of simulated workers in-process. Timing
+ * and communication costs use the full-size profiles from
+ * sim/calibration.hh instead.
+ */
+
+#ifndef SOCFLOW_NN_ZOO_HH
+#define SOCFLOW_NN_ZOO_HH
+
+#include <string>
+
+#include "nn/model.hh"
+#include "util/rng.hh"
+
+namespace socflow {
+namespace nn {
+
+/** Input/output geometry of a classifier. */
+struct NetSpec {
+    std::size_t inChannels = 3;
+    std::size_t inHeight = 16;
+    std::size_t inWidth = 16;
+    std::size_t classes = 10;
+};
+
+/** Families available from buildModel(). */
+bool isKnownFamily(const std::string &family);
+
+/**
+ * Build a freshly initialized model of the given family:
+ * "lenet5", "vgg11", "resnet18", "mobilenet_v1", "resnet50", or
+ * "mlp" (a small test-only network).
+ * Unknown family names are a user error.
+ */
+Model buildModel(const std::string &family, const NetSpec &spec,
+                 Rng &rng);
+
+} // namespace nn
+} // namespace socflow
+
+#endif // SOCFLOW_NN_ZOO_HH

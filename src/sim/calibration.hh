@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Model-zoo timing profiles calibrated from the paper's measurements.
+ *
+ * Every constant here traces back to a number reported in the SoCFlow
+ * paper (see calibration.cc for the derivations). Benches fetch
+ * profiles by name so that workloads stay consistent across figures.
+ */
+
+#ifndef SOCFLOW_SIM_CALIBRATION_HH
+#define SOCFLOW_SIM_CALIBRATION_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/compute_model.hh"
+
+namespace socflow {
+namespace sim {
+
+/** All calibrated full-size model profiles. */
+const std::vector<ModelProfile> &modelZoo();
+
+/**
+ * Look up a profile by name ("lenet5", "vgg11", "resnet18",
+ * "mobilenet_v1", "resnet50"). Unknown names are a user error.
+ */
+const ModelProfile &modelProfile(const std::string &name);
+
+} // namespace sim
+} // namespace socflow
+
+#endif // SOCFLOW_SIM_CALIBRATION_HH

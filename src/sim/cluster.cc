@@ -1,0 +1,81 @@
+#include "sim/cluster.hh"
+
+#include <string>
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace sim {
+
+Cluster::Cluster(const ClusterConfig &config)
+    : cfg(config), net(config.congestionExponent)
+{
+    if (cfg.numSocs == 0 || cfg.socsPerBoard == 0)
+        fatal("cluster requires at least one SoC and one SoC per board");
+
+    const double socBytes = cfg.socLinkBps / 8.0;
+    const double nicBytes = cfg.boardNicBps / 8.0;
+    const double switchBytes = cfg.switchBps / 8.0;
+
+    socUp.reserve(cfg.numSocs);
+    socDown.reserve(cfg.numSocs);
+    for (SocId s = 0; s < cfg.numSocs; ++s) {
+        socUp.push_back(
+            net.addResource(socBytes, "soc" + std::to_string(s) + ".tx"));
+        socDown.push_back(
+            net.addResource(socBytes, "soc" + std::to_string(s) + ".rx"));
+    }
+    for (BoardId b = 0; b < cfg.numBoards(); ++b) {
+        nicUp.push_back(
+            net.addResource(nicBytes, "nic" + std::to_string(b) + ".up"));
+        nicDown.push_back(
+            net.addResource(nicBytes,
+                            "nic" + std::to_string(b) + ".down"));
+    }
+    switchFabric = net.addResource(switchBytes, "switch");
+}
+
+BoardId
+Cluster::board(SocId soc) const
+{
+    SOCFLOW_ASSERT(soc < cfg.numSocs, "SoC id out of range: ", soc);
+    return soc / cfg.socsPerBoard;
+}
+
+bool
+Cluster::sameBoard(SocId a, SocId b) const
+{
+    return board(a) == board(b);
+}
+
+std::vector<ResourceId>
+Cluster::path(SocId src, SocId dst) const
+{
+    SOCFLOW_ASSERT(src != dst, "self-transfer has no network path");
+    if (sameBoard(src, dst))
+        return {socUp[src], socDown[dst]};
+    return {socUp[src], nicUp[board(src)], switchFabric,
+            nicDown[board(dst)], socDown[dst]};
+}
+
+FlowSpec
+Cluster::transfer(SocId src, SocId dst, double bytes,
+                  double start_s) const
+{
+    FlowSpec f;
+    f.startS = start_s;
+    f.bytes = bytes;
+    f.latencyS = cfg.messageLatencyS;
+    f.path = path(src, dst);
+    return f;
+}
+
+double
+Cluster::roundOverheadS(std::size_t participants) const
+{
+    return cfg.roundBaseOverheadS +
+           cfg.roundPerNodeOverheadS * static_cast<double>(participants);
+}
+
+} // namespace sim
+} // namespace socflow

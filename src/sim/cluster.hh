@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SoC-Cluster topology model.
+ *
+ * Mirrors the commercial server described in the paper (Fig. 2): M
+ * SoCs on K PCB boards (5 per board in the reference machine). Each
+ * SoC has a full-duplex 1 Gbps port into its board; each board shares
+ * one full-duplex 1 Gbps NIC uplink toward a 20 Gbps switch.
+ * Intra-board transfers use only the two SoC ports; inter-board
+ * transfers additionally cross both boards' shared NICs and the
+ * switch fabric, which is where the contention the paper measures
+ * comes from.
+ */
+
+#ifndef SOCFLOW_SIM_CLUSTER_HH
+#define SOCFLOW_SIM_CLUSTER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/flow_network.hh"
+
+namespace socflow {
+namespace sim {
+
+/** Identifies one SoC in the cluster. */
+using SocId = std::size_t;
+
+/** Identifies one PCB board. */
+using BoardId = std::size_t;
+
+/** Static description of a SoC-Cluster server. */
+struct ClusterConfig {
+    /** Total SoCs installed. Reference machine: 60. */
+    std::size_t numSocs = 60;
+    /** SoCs per PCB board. Reference machine: 5. */
+    std::size_t socsPerBoard = 5;
+    /** Per-SoC port bandwidth, bits per second (1 Gbps). */
+    double socLinkBps = 1e9;
+    /** Shared per-board NIC uplink bandwidth (1 Gbps). */
+    double boardNicBps = 1e9;
+    /** Central switch fabric bandwidth (20 Gbps). */
+    double switchBps = 20e9;
+    /**
+     * Per-transfer software/protocol latency, seconds. Calibrated so
+     * that a 5-SoC ring all-reduce of ResNet-18 gradients costs the
+     * ~699 ms the paper reports (the bandwidth term alone is 576 ms).
+     */
+    double messageLatencyS = 0.002;
+    /**
+     * Per synchronization round fixed overhead: barrier plus
+     * preparing/starting the transfers. The paper reports 1300 ms of
+     * preparation for a 32-SoC ResNet-18 aggregation (58% of the
+     * total), i.e. ~21 ms per ring round at 32 SoCs.
+     */
+    double roundBaseOverheadS = 0.008;
+    /** Additional per-participant share of the round overhead. */
+    double roundPerNodeOverheadS = 0.0004;
+    /**
+     * TCP goodput collapse under fan-in: a link shared by u flows
+     * delivers capacity * u^-gamma aggregate. Calibrated so the
+     * 32-SoC parameter-server incast lands near the paper's 20.6 s
+     * while a lone flow still sees the full 1 Gbps.
+     */
+    double congestionExponent = 0.1;
+
+    /** Number of PCB boards implied by the SoC counts. */
+    std::size_t
+    numBoards() const
+    {
+        return (numSocs + socsPerBoard - 1) / socsPerBoard;
+    }
+};
+
+/**
+ * A SoC-Cluster instance: builds the flow-network resources for the
+ * configuration and answers path queries for SoC-to-SoC transfers.
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &config);
+
+    /** Static configuration. */
+    const ClusterConfig &config() const { return cfg; }
+
+    /** The underlying contention model. */
+    const FlowNetwork &network() const { return net; }
+
+    /** Board hosting a SoC. */
+    BoardId board(SocId soc) const;
+
+    /** True when two SoCs share a PCB board. */
+    bool sameBoard(SocId a, SocId b) const;
+
+    /**
+     * Resource path for a transfer from `src` to `dst`. Intra-board:
+     * {src port out, dst port in}. Inter-board adds both board NICs
+     * and the switch fabric.
+     */
+    std::vector<ResourceId> path(SocId src, SocId dst) const;
+
+    /** Build a FlowSpec for one point-to-point transfer. */
+    FlowSpec transfer(SocId src, SocId dst, double bytes,
+                      double start_s = 0.0) const;
+
+    /**
+     * Fixed overhead for one synchronization round involving
+     * `participants` SoCs (barrier + transfer startup).
+     */
+    double roundOverheadS(std::size_t participants) const;
+
+  private:
+    ClusterConfig cfg;
+    FlowNetwork net;
+    std::vector<ResourceId> socUp;    //!< SoC port, transmit side
+    std::vector<ResourceId> socDown;  //!< SoC port, receive side
+    std::vector<ResourceId> nicUp;    //!< board NIC toward the switch
+    std::vector<ResourceId> nicDown;  //!< board NIC from the switch
+    ResourceId switchFabric;
+};
+
+} // namespace sim
+} // namespace socflow
+
+#endif // SOCFLOW_SIM_CLUSTER_HH

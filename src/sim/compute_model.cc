@@ -1,0 +1,73 @@
+#include "sim/compute_model.hh"
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace sim {
+
+const char *
+deviceName(Device d)
+{
+    switch (d) {
+      case Device::SocCpu:
+        return "soc-cpu";
+      case Device::SocNpu:
+        return "soc-npu";
+      case Device::GpuV100:
+        return "v100";
+      case Device::GpuA100:
+        return "a100";
+    }
+    panic("unknown device");
+}
+
+double
+ComputeModel::batchSeconds(const ModelProfile &model, Device device,
+                           std::size_t samples,
+                           double clock_factor) const
+{
+    SOCFLOW_ASSERT(clock_factor > 0.0 && clock_factor <= 1.0,
+                   "clock factor must be in (0, 1]");
+    double ms_per_sample = 0.0;
+    switch (device) {
+      case Device::SocCpu:
+        ms_per_sample = model.cpuMsPerSample;
+        break;
+      case Device::SocNpu:
+        ms_per_sample = model.cpuMsPerSample / model.npuSpeedup;
+        break;
+      case Device::GpuV100:
+        ms_per_sample = model.v100MsPerSample;
+        break;
+      case Device::GpuA100:
+        ms_per_sample = model.a100MsPerSample;
+        break;
+    }
+    return ms_per_sample * static_cast<double>(samples) /
+           (1000.0 * clock_factor);
+}
+
+double
+ComputeModel::updateSeconds(const ModelProfile &model) const
+{
+    return model.updateMsPerBatch / 1000.0;
+}
+
+double
+ComputeModel::trainPowerW(Device device) const
+{
+    switch (device) {
+      case Device::SocCpu:
+        return power_.socCpuTrainW;
+      case Device::SocNpu:
+        return power_.socNpuTrainW;
+      case Device::GpuV100:
+        return power_.v100W + power_.gpuHostW;
+      case Device::GpuA100:
+        return power_.a100W + power_.gpuHostW;
+    }
+    panic("unknown device");
+}
+
+} // namespace sim
+} // namespace socflow

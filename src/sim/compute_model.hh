@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Analytic compute-time and power models for the devices involved.
+ *
+ * Since no SoC-Cluster hardware is available, per-device training
+ * throughput is an analytic profile calibrated from the measurements
+ * the paper reports (see calibration.cc). The *statistical* behaviour
+ * of training is computed for real by the nn/quant substrates; this
+ * model only supplies wall-clock and power numbers for the simulated
+ * hardware.
+ */
+
+#ifndef SOCFLOW_SIM_COMPUTE_MODEL_HH
+#define SOCFLOW_SIM_COMPUTE_MODEL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace socflow {
+namespace sim {
+
+/** Processor kinds whose speed/power we model. */
+enum class Device {
+    SocCpu,   //!< 4 big Kryo cores, FP32
+    SocNpu,   //!< Hexagon DSP/NPU, INT8
+    GpuV100,  //!< datacenter GPU baseline
+    GpuA100,  //!< datacenter GPU baseline
+};
+
+/** Printable device name. */
+const char *deviceName(Device d);
+
+/**
+ * Per-model timing profile. Times are per *sample* for one combined
+ * forward+backward+update pass at the reference batch size.
+ */
+struct ModelProfile {
+    std::string name;
+    /** Trainable parameter count of the full-size model. */
+    std::size_t paramCount = 0;
+    /** FP32 ms per sample on the SoC CPU (4 big cores). */
+    double cpuMsPerSample = 0.0;
+    /** Speedup of the INT8 NPU path relative to the CPU. */
+    double npuSpeedup = 1.0;
+    /** ms per sample on a V100 (PyTorch, FP32). */
+    double v100MsPerSample = 0.0;
+    /** ms per sample on an A100 (PyTorch, FP32). */
+    double a100MsPerSample = 0.0;
+    /** Time for the optimizer/update step per batch, ms. */
+    double updateMsPerBatch = 0.0;
+
+    /** Gradient/weight payload exchanged per sync, bytes (FP32). */
+    double
+    paramBytes() const
+    {
+        return 4.0 * static_cast<double>(paramCount);
+    }
+};
+
+/** Power draw profile of the simulated hardware, watts. */
+struct PowerProfile {
+    double socIdleW = 0.8;      //!< powered but idle SoC
+    double socCpuTrainW = 5.5;  //!< 4 big cores at training load
+    double socNpuTrainW = 3.0;  //!< Hexagon NPU at training load
+    double socCommW = 2.2;      //!< network transfer active
+    double v100W = 300.0;       //!< V100 board power at training load
+    double a100W = 400.0;       //!< A100 board power at training load
+    double gpuHostW = 120.0;    //!< host share attributed to the GPU
+};
+
+/**
+ * Answers "how long does this device take to train a batch" queries.
+ */
+class ComputeModel
+{
+  public:
+    ComputeModel() : power_() {}
+    explicit ComputeModel(PowerProfile power) : power_(power) {}
+
+    /** Power profile in use. */
+    const PowerProfile &power() const { return power_; }
+
+    /**
+     * Wall-clock seconds for one forward+backward pass over
+     * `samples` samples of `model` on `device`, with an optional
+     * clock-speed factor in (0, 1] for DVFS underclocking.
+     */
+    double batchSeconds(const ModelProfile &model, Device device,
+                        std::size_t samples,
+                        double clock_factor = 1.0) const;
+
+    /** Seconds for the optimizer update step of one batch. */
+    double updateSeconds(const ModelProfile &model) const;
+
+    /** Training power draw of a device, watts. */
+    double trainPowerW(Device device) const;
+
+  private:
+    PowerProfile power_;
+};
+
+} // namespace sim
+} // namespace socflow
+
+#endif // SOCFLOW_SIM_COMPUTE_MODEL_HH

@@ -1,0 +1,59 @@
+#include "sim/dvfs.hh"
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace sim {
+
+UnderclockModel::UnderclockModel(std::size_t num_socs, DvfsConfig config,
+                                 std::uint64_t seed)
+    : cfg(config), state(num_socs, false), rng(seed)
+{
+}
+
+void
+UnderclockModel::step()
+{
+    for (std::size_t s = 0; s < state.size(); ++s) {
+        if (state[s]) {
+            if (rng.bernoulli(cfg.recoverProb))
+                state[s] = false;
+        } else {
+            if (rng.bernoulli(cfg.throttleProb))
+                state[s] = true;
+        }
+    }
+}
+
+double
+UnderclockModel::clockFactor(std::size_t soc) const
+{
+    SOCFLOW_ASSERT(soc < state.size(), "SoC id out of range");
+    return state[soc] ? cfg.throttledFactor : 1.0;
+}
+
+bool
+UnderclockModel::throttled(std::size_t soc) const
+{
+    SOCFLOW_ASSERT(soc < state.size(), "SoC id out of range");
+    return state[soc];
+}
+
+std::size_t
+UnderclockModel::throttledCount() const
+{
+    std::size_t n = 0;
+    for (bool b : state)
+        n += b ? 1 : 0;
+    return n;
+}
+
+void
+UnderclockModel::setThrottled(std::size_t soc, bool value)
+{
+    SOCFLOW_ASSERT(soc < state.size(), "SoC id out of range");
+    state[soc] = value;
+}
+
+} // namespace sim
+} // namespace socflow

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * DVFS / thermal-underclocking model.
+ *
+ * Deployed SoCs throttle under sustained load; the paper's
+ * "underclocking-aware workload re-balancing" optimization responds
+ * to this. The model gives each SoC a clock factor that follows a
+ * simple thermal random walk: sustained training raises the chance of
+ * dropping to a throttled state; idle epochs recover.
+ */
+
+#ifndef SOCFLOW_SIM_DVFS_HH
+#define SOCFLOW_SIM_DVFS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace socflow {
+namespace sim {
+
+/** Parameters of the throttling random walk. */
+struct DvfsConfig {
+    /** Probability per epoch that a hot SoC throttles. */
+    double throttleProb = 0.05;
+    /** Probability per epoch that a throttled SoC recovers. */
+    double recoverProb = 0.35;
+    /** Clock factor while throttled (fraction of nominal). */
+    double throttledFactor = 0.6;
+};
+
+/**
+ * Tracks per-SoC clock factors across training epochs.
+ */
+class UnderclockModel
+{
+  public:
+    UnderclockModel(std::size_t num_socs, DvfsConfig config,
+                    std::uint64_t seed = 7);
+
+    /** Advance one epoch: every busy SoC runs the thermal walk. */
+    void step();
+
+    /** Current clock factor of a SoC (1.0 = nominal). */
+    double clockFactor(std::size_t soc) const;
+
+    /** Whether a SoC is currently throttled. */
+    bool throttled(std::size_t soc) const;
+
+    /** Number of currently throttled SoCs. */
+    std::size_t throttledCount() const;
+
+    /** Force a SoC's throttle state (used by tests/examples). */
+    void setThrottled(std::size_t soc, bool value);
+
+  private:
+    DvfsConfig cfg;
+    std::vector<bool> state;
+    Rng rng;
+};
+
+} // namespace sim
+} // namespace socflow
+
+#endif // SOCFLOW_SIM_DVFS_HH

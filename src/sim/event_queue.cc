@@ -1,0 +1,81 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace sim {
+
+std::uint64_t
+EventQueue::schedule(Tick when, Callback cb)
+{
+    SOCFLOW_ASSERT(when >= currentTick,
+                   "event scheduled in the past: ", when, " < ",
+                   currentTick);
+    const std::uint64_t id = nextId++;
+    events.push(Entry{when, id, std::move(cb)});
+    ++liveCount;
+    return id;
+}
+
+std::uint64_t
+EventQueue::scheduleIn(Tick delay, Callback cb)
+{
+    return schedule(currentTick + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(std::uint64_t id)
+{
+    if (id == 0 || id >= nextId)
+        return false;
+    if (isCancelled(id))
+        return false;
+    cancelled.push_back(id);
+    if (liveCount > 0)
+        --liveCount;
+    return true;
+}
+
+bool
+EventQueue::isCancelled(std::uint64_t id) const
+{
+    return std::find(cancelled.begin(), cancelled.end(), id) !=
+           cancelled.end();
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    Tick last = currentTick;
+    while (!events.empty()) {
+        if (events.top().when > limit)
+            break;
+        if (step())
+            last = currentTick;
+    }
+    return last;
+}
+
+bool
+EventQueue::step()
+{
+    while (!events.empty()) {
+        Entry top = events.top();
+        events.pop();
+        if (isCancelled(top.id)) {
+            cancelled.erase(std::find(cancelled.begin(), cancelled.end(),
+                                      top.id));
+            continue;
+        }
+        currentTick = top.when;
+        --liveCount;
+        top.cb();
+        return true;
+    }
+    return false;
+}
+
+} // namespace sim
+} // namespace socflow

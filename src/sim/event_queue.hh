@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-ordered event queue: callbacks scheduled at absolute
+ * ticks, executed in (tick, insertion-order) order. Used by the
+ * co-location scheduler and the trace-driven examples; the flow
+ * network runs its own internal fluid loop for efficiency.
+ */
+
+#ifndef SOCFLOW_SIM_EVENT_QUEUE_HH
+#define SOCFLOW_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace socflow {
+namespace sim {
+
+/**
+ * Priority-queue event kernel with deterministic tie-breaking.
+ */
+class EventQueue
+{
+  public:
+    /** Callback type executed when an event fires. */
+    using Callback = std::function<void()>;
+
+    /**
+     * Schedule a callback at an absolute tick. Scheduling in the past
+     * (before the current tick) is an internal error.
+     * @return a monotonically increasing event id.
+     */
+    std::uint64_t schedule(Tick when, Callback cb);
+
+    /** Schedule a callback a relative delay after the current tick. */
+    std::uint64_t scheduleIn(Tick delay, Callback cb);
+
+    /** Cancel a pending event by id. @return true if it was pending. */
+    bool cancel(std::uint64_t id);
+
+    /** Current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /** True when no events remain. */
+    bool empty() const { return liveCount == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingEvents() const { return liveCount; }
+
+    /**
+     * Run until the queue drains or the tick limit is passed.
+     * @param limit run no event scheduled after this tick.
+     * @return the tick of the last executed event.
+     */
+    Tick run(Tick limit = ~Tick(0));
+
+    /** Execute exactly one event. @return false if queue was empty. */
+    bool step();
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t id;
+        Callback cb;
+        bool operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return id > o.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> events;
+    std::vector<std::uint64_t> cancelled;
+    Tick currentTick = 0;
+    std::uint64_t nextId = 1;
+    std::size_t liveCount = 0;
+
+    bool isCancelled(std::uint64_t id) const;
+};
+
+} // namespace sim
+} // namespace socflow
+
+#endif // SOCFLOW_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,236 @@
+#include "sim/flow_network.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace sim {
+
+FlowNetwork::FlowNetwork(double congestion_exponent)
+    : congestionExp(congestion_exponent)
+{
+    SOCFLOW_ASSERT(congestion_exponent >= 0.0,
+                   "congestion exponent must be non-negative");
+}
+
+ResourceId
+FlowNetwork::addResource(double bytes_per_sec, std::string nm)
+{
+    SOCFLOW_ASSERT(bytes_per_sec > 0.0,
+                   "resource capacity must be positive");
+    capacities.push_back(bytes_per_sec);
+    names.push_back(std::move(nm));
+    return capacities.size() - 1;
+}
+
+double
+FlowNetwork::capacity(ResourceId id) const
+{
+    SOCFLOW_ASSERT(id < capacities.size(), "bad resource id");
+    return capacities[id];
+}
+
+const std::string &
+FlowNetwork::name(ResourceId id) const
+{
+    SOCFLOW_ASSERT(id < names.size(), "bad resource id");
+    return names[id];
+}
+
+std::vector<double>
+FlowNetwork::maxMinRates(const std::vector<const FlowSpec *> &active) const
+{
+    const std::size_t n = active.size();
+    std::vector<double> rates(n, 0.0);
+    if (n == 0)
+        return rates;
+
+    // Progressive filling: repeatedly saturate the most constrained
+    // resource, freezing its flows at the fair share.
+    std::vector<double> residual = capacities;
+    std::vector<int> usersOnResource(capacities.size(), 0);
+    std::vector<bool> frozen(n, false);
+
+    for (std::size_t f = 0; f < n; ++f) {
+        for (ResourceId r : active[f]->path) {
+            SOCFLOW_ASSERT(r < capacities.size(), "bad resource in path");
+            ++usersOnResource[r];
+        }
+    }
+
+    std::size_t remaining = 0;
+    for (std::size_t f = 0; f < n; ++f) {
+        if (active[f]->path.empty()) {
+            // Flows with no constrained resources drain instantly; use
+            // an effectively infinite rate.
+            rates[f] = std::numeric_limits<double>::infinity();
+            frozen[f] = true;
+        } else {
+            ++remaining;
+        }
+    }
+
+    while (remaining > 0) {
+        // Find the bottleneck resource: minimal residual / users.
+        double best_share = std::numeric_limits<double>::infinity();
+        ResourceId best = 0;
+        bool found = false;
+        for (ResourceId r = 0; r < capacities.size(); ++r) {
+            if (usersOnResource[r] <= 0)
+                continue;
+            const double users =
+                static_cast<double>(usersOnResource[r]);
+            // Fan-in congestion: aggregate goodput degrades as
+            // users^-gamma (gamma = 0: ideal fair sharing).
+            const double share = residual[r] *
+                                 std::pow(users, -congestionExp) /
+                                 users;
+            if (share < best_share) {
+                best_share = share;
+                best = r;
+                found = true;
+            }
+        }
+        SOCFLOW_ASSERT(found, "unfrozen flows but no used resource");
+
+        // Freeze every unfrozen flow crossing the bottleneck.
+        for (std::size_t f = 0; f < n; ++f) {
+            if (frozen[f])
+                continue;
+            const auto &path = active[f]->path;
+            if (std::find(path.begin(), path.end(), best) == path.end())
+                continue;
+            frozen[f] = true;
+            rates[f] = best_share;
+            --remaining;
+            for (ResourceId r : path) {
+                residual[r] -= best_share;
+                if (residual[r] < 0.0)
+                    residual[r] = 0.0;
+                --usersOnResource[r];
+            }
+        }
+    }
+    return rates;
+}
+
+std::vector<FlowResult>
+FlowNetwork::simulate(const std::vector<FlowSpec> &flows) const
+{
+    const std::size_t n = flows.size();
+    std::vector<FlowResult> results(n);
+    if (n == 0)
+        return results;
+
+    std::vector<double> remainingBytes(n);
+    std::vector<bool> arrived(n, false), done(n, false);
+    for (std::size_t f = 0; f < n; ++f) {
+        SOCFLOW_ASSERT(flows[f].bytes >= 0.0, "negative flow size");
+        remainingBytes[f] = flows[f].bytes;
+        results[f].startS = flows[f].startS;
+    }
+
+    // Flows sorted by arrival time for the arrival cursor.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return flows[a].startS < flows[b].startS;
+                     });
+
+    double now = flows[order.front()].startS;
+    std::size_t arrivalCursor = 0;
+    std::size_t doneCount = 0;
+
+    while (doneCount < n) {
+        // Admit arrivals at or before `now`.
+        while (arrivalCursor < n &&
+               flows[order[arrivalCursor]].startS <= now + 1e-15) {
+            const std::size_t f = order[arrivalCursor++];
+            arrived[f] = true;
+            if (remainingBytes[f] <= 0.0) {
+                done[f] = true;
+                ++doneCount;
+                results[f].finishS = now + flows[f].latencyS;
+                results[f].meanRate = 0.0;
+            }
+        }
+        if (doneCount >= n)
+            break;
+
+        // Collect the active set.
+        std::vector<const FlowSpec *> active;
+        std::vector<std::size_t> activeIdx;
+        for (std::size_t f = 0; f < n; ++f) {
+            if (arrived[f] && !done[f]) {
+                active.push_back(&flows[f]);
+                activeIdx.push_back(f);
+            }
+        }
+
+        const double nextArrival =
+            arrivalCursor < n ? flows[order[arrivalCursor]].startS
+                              : std::numeric_limits<double>::infinity();
+
+        if (active.empty()) {
+            SOCFLOW_ASSERT(arrivalCursor < n,
+                           "idle network with pending flows unfinished");
+            now = nextArrival;
+            continue;
+        }
+
+        const std::vector<double> rates = maxMinRates(active);
+
+        // Time until the first active flow drains.
+        double dt = std::numeric_limits<double>::infinity();
+        for (std::size_t k = 0; k < active.size(); ++k) {
+            if (rates[k] <= 0.0)
+                continue;
+            dt = std::min(dt, remainingBytes[activeIdx[k]] / rates[k]);
+        }
+        SOCFLOW_ASSERT(dt < std::numeric_limits<double>::infinity(),
+                       "active flows but zero aggregate rate");
+        dt = std::min(dt, nextArrival - now);
+
+        // Drain bytes over the interval.
+        for (std::size_t k = 0; k < active.size(); ++k) {
+            const std::size_t f = activeIdx[k];
+            if (!std::isfinite(rates[k])) {
+                remainingBytes[f] = 0.0;
+                continue;
+            }
+            remainingBytes[f] -= rates[k] * dt;
+        }
+        now += dt;
+
+        // Retire drained flows.
+        for (std::size_t k = 0; k < active.size(); ++k) {
+            const std::size_t f = activeIdx[k];
+            if (remainingBytes[f] <= 1e-9) {
+                done[f] = true;
+                ++doneCount;
+                results[f].finishS = now + flows[f].latencyS;
+                const double span = now - flows[f].startS;
+                results[f].meanRate =
+                    span > 0.0 ? flows[f].bytes / span : 0.0;
+            }
+        }
+    }
+    return results;
+}
+
+double
+FlowNetwork::makespan(const std::vector<FlowSpec> &flows) const
+{
+    double finish = 0.0;
+    for (const auto &r : simulate(flows))
+        finish = std::max(finish, r.finishS);
+    return finish;
+}
+
+} // namespace sim
+} // namespace socflow

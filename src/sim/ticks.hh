@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Simulated-time base types.
+ *
+ * The simulator counts time in integer nanosecond ticks, like gem5.
+ * Helpers convert between ticks and floating-point seconds, which is
+ * what the analytic models naturally produce.
+ */
+
+#ifndef SOCFLOW_SIM_TICKS_HH
+#define SOCFLOW_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace socflow {
+namespace sim {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Ticks per second. */
+constexpr Tick ticksPerSecond = 1'000'000'000ULL;
+
+/** Convert seconds to ticks (rounding to nearest). */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(ticksPerSecond) + 0.5);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerSecond);
+}
+
+} // namespace sim
+} // namespace socflow
+
+#endif // SOCFLOW_SIM_TICKS_HH

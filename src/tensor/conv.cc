@@ -1,0 +1,384 @@
+#include "tensor/conv.hh"
+
+#include <cstring>
+
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace socflow {
+namespace tensor {
+
+std::size_t
+convOutDim(std::size_t in, std::size_t kernel, std::size_t stride,
+           std::size_t pad)
+{
+    SOCFLOW_ASSERT(in + 2 * pad >= kernel, "kernel larger than input");
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+void
+im2col(const float *x, std::size_t channels, std::size_t h,
+       std::size_t w, const ConvGeom &g, float *out)
+{
+    const std::size_t ho = convOutDim(h, g.kernel, g.stride, g.pad);
+    const std::size_t wo = convOutDim(w, g.kernel, g.stride, g.pad);
+    const std::size_t cols = ho * wo;
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < channels; ++c) {
+        const float *plane = x + c * h * w;
+        for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+            for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+                float *orow = out + row * cols;
+                for (std::size_t oy = 0; oy < ho; ++oy) {
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+                        static_cast<std::ptrdiff_t>(g.pad);
+                    for (std::size_t ox = 0; ox < wo; ++ox) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * g.stride +
+                                                        kx) -
+                            static_cast<std::ptrdiff_t>(g.pad);
+                        float v = 0.0f;
+                        if (iy >= 0 &&
+                            iy < static_cast<std::ptrdiff_t>(h) &&
+                            ix >= 0 &&
+                            ix < static_cast<std::ptrdiff_t>(w)) {
+                            v = plane[iy * w + ix];
+                        }
+                        orow[oy * wo + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+col2im(const float *cols_data, std::size_t channels, std::size_t h,
+       std::size_t w, const ConvGeom &g, float *x)
+{
+    const std::size_t ho = convOutDim(h, g.kernel, g.stride, g.pad);
+    const std::size_t wo = convOutDim(w, g.kernel, g.stride, g.pad);
+    const std::size_t cols = ho * wo;
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < channels; ++c) {
+        float *plane = x + c * h * w;
+        for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+            for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+                const float *crow = cols_data + row * cols;
+                for (std::size_t oy = 0; oy < ho; ++oy) {
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+                        static_cast<std::ptrdiff_t>(g.pad);
+                    if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h))
+                        continue;
+                    for (std::size_t ox = 0; ox < wo; ++ox) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * g.stride +
+                                                        kx) -
+                            static_cast<std::ptrdiff_t>(g.pad);
+                        if (ix < 0 ||
+                            ix >= static_cast<std::ptrdiff_t>(w))
+                            continue;
+                        plane[iy * w + ix] += crow[oy * wo + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+conv2dForward(const Tensor &x, const Tensor &weight, const ConvGeom &g,
+              Tensor &out)
+{
+    SOCFLOW_ASSERT(x.rank() == 4, "conv input must be NCHW");
+    const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2),
+                      w = x.dim(3);
+    SOCFLOW_ASSERT(c == g.inChannels, "conv input channel mismatch");
+    SOCFLOW_ASSERT(weight.numel() ==
+                       g.outChannels * g.inChannels * g.kernel * g.kernel,
+                   "conv weight size mismatch");
+    const std::size_t ho = convOutDim(h, g.kernel, g.stride, g.pad);
+    const std::size_t wo = convOutDim(w, g.kernel, g.stride, g.pad);
+    SOCFLOW_ASSERT(out.shape() ==
+                       Shape({n, g.outChannels, ho, wo}),
+                   "conv output shape mismatch");
+
+    const std::size_t krows = g.inChannels * g.kernel * g.kernel;
+    const std::size_t cols = ho * wo;
+
+    // Weight viewed as [outC, krows]; im2col gives [krows, cols];
+    // product is [outC, cols] = one sample's output planes.
+    Tensor wmat = Tensor::fromValues(
+        {g.outChannels, krows},
+        std::vector<float>(weight.data(), weight.data() + weight.numel()));
+    Tensor colsMat({krows, cols});
+    Tensor outMat({g.outChannels, cols});
+
+    for (std::size_t s = 0; s < n; ++s) {
+        im2col(x.data() + s * c * h * w, c, h, w, g, colsMat.data());
+        gemm(wmat, false, colsMat, false, outMat);
+        std::memcpy(out.data() + s * g.outChannels * cols, outMat.data(),
+                    sizeof(float) * g.outChannels * cols);
+    }
+}
+
+void
+conv2dBackward(const Tensor &x, const Tensor &weight, const ConvGeom &g,
+               const Tensor &grad_out, Tensor *grad_x, Tensor &grad_w)
+{
+    const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2),
+                      w = x.dim(3);
+    const std::size_t ho = convOutDim(h, g.kernel, g.stride, g.pad);
+    const std::size_t wo = convOutDim(w, g.kernel, g.stride, g.pad);
+    const std::size_t krows = g.inChannels * g.kernel * g.kernel;
+    const std::size_t cols = ho * wo;
+    SOCFLOW_ASSERT(grad_out.shape() ==
+                       Shape({n, g.outChannels, ho, wo}),
+                   "conv grad_out shape mismatch");
+    SOCFLOW_ASSERT(grad_w.numel() == weight.numel(),
+                   "conv grad_w size mismatch");
+
+    Tensor wmat = Tensor::fromValues(
+        {g.outChannels, krows},
+        std::vector<float>(weight.data(), weight.data() + weight.numel()));
+    Tensor gwMat = Tensor::fromValues(
+        {g.outChannels, krows},
+        std::vector<float>(grad_w.data(), grad_w.data() + grad_w.numel()));
+    Tensor colsMat({krows, cols});
+    Tensor goMat({g.outChannels, cols});
+    Tensor gcols({krows, cols});
+
+    if (grad_x)
+        grad_x->zero();
+
+    for (std::size_t s = 0; s < n; ++s) {
+        im2col(x.data() + s * c * h * w, c, h, w, g, colsMat.data());
+        std::memcpy(goMat.data(),
+                    grad_out.data() + s * g.outChannels * cols,
+                    sizeof(float) * g.outChannels * cols);
+        // dW += dOut * cols^T
+        gemm(goMat, false, colsMat, true, gwMat, 1.0f);
+        if (grad_x) {
+            // dCols = W^T * dOut ; then fold back.
+            gemm(wmat, true, goMat, false, gcols);
+            col2im(gcols.data(), c, h, w, g,
+                   grad_x->data() + s * c * h * w);
+        }
+    }
+    std::memcpy(grad_w.data(), gwMat.data(),
+                sizeof(float) * grad_w.numel());
+}
+
+void
+depthwiseConv2dForward(const Tensor &x, const Tensor &weight,
+                       const ConvGeom &g, Tensor &out)
+{
+    SOCFLOW_ASSERT(g.inChannels == g.outChannels,
+                   "depthwise conv requires inC == outC");
+    const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2),
+                      w = x.dim(3);
+    const std::size_t ho = convOutDim(h, g.kernel, g.stride, g.pad);
+    const std::size_t wo = convOutDim(w, g.kernel, g.stride, g.pad);
+    SOCFLOW_ASSERT(out.shape() == Shape({n, c, ho, wo}),
+                   "depthwise output shape mismatch");
+    SOCFLOW_ASSERT(weight.numel() == c * g.kernel * g.kernel,
+                   "depthwise weight size mismatch");
+
+    out.zero();
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            const float *plane = x.data() + (s * c + ch) * h * w;
+            const float *filt =
+                weight.data() + ch * g.kernel * g.kernel;
+            float *oplane = out.data() + (s * c + ch) * ho * wo;
+            for (std::size_t oy = 0; oy < ho; ++oy) {
+                for (std::size_t ox = 0; ox < wo; ++ox) {
+                    float acc = 0.0f;
+                    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+                        const std::ptrdiff_t iy =
+                            static_cast<std::ptrdiff_t>(
+                                oy * g.stride + ky) -
+                            static_cast<std::ptrdiff_t>(g.pad);
+                        if (iy < 0 ||
+                            iy >= static_cast<std::ptrdiff_t>(h))
+                            continue;
+                        for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+                            const std::ptrdiff_t ix =
+                                static_cast<std::ptrdiff_t>(
+                                    ox * g.stride + kx) -
+                                static_cast<std::ptrdiff_t>(g.pad);
+                            if (ix < 0 ||
+                                ix >= static_cast<std::ptrdiff_t>(w))
+                                continue;
+                            acc += plane[iy * w + ix] *
+                                   filt[ky * g.kernel + kx];
+                        }
+                    }
+                    oplane[oy * wo + ox] = acc;
+                }
+            }
+        }
+    }
+}
+
+void
+depthwiseConv2dBackward(const Tensor &x, const Tensor &weight,
+                        const ConvGeom &g, const Tensor &grad_out,
+                        Tensor *grad_x, Tensor &grad_w)
+{
+    const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2),
+                      w = x.dim(3);
+    const std::size_t ho = convOutDim(h, g.kernel, g.stride, g.pad);
+    const std::size_t wo = convOutDim(w, g.kernel, g.stride, g.pad);
+
+    if (grad_x)
+        grad_x->zero();
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            const float *plane = x.data() + (s * c + ch) * h * w;
+            const float *filt =
+                weight.data() + ch * g.kernel * g.kernel;
+            float *gfilt = grad_w.data() + ch * g.kernel * g.kernel;
+            const float *goPlane =
+                grad_out.data() + (s * c + ch) * ho * wo;
+            float *gxPlane =
+                grad_x ? grad_x->data() + (s * c + ch) * h * w : nullptr;
+            for (std::size_t oy = 0; oy < ho; ++oy) {
+                for (std::size_t ox = 0; ox < wo; ++ox) {
+                    const float go = goPlane[oy * wo + ox];
+                    if (go == 0.0f)
+                        continue;
+                    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+                        const std::ptrdiff_t iy =
+                            static_cast<std::ptrdiff_t>(
+                                oy * g.stride + ky) -
+                            static_cast<std::ptrdiff_t>(g.pad);
+                        if (iy < 0 ||
+                            iy >= static_cast<std::ptrdiff_t>(h))
+                            continue;
+                        for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+                            const std::ptrdiff_t ix =
+                                static_cast<std::ptrdiff_t>(
+                                    ox * g.stride + kx) -
+                                static_cast<std::ptrdiff_t>(g.pad);
+                            if (ix < 0 ||
+                                ix >= static_cast<std::ptrdiff_t>(w))
+                                continue;
+                            gfilt[ky * g.kernel + kx] +=
+                                go * plane[iy * w + ix];
+                            if (gxPlane) {
+                                gxPlane[iy * w + ix] +=
+                                    go * filt[ky * g.kernel + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+maxPool2dForward(const Tensor &x, std::size_t kernel, std::size_t stride,
+                 Tensor &out, std::vector<std::size_t> &argmax)
+{
+    const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2),
+                      w = x.dim(3);
+    const std::size_t ho = convOutDim(h, kernel, stride, 0);
+    const std::size_t wo = convOutDim(w, kernel, stride, 0);
+    SOCFLOW_ASSERT(out.shape() == Shape({n, c, ho, wo}),
+                   "maxpool output shape mismatch");
+    argmax.assign(out.numel(), 0);
+
+    const float *px = x.data();
+    float *po = out.data();
+    std::size_t oi = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            const std::size_t base = (s * c + ch) * h * w;
+            for (std::size_t oy = 0; oy < ho; ++oy) {
+                for (std::size_t ox = 0; ox < wo; ++ox, ++oi) {
+                    float best = -3.4e38f;
+                    std::size_t bestIdx = base;
+                    for (std::size_t ky = 0; ky < kernel; ++ky) {
+                        const std::size_t iy = oy * stride + ky;
+                        if (iy >= h)
+                            continue;
+                        for (std::size_t kx = 0; kx < kernel; ++kx) {
+                            const std::size_t ix = ox * stride + kx;
+                            if (ix >= w)
+                                continue;
+                            const std::size_t idx = base + iy * w + ix;
+                            if (px[idx] > best) {
+                                best = px[idx];
+                                bestIdx = idx;
+                            }
+                        }
+                    }
+                    po[oi] = best;
+                    argmax[oi] = bestIdx;
+                }
+            }
+        }
+    }
+}
+
+void
+maxPool2dBackward(const Tensor &grad_out,
+                  const std::vector<std::size_t> &argmax, Tensor &grad_x)
+{
+    SOCFLOW_ASSERT(argmax.size() == grad_out.numel(),
+                   "maxpool argmax size mismatch");
+    grad_x.zero();
+    const float *pg = grad_out.data();
+    float *px = grad_x.data();
+    for (std::size_t i = 0; i < argmax.size(); ++i)
+        px[argmax[i]] += pg[i];
+}
+
+void
+globalAvgPoolForward(const Tensor &x, Tensor &out)
+{
+    const std::size_t n = x.dim(0), c = x.dim(1),
+                      hw = x.dim(2) * x.dim(3);
+    SOCFLOW_ASSERT(out.shape() == Shape({n, c}),
+                   "avgpool output shape mismatch");
+    const float *px = x.data();
+    float *po = out.data();
+    const float inv = 1.0f / static_cast<float>(hw);
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            const float *plane = px + (s * c + ch) * hw;
+            double acc = 0.0;
+            for (std::size_t i = 0; i < hw; ++i)
+                acc += plane[i];
+            po[s * c + ch] = static_cast<float>(acc) * inv;
+        }
+    }
+}
+
+void
+globalAvgPoolBackward(const Tensor &grad_out, std::size_t h,
+                      std::size_t w, Tensor &grad_x)
+{
+    const std::size_t n = grad_out.dim(0), c = grad_out.dim(1);
+    const std::size_t hw = h * w;
+    SOCFLOW_ASSERT(grad_x.shape() == Shape({n, c, h, w}),
+                   "avgpool grad shape mismatch");
+    const float *pg = grad_out.data();
+    float *px = grad_x.data();
+    const float inv = 1.0f / static_cast<float>(hw);
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            const float g = pg[s * c + ch] * inv;
+            float *plane = px + (s * c + ch) * hw;
+            for (std::size_t i = 0; i < hw; ++i)
+                plane[i] = g;
+        }
+    }
+}
+
+} // namespace tensor
+} // namespace socflow

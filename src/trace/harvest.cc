@@ -1,0 +1,135 @@
+#include "trace/harvest.hh"
+
+#include <algorithm>
+
+#include "sim/ticks.hh"
+#include "util/logging.hh"
+
+namespace socflow {
+namespace trace {
+
+namespace {
+
+/**
+ * The per-slot scheduling policy shared by the loop-driven and
+ * event-driven drivers: compare idle capacity against the job's
+ * needs, then train / preempt / suspend / resume.
+ */
+class HarvestDriver
+{
+  public:
+    HarvestDriver(core::SoCFlowTrainer &trainer, std::size_t max_groups,
+                  const TidalTrace &trace, const HarvestConfig &cfg)
+        : trainer(trainer), maxGroups(max_groups), trace(trace),
+          cfg(cfg)
+    {
+    }
+
+    /** Process one trace slot; mutates the report. */
+    void
+    handleSlot(std::size_t slot)
+    {
+        const double hour = trace.slotHour(slot);
+        if (hour < cfg.startHour)
+            return;
+        const std::size_t idle = trace.idleCount(slot);
+        const std::size_t capacity = idle / cfg.socsPerGroup;
+        const std::size_t want =
+            std::min<std::size_t>(maxGroups, capacity);
+
+        HarvestEvent ev;
+        ev.hour = hour;
+        ev.idleSocs = idle;
+
+        if (want < cfg.minGroups) {
+            if (running) {
+                // Demand surge: checkpoint and give the SoCs back.
+                ++report.suspensions;
+                ++report.checkpointsTaken;
+                running = false;
+                ev.kind = HarvestEvent::Kind::Suspend;
+                ev.activeGroups = 0;
+                report.timeline.push_back(ev);
+            }
+            return;
+        }
+
+        if (!running) {
+            running = true;
+            trainer.setActiveGroups(want);
+            ev.kind = HarvestEvent::Kind::Resume;
+            ev.activeGroups = want;
+            report.timeline.push_back(ev);
+        } else if (want < trainer.activeGroups()) {
+            // Partial preemption: shrink to the available capacity.
+            ++report.preemptions;
+            ++report.checkpointsTaken;
+            trainer.setActiveGroups(want);
+            ev.kind = HarvestEvent::Kind::Preempt;
+            ev.activeGroups = want;
+            report.timeline.push_back(ev);
+        } else if (want > trainer.activeGroups()) {
+            trainer.setActiveGroups(want);
+        }
+
+        // Train one epoch in this slot.
+        const core::EpochRecord rec = trainer.runEpoch();
+        ++report.epochsTrained;
+        report.trainingHours += rec.simSeconds / 3600.0;
+
+        ev.kind = HarvestEvent::Kind::Train;
+        ev.activeGroups = trainer.activeGroups();
+        report.timeline.push_back(ev);
+    }
+
+    /** Finalize and return the report. */
+    HarvestReport
+    finish()
+    {
+        report.finalTestAcc = trainer.testAccuracy();
+        return std::move(report);
+    }
+
+  private:
+    core::SoCFlowTrainer &trainer;
+    std::size_t maxGroups;
+    const TidalTrace &trace;
+    HarvestConfig cfg;
+    HarvestReport report;
+    bool running = false;
+};
+
+} // namespace
+
+HarvestReport
+runHarvestDay(core::SoCFlowTrainer &trainer,
+              const core::SoCFlowConfig &trainer_cfg,
+              const TidalTrace &trace, const HarvestConfig &cfg)
+{
+    HarvestDriver driver(trainer, trainer_cfg.numGroups, trace, cfg);
+    for (std::size_t slot = 0; slot < trace.numSlots(); ++slot)
+        driver.handleSlot(slot);
+    return driver.finish();
+}
+
+HarvestReport
+runHarvestDayScheduled(core::SoCFlowTrainer &trainer,
+                       const core::SoCFlowConfig &cfg,
+                       const TidalTrace &trace,
+                       const HarvestConfig &policy,
+                       sim::EventQueue &queue)
+{
+    HarvestDriver driver(trainer, cfg.numGroups, trace, policy);
+    const double slotSeconds = trace.config().slotMinutes * 60.0;
+    for (std::size_t slot = 0; slot < trace.numSlots(); ++slot) {
+        queue.schedule(
+            queue.now() + sim::secondsToTicks(
+                              static_cast<double>(slot) * slotSeconds),
+            [&driver, slot] { driver.handleSlot(slot); });
+    }
+    queue.run();
+    return driver.finish();
+}
+
+} // namespace trace
+} // namespace socflow

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Co-location ("harvesting") scheduler.
+ *
+ * Drives a SoCFlow training job through a 24-hour tidal trace: while
+ * enough SoCs are idle the job trains; when user demand returns, the
+ * global scheduler checkpoints and preempts whole logical groups (the
+ * paper's group-granular preemption keeps the remaining groups
+ * converging); when demand recedes the job resumes from the
+ * checkpoint. This is the workflow of Fig. 1.
+ */
+
+#ifndef SOCFLOW_TRACE_HARVEST_HH
+#define SOCFLOW_TRACE_HARVEST_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/socflow_trainer.hh"
+#include "sim/event_queue.hh"
+#include "trace/tidal.hh"
+
+namespace socflow {
+namespace trace {
+
+/** Policy knobs of the harvesting scheduler. */
+struct HarvestConfig {
+    /** Idle SoCs required per active logical group. */
+    std::size_t socsPerGroup = 4;
+    /** Minimum groups worth keeping the job running. */
+    std::size_t minGroups = 1;
+    /** Hour of day training is allowed to start. */
+    double startHour = 0.0;
+};
+
+/** One scheduler decision in the timeline. */
+struct HarvestEvent {
+    double hour = 0.0;
+    std::size_t idleSocs = 0;
+    std::size_t activeGroups = 0;
+    enum class Kind { Train, Preempt, Suspend, Resume } kind;
+    double testAcc = 0.0;
+};
+
+/** Outcome of a harvested training day. */
+struct HarvestReport {
+    std::vector<HarvestEvent> timeline;
+    std::size_t epochsTrained = 0;
+    std::size_t preemptions = 0;
+    std::size_t suspensions = 0;
+    std::size_t checkpointsTaken = 0;
+    double finalTestAcc = 0.0;
+    double trainingHours = 0.0;  //!< simulated hours spent training
+};
+
+/**
+ * Walk the trace hour by hour, training whenever capacity allows.
+ * The trainer's group count adapts to the instantaneous idle SoC
+ * count via checkpoint/preempt/resume.
+ */
+HarvestReport runHarvestDay(core::SoCFlowTrainer &trainer,
+                            const core::SoCFlowConfig &trainer_cfg,
+                            const TidalTrace &trace,
+                            const HarvestConfig &cfg);
+
+/**
+ * Event-driven variant: the same policy as runHarvestDay, but driven
+ * by the discrete-event kernel -- one event per trace slot, scheduled
+ * at its simulated wall-clock tick. Produces the identical report
+ * (the policy is deterministic); exists so the co-location scheduler
+ * composes with other event-driven actors (e.g. per-SoC demand
+ * arrivals) in larger simulations.
+ * @param queue the event kernel to schedule onto; run to completion.
+ */
+HarvestReport runHarvestDayScheduled(core::SoCFlowTrainer &trainer,
+                                     const core::SoCFlowConfig &cfg,
+                                     const TidalTrace &trace,
+                                     const HarvestConfig &policy,
+                                     sim::EventQueue &queue);
+
+} // namespace trace
+} // namespace socflow
+
+#endif // SOCFLOW_TRACE_HARVEST_HH

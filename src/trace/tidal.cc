@@ -1,0 +1,90 @@
+#include "trace/tidal.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace trace {
+
+TidalTrace::TidalTrace(const TidalConfig &config) : cfg(config)
+{
+    SOCFLOW_ASSERT(cfg.slotMinutes > 0.0, "slot length must be positive");
+    slots = static_cast<std::size_t>(24.0 * 60.0 / cfg.slotMinutes);
+    busyState.assign(slots * cfg.numSocs, false);
+
+    Rng rng(cfg.seed);
+    std::vector<bool> prev(cfg.numSocs, false);
+    for (std::size_t t = 0; t < slots; ++t) {
+        const double p = demand(slotHour(t));
+        for (std::size_t s = 0; s < cfg.numSocs; ++s) {
+            double prob = p;
+            if (prev[s])
+                prob = p + cfg.stickiness * (1.0 - p);
+            const bool b = rng.bernoulli(prob);
+            busyState[t * cfg.numSocs + s] = b;
+            prev[s] = b;
+        }
+    }
+}
+
+double
+TidalTrace::slotHour(std::size_t slot) const
+{
+    return static_cast<double>(slot) * cfg.slotMinutes / 60.0;
+}
+
+double
+TidalTrace::demand(double hour) const
+{
+    // Raised cosine centred on peakHour, exponent sharpens the
+    // trough so the trough/peak gap exceeds one order of magnitude.
+    const double phase =
+        std::cos((hour - cfg.peakHour) * 2.0 * M_PI / 24.0);
+    const double shaped = std::pow(0.5 * (1.0 + phase), 1.6);
+    return cfg.troughBusy + (cfg.peakBusy - cfg.troughBusy) * shaped;
+}
+
+bool
+TidalTrace::busy(std::size_t soc, std::size_t slot) const
+{
+    SOCFLOW_ASSERT(soc < cfg.numSocs && slot < slots,
+                   "trace index out of range");
+    return busyState[slot * cfg.numSocs + soc];
+}
+
+double
+TidalTrace::busyFraction(std::size_t slot) const
+{
+    std::size_t n = 0;
+    for (std::size_t s = 0; s < cfg.numSocs; ++s)
+        n += busy(s, slot) ? 1 : 0;
+    return static_cast<double>(n) / static_cast<double>(cfg.numSocs);
+}
+
+std::size_t
+TidalTrace::idleCount(std::size_t slot) const
+{
+    std::size_t n = 0;
+    for (std::size_t s = 0; s < cfg.numSocs; ++s)
+        n += busy(s, slot) ? 0 : 1;
+    return n;
+}
+
+double
+TidalTrace::longestIdleWindowHours(std::size_t min_idle) const
+{
+    std::size_t best = 0, cur = 0;
+    for (std::size_t t = 0; t < slots; ++t) {
+        if (idleCount(t) >= min_idle) {
+            ++cur;
+            best = std::max(best, cur);
+        } else {
+            cur = 0;
+        }
+    }
+    return static_cast<double>(best) * cfg.slotMinutes / 60.0;
+}
+
+} // namespace trace
+} // namespace socflow

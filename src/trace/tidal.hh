@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Diurnal ("tidal") utilization trace generator.
+ *
+ * The paper's Fig. 3 shows the busy-SoC ratio of deployed clusters
+ * peaking between 11:00 and 17:00 and collapsing between 3:00 and
+ * 8:00 (more than an order of magnitude swing, driven by cloud-gaming
+ * sessions). Production traces are proprietary, so this module
+ * synthesizes per-SoC busy/idle timelines with that shape: a smooth
+ * diurnal demand curve plus per-SoC Bernoulli noise.
+ */
+
+#ifndef SOCFLOW_TRACE_TIDAL_HH
+#define SOCFLOW_TRACE_TIDAL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace socflow {
+namespace trace {
+
+/** Shape parameters of the diurnal demand curve. */
+struct TidalConfig {
+    std::size_t numSocs = 60;
+    /** Time step of the trace, minutes. */
+    double slotMinutes = 5.0;
+    /** Peak busy probability (mid-afternoon). */
+    double peakBusy = 0.85;
+    /** Trough busy probability (early morning). */
+    double troughBusy = 0.04;
+    /** Hour of peak demand. */
+    double peakHour = 14.0;
+    /** Session persistence: probability a busy SoC stays busy in the
+     *  next slot beyond the base demand (burstiness). */
+    double stickiness = 0.6;
+    std::uint64_t seed = 99;
+};
+
+/** A generated 24-hour trace. */
+class TidalTrace
+{
+  public:
+    explicit TidalTrace(const TidalConfig &config);
+
+    const TidalConfig &config() const { return cfg; }
+
+    /** Number of time slots in 24 h. */
+    std::size_t numSlots() const { return slots; }
+
+    /** Hour-of-day of a slot's start. */
+    double slotHour(std::size_t slot) const;
+
+    /** Smooth demand (busy probability) at an hour of day. */
+    double demand(double hour) const;
+
+    /** Whether a SoC is serving user load in a slot. */
+    bool busy(std::size_t soc, std::size_t slot) const;
+
+    /** Fraction of SoCs busy in a slot. */
+    double busyFraction(std::size_t slot) const;
+
+    /** Number of idle SoCs in a slot. */
+    std::size_t idleCount(std::size_t slot) const;
+
+    /**
+     * Longest contiguous window (in hours) during which at least
+     * `min_idle` SoCs are simultaneously idle. This is the "typical
+     * idle time frame" that bounds a training job.
+     */
+    double longestIdleWindowHours(std::size_t min_idle) const;
+
+  private:
+    TidalConfig cfg;
+    std::size_t slots;
+    /** busyState[slot * numSocs + soc]. */
+    std::vector<bool> busyState;
+};
+
+} // namespace trace
+} // namespace socflow
+
+#endif // SOCFLOW_TRACE_TIDAL_HH

@@ -1,0 +1,34 @@
+#include "util/logging.hh"
+
+namespace socflow {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Inform;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail {
+
+void
+emitLog(const char *prefix, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", prefix, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+
+} // namespace socflow

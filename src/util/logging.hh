@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (bugs in SoCFlow itself) and aborts; fatal() is for user
+ * errors (bad configuration, invalid arguments) and exits cleanly with
+ * an error code; warn()/inform() report conditions without stopping.
+ */
+
+#ifndef SOCFLOW_UTIL_LOGGING_HH
+#define SOCFLOW_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace socflow {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/**
+ * Global log verbosity. Messages above this level are suppressed.
+ * Defaults to Inform; benches lower it to Warn to keep output clean.
+ */
+LogLevel logLevel();
+
+/** Set the global log verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit one formatted log line with a severity prefix. */
+void emitLog(const char *prefix, const std::string &msg);
+
+/** Compose a message from stream-style arguments. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Report normal operating status the user should see. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Inform)
+        detail::emitLog("info", detail::composeMessage(args...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emitLog("warn", detail::composeMessage(args...));
+}
+
+/** Debug-level trace output; off by default. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::emitLog("debug", detail::composeMessage(args...));
+}
+
+/**
+ * Terminate because of a user-caused error (bad config, bad argument).
+ * Exits with status 1; never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitLog("fatal", detail::composeMessage(args...));
+    std::exit(1);
+}
+
+/**
+ * Terminate because of an internal SoCFlow bug (broken invariant).
+ * Calls abort() so a debugger or core dump can capture state.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitLog("panic", detail::composeMessage(args...));
+    std::abort();
+}
+
+/** Abort with a message if an internal invariant does not hold. */
+#define SOCFLOW_ASSERT(cond, ...)                                        \
+    do {                                                                 \
+        if (!(cond))                                                     \
+            ::socflow::panic("assertion failed: " #cond " ",            \
+                             ##__VA_ARGS__);                             \
+    } while (0)
+
+} // namespace socflow
+
+#endif // SOCFLOW_UTIL_LOGGING_HH

@@ -1,0 +1,114 @@
+#include "util/rng.hh"
+
+#include "util/logging.hh"
+
+namespace socflow {
+
+namespace {
+
+/** SplitMix64 step, used for seeding. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    SOCFLOW_ASSERT(n > 0, "uniformInt requires n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~0ULL - (~0ULL % n);
+    std::uint64_t x;
+    do {
+        x = next();
+    } while (x >= limit);
+    return x % n;
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian) {
+        hasCachedGaussian = false;
+        return cachedGaussian;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedGaussian = r * std::sin(theta);
+    hasCachedGaussian = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xa5a5a5a5deadbeefULL);
+}
+
+} // namespace socflow

@@ -1,0 +1,73 @@
+#include "util/stats.hh"
+
+#include <cmath>
+
+namespace socflow {
+
+void
+RunningStat::add(double x)
+{
+    ++n;
+    total += x;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+    if (n == 1) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+}
+
+double
+RunningStat::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+PercentileTracker::percentile(double p) const
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    if (p <= 0.0)
+        return samples.front();
+    if (p >= 100.0)
+        return samples.back();
+    const double rank = p / 100.0 * static_cast<double>(samples.size());
+    std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+    if (idx > 0)
+        --idx;
+    if (idx >= samples.size())
+        idx = samples.size() - 1;
+    return samples[idx];
+}
+
+void
+Ema::add(double x)
+{
+    if (!seeded) {
+        current = x;
+        seeded = true;
+    } else {
+        current = alpha * x + (1.0 - alpha) * current;
+    }
+}
+
+} // namespace socflow

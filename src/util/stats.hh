@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Small statistics accumulators used by the simulator and benches.
+ */
+
+#ifndef SOCFLOW_UTIL_STATS_HH
+#define SOCFLOW_UTIL_STATS_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace socflow {
+
+/**
+ * Numerically stable (Welford) running mean/variance accumulator.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples seen so far. */
+    std::size_t count() const { return n; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen; 0 when empty. */
+    double min() const { return n ? lo : 0.0; }
+
+    /** Largest sample seen; 0 when empty. */
+    double max() const { return n ? hi : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return total; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/**
+ * Retains all samples to answer percentile queries; used for latency
+ * distributions in the network simulator tests.
+ */
+class PercentileTracker
+{
+  public:
+    /** Record one sample. */
+    void add(double x) { samples.push_back(x); }
+
+    /** Number of recorded samples. */
+    std::size_t count() const { return samples.size(); }
+
+    /**
+     * Percentile by nearest-rank. @param p in [0, 100].
+     * Returns 0 when no samples have been recorded.
+     */
+    double percentile(double p) const;
+
+  private:
+    mutable std::vector<double> samples;
+};
+
+/**
+ * Exponential moving average, used by the underclocking monitor to
+ * smooth per-batch step-time observations.
+ */
+class Ema
+{
+  public:
+    /** @param alpha smoothing weight of the newest sample, in (0,1]. */
+    explicit Ema(double alpha) : alpha(alpha) {}
+
+    /** Fold one sample; the first sample initializes the average. */
+    void add(double x);
+
+    /** Current smoothed value; 0 before any sample. */
+    double value() const { return current; }
+
+    /** True once at least one sample has been folded in. */
+    bool initialized() const { return seeded; }
+
+  private:
+    double alpha;
+    double current = 0.0;
+    bool seeded = false;
+};
+
+} // namespace socflow
+
+#endif // SOCFLOW_UTIL_STATS_HH

@@ -1,0 +1,141 @@
+#include "util/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace socflow {
+
+Table::Table(std::string title) : title(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> h)
+{
+    header = std::move(h);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (!header.empty() && row.size() != header.size())
+        panic("table row width ", row.size(), " != header width ",
+              header.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+Table::str() const
+{
+    // Compute column widths across header and all rows.
+    std::size_t cols = header.size();
+    for (const auto &r : rows)
+        cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    auto grow = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    if (!header.empty())
+        grow(header);
+    for (const auto &r : rows)
+        grow(r);
+
+    std::ostringstream oss;
+    if (!title.empty())
+        oss << "== " << title << " ==\n";
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            oss << r[i];
+            if (i + 1 < r.size())
+                oss << std::string(width[i] - r[i].size() + 2, ' ');
+        }
+        oss << '\n';
+    };
+    if (!header.empty()) {
+        emit(header);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < cols; ++i)
+            total += width[i] + (i + 1 < cols ? 2 : 0);
+        oss << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows)
+        emit(r);
+    return oss.str();
+}
+
+std::string
+Table::csv() const
+{
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            oss << r[i];
+            if (i + 1 < r.size())
+                oss << ',';
+        }
+        oss << '\n';
+    };
+    if (!header.empty())
+        emit(header);
+    for (const auto &r : rows)
+        emit(r);
+    return oss.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+formatDuration(double seconds)
+{
+    char buf[64];
+    if (seconds < 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+    } else if (seconds < 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+    } else if (seconds < 120.0) {
+        std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+    } else if (seconds < 7200.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fmin", seconds / 60.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2fh", seconds / 3600.0);
+    }
+    return buf;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    char buf[64];
+    if (bytes < 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+    } else if (bytes < 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fKiB", bytes / 1024.0);
+    } else if (bytes < 1024.0 * 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fMiB",
+                      bytes / (1024.0 * 1024.0));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2fGiB",
+                      bytes / (1024.0 * 1024.0 * 1024.0));
+    }
+    return buf;
+}
+
+} // namespace socflow

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Aligned console tables and CSV output for the benchmark harnesses.
+ *
+ * Every figure/table bench prints its rows both as a human-readable
+ * aligned table (stdout) and, optionally, as CSV for downstream
+ * plotting.
+ */
+
+#ifndef SOCFLOW_UTIL_TABLE_HH
+#define SOCFLOW_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace socflow {
+
+/**
+ * Collects string cells and renders an aligned ASCII table.
+ */
+class Table
+{
+  public:
+    /** @param title optional heading printed above the table. */
+    explicit Table(std::string title = "");
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header width if one is set. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the aligned table to a string. */
+    std::string str() const;
+
+    /** Render rows as CSV (header first when present). */
+    std::string csv() const;
+
+    /** Print the aligned table to stdout. */
+    void print() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with the given precision. */
+std::string formatDouble(double v, int precision = 2);
+
+/** Format seconds as a compact human-readable duration. */
+std::string formatDuration(double seconds);
+
+/** Format a byte count with binary units. */
+std::string formatBytes(double bytes);
+
+} // namespace socflow
+
+#endif // SOCFLOW_UTIL_TABLE_HH

@@ -1,0 +1,101 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+namespace socflow {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max<std::size_t>(
+            1, std::thread::hardware_concurrency());
+    }
+    workers.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    taskReady.notify_all();
+    for (auto &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        tasks.push(std::move(task));
+        ++inFlight;
+    }
+    taskReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    allDone.wait(lock, [this] { return inFlight == 0; });
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    const std::size_t chunks = std::min(n, workers.size());
+    const std::size_t per = (n + chunks - 1) / chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t begin = c * per;
+        const std::size_t end = std::min(n, begin + per);
+        if (begin >= end)
+            break;
+        submit([&fn, begin, end] {
+            for (std::size_t i = begin; i < end; ++i)
+                fn(i);
+        });
+    }
+    wait();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            taskReady.wait(lock,
+                           [this] { return stopping || !tasks.empty(); });
+            if (tasks.empty()) {
+                if (stopping)
+                    return;
+                continue;
+            }
+            task = std::move(tasks.front());
+            tasks.pop();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            if (--inFlight == 0)
+                allDone.notify_all();
+        }
+    }
+}
+
+ThreadPool &
+globalThreadPool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace socflow

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A minimal fixed-size thread pool with a parallel-for helper.
+ *
+ * The training substrate uses it to evaluate independent worker
+ * replicas concurrently; kernels stay single-threaded so results are
+ * bit-reproducible regardless of pool size.
+ */
+
+#ifndef SOCFLOW_UTIL_THREAD_POOL_HH
+#define SOCFLOW_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace socflow {
+
+/**
+ * Fixed-size worker pool. Tasks are arbitrary void() callables; the
+ * pool drains and joins on destruction.
+ */
+class ThreadPool
+{
+  public:
+    /** @param num_threads 0 selects hardware_concurrency(). */
+    explicit ThreadPool(std::size_t num_threads = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Enqueue one task for asynchronous execution. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers.size(); }
+
+    /**
+     * Run fn(i) for i in [0, n) across the pool and block until all
+     * iterations complete. Iterations are distributed in contiguous
+     * blocks.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::queue<std::function<void()>> tasks;
+    std::mutex mutex;
+    std::condition_variable taskReady;
+    std::condition_variable allDone;
+    std::size_t inFlight = 0;
+    bool stopping = false;
+};
+
+/** Process-wide shared pool for the training substrate. */
+ThreadPool &globalThreadPool();
+
+} // namespace socflow
+
+#endif // SOCFLOW_UTIL_THREAD_POOL_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the SoC-Cluster topology and its calibration against the
+ * latency figures the paper reports (§2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "collectives/engine.hh"
+#include "sim/cluster.hh"
+
+using namespace socflow;
+using namespace socflow::sim;
+
+namespace {
+
+Cluster
+referenceCluster(std::size_t socs = 60)
+{
+    ClusterConfig cfg;
+    cfg.numSocs = socs;
+    return Cluster(cfg);
+}
+
+} // namespace
+
+TEST(Cluster, BoardAssignment)
+{
+    Cluster c = referenceCluster();
+    EXPECT_EQ(c.board(0), 0u);
+    EXPECT_EQ(c.board(4), 0u);
+    EXPECT_EQ(c.board(5), 1u);
+    EXPECT_EQ(c.board(59), 11u);
+    EXPECT_TRUE(c.sameBoard(0, 4));
+    EXPECT_FALSE(c.sameBoard(4, 5));
+}
+
+TEST(Cluster, NumBoards)
+{
+    ClusterConfig cfg;
+    cfg.numSocs = 60;
+    cfg.socsPerBoard = 5;
+    EXPECT_EQ(cfg.numBoards(), 12u);
+    cfg.numSocs = 32;
+    EXPECT_EQ(cfg.numBoards(), 7u);  // last board partial
+}
+
+TEST(Cluster, IntraBoardPathSkipsNic)
+{
+    Cluster c = referenceCluster();
+    const auto p = c.path(0, 1);
+    EXPECT_EQ(p.size(), 2u);  // tx port + rx port only
+}
+
+TEST(Cluster, InterBoardPathCrossesNicsAndSwitch)
+{
+    Cluster c = referenceCluster();
+    const auto p = c.path(0, 7);
+    EXPECT_EQ(p.size(), 5u);  // tx, nic-up, switch, nic-down, rx
+}
+
+TEST(Cluster, SelfTransferPanics)
+{
+    Cluster c = referenceCluster();
+    EXPECT_DEATH(c.path(3, 3), "self-transfer");
+}
+
+TEST(Cluster, TransferBuildsFlow)
+{
+    Cluster c = referenceCluster();
+    const FlowSpec f = c.transfer(0, 9, 1000.0, 2.0);
+    EXPECT_EQ(f.bytes, 1000.0);
+    EXPECT_EQ(f.startS, 2.0);
+    EXPECT_EQ(f.latencyS, c.config().messageLatencyS);
+    EXPECT_EQ(f.path.size(), 5u);
+}
+
+TEST(Cluster, RoundOverheadGrowsWithParticipants)
+{
+    Cluster c = referenceCluster();
+    EXPECT_LT(c.roundOverheadS(5), c.roundOverheadS(32));
+    EXPECT_GT(c.roundOverheadS(1), 0.0);
+}
+
+TEST(ClusterDeath, ZeroSocsIsFatal)
+{
+    ClusterConfig cfg;
+    cfg.numSocs = 0;
+    EXPECT_EXIT(Cluster c(cfg), ::testing::ExitedWithCode(1),
+                "at least one SoC");
+}
+
+// ------------------------------------------------- paper calibration
+
+/**
+ * §2.3: intra-board (5 SoC) ring all-reduce of VGG-11 gradients
+ * (~37 MB) takes ~540 ms; ResNet-18 (~45 MB) ~699 ms. Accept a
+ * +/- 35% band -- we model fluid flows, not TCP.
+ */
+TEST(Calibration, IntraBoardRingMatchesPaper)
+{
+    Cluster c = referenceCluster();
+    collectives::CollectiveEngine eng(c);
+    const std::vector<SocId> ring = {0, 1, 2, 3, 4};
+
+    const double vgg = eng.ringAllReduce(ring, 37e6).seconds;
+    EXPECT_GT(vgg, 0.54 * 0.65);
+    EXPECT_LT(vgg, 0.54 * 1.35);
+
+    const double r18 = eng.ringAllReduce(ring, 45e6).seconds;
+    EXPECT_GT(r18, 0.699 * 0.65);
+    EXPECT_LT(r18, 0.699 * 1.35);
+}
+
+/**
+ * §2.3: 32-SoC (inter-board) communication is 2.31x-9.81x the
+ * intra-board cost.
+ */
+TEST(Calibration, InterBoardPenaltyInPaperBand)
+{
+    Cluster c = referenceCluster();
+    collectives::CollectiveEngine eng(c);
+    std::vector<SocId> ring5 = {0, 1, 2, 3, 4};
+    std::vector<SocId> ring32;
+    for (SocId s = 0; s < 32; ++s)
+        ring32.push_back(s);
+
+    for (double bytes : {37e6, 45e6}) {
+        const double intra = eng.ringAllReduce(ring5, bytes).seconds;
+        const double inter = eng.ringAllReduce(ring32, bytes).seconds;
+        const double ratio = inter / intra;
+        EXPECT_GT(ratio, 1.5) << "bytes=" << bytes;
+        EXPECT_LT(ratio, 12.0) << "bytes=" << bytes;
+    }
+}
+
+/**
+ * §2.3: 32-SoC parameter-server communication of VGG-11 takes
+ * ~20.6 s and ResNet-18 ~26.5 s (server incast on a 1 Gbps port).
+ */
+TEST(Calibration, ParameterServerIncastMatchesPaper)
+{
+    Cluster c = referenceCluster();
+    collectives::CollectiveEngine eng(c);
+    std::vector<SocId> socs;
+    for (SocId s = 0; s < 32; ++s)
+        socs.push_back(s);
+
+    const double vgg = eng.paramServer(socs, 0, 37e6).seconds;
+    EXPECT_GT(vgg, 20.6 * 0.6);
+    EXPECT_LT(vgg, 20.6 * 1.4);
+
+    const double r18 = eng.paramServer(socs, 0, 45e6).seconds;
+    EXPECT_GT(r18, 26.5 * 0.6);
+    EXPECT_LT(r18, 26.5 * 1.4);
+}
+
+/**
+ * Fig. 4(b): ring latency grows with the SoC count (linear scaling
+ * is the phenomenon motivating group-wise parallelism).
+ */
+TEST(Calibration, RingLatencyGrowsWithSocCount)
+{
+    Cluster c = referenceCluster();
+    collectives::CollectiveEngine eng(c);
+    double prev = 0.0;
+    for (std::size_t n : {4u, 8u, 16u, 32u}) {
+        std::vector<SocId> ring;
+        for (SocId s = 0; s < n; ++s)
+            ring.push_back(s);
+        const double t = eng.ringAllReduce(ring, 37e6).seconds;
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Communication-group planning tests: coloring validity, the
+ * two-wave guarantee under integrity-greedy mappings, and the
+ * planned-vs-unplanned cost property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collectives/engine.hh"
+#include "core/comm_plan.hh"
+#include "core/mapping.hh"
+#include "sim/cluster.hh"
+
+using namespace socflow;
+using namespace socflow::core;
+
+namespace {
+
+sim::Cluster
+cluster(std::size_t socs)
+{
+    sim::ClusterConfig cfg;
+    cfg.numSocs = socs;
+    return sim::Cluster(cfg);
+}
+
+void
+expectValidColoring(const std::vector<std::vector<std::size_t>> &adj,
+                    const CommPlan &plan)
+{
+    ASSERT_EQ(plan.commGroup.size(), adj.size());
+    for (std::size_t u = 0; u < adj.size(); ++u)
+        for (std::size_t v : adj[u])
+            EXPECT_NE(plan.commGroup[u], plan.commGroup[v])
+                << "groups " << u << " and " << v;
+}
+
+} // namespace
+
+TEST(CommPlan, EmptyGraphOneWaveless)
+{
+    const CommPlan plan = planCommGroups({});
+    EXPECT_EQ(plan.numCommGroups, 0u);
+}
+
+TEST(CommPlan, IndependentGroupsShareWaveZero)
+{
+    const std::vector<std::vector<std::size_t>> adj = {{}, {}, {}};
+    const CommPlan plan = planCommGroups(adj);
+    EXPECT_EQ(plan.numCommGroups, 1u);
+    for (std::size_t c : plan.commGroup)
+        EXPECT_EQ(c, 0u);
+}
+
+TEST(CommPlan, ChainIsTwoColored)
+{
+    // 0-1-2-3 chain (what integrity-greedy produces).
+    const std::vector<std::vector<std::size_t>> adj = {
+        {1}, {0, 2}, {1, 3}, {2}};
+    const CommPlan plan = planCommGroups(adj);
+    EXPECT_EQ(plan.numCommGroups, 2u);
+    expectValidColoring(adj, plan);
+}
+
+TEST(CommPlan, OddCycleFallsBackToGreedy)
+{
+    // Triangle: not bipartite; greedy coloring needs 3 waves.
+    const std::vector<std::vector<std::size_t>> adj = {
+        {1, 2}, {0, 2}, {0, 1}};
+    const CommPlan plan = planCommGroups(adj);
+    EXPECT_EQ(plan.numCommGroups, 3u);
+    expectValidColoring(adj, plan);
+}
+
+TEST(CommPlan, MismatchedPlanPanics)
+{
+    sim::Cluster c = cluster(20);
+    collectives::CollectiveEngine eng(c);
+    const Mapping m = mapGroups(20, 5, 4, MapStrategy::IntegrityGreedy);
+    CommPlan plan;  // empty
+    EXPECT_DEATH(plannedSyncCost(eng, m, plan, 1e6), "match");
+}
+
+// ---------------------------------------------------- property sweeps
+
+struct PlanCase {
+    std::size_t socs, perBoard, groups;
+};
+
+class CommPlanSweep : public ::testing::TestWithParam<PlanCase>
+{
+};
+
+/** Under integrity-greedy mappings at most two waves are needed. */
+TEST_P(CommPlanSweep, AtMostTwoWaves)
+{
+    const auto p = GetParam();
+    const Mapping m = mapGroups(p.socs, p.perBoard, p.groups,
+                                MapStrategy::IntegrityGreedy);
+    const auto adj = conflictGraph(m, p.perBoard);
+    const CommPlan plan = planCommGroups(adj);
+    EXPECT_LE(plan.numCommGroups, 2u);
+    expectValidColoring(adj, plan);
+}
+
+/** Planned sync never costs more than the unplanned all-at-once. */
+TEST_P(CommPlanSweep, PlannedNoSlowerThanUnplanned)
+{
+    const auto p = GetParam();
+    sim::Cluster c = cluster(p.socs);
+    collectives::CollectiveEngine eng(c);
+    const Mapping m = mapGroups(p.socs, p.perBoard, p.groups,
+                                MapStrategy::IntegrityGreedy);
+    const CommPlan plan =
+        planCommGroups(conflictGraph(m, p.perBoard));
+
+    const double planned =
+        plannedSyncCost(eng, m, plan, 37e6).seconds;
+    const double unplanned = unplannedSyncCost(eng, m, 37e6).seconds;
+    // Allow a small tolerance: with <= 1 wave the two are identical.
+    EXPECT_LE(planned, unplanned * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, CommPlanSweep,
+    ::testing::Values(PlanCase{15, 5, 5}, PlanCase{30, 5, 6},
+                      PlanCase{32, 5, 8}, PlanCase{60, 5, 12},
+                      PlanCase{60, 5, 20}, PlanCase{24, 5, 8},
+                      PlanCase{48, 5, 16}, PlanCase{56, 7, 8},
+                      PlanCase{60, 5, 10}));
+
+/** Contended mappings benefit from planning (strict improvement). */
+TEST(CommPlan, PlanningHelpsContendedMapping)
+{
+    sim::Cluster c = cluster(30);
+    collectives::CollectiveEngine eng(c);
+    // Sequential mapping with group size 3 on boards of 5 creates
+    // NIC-sharing split groups.
+    const Mapping m = mapGroups(30, 5, 10, MapStrategy::Sequential);
+    const CommPlan plan = planCommGroups(conflictGraph(m, 5));
+    if (plan.numCommGroups >= 2) {
+        const double planned =
+            plannedSyncCost(eng, m, plan, 37e6).seconds;
+        const double unplanned =
+            unplannedSyncCost(eng, m, 37e6).seconds;
+        EXPECT_LT(planned, unplanned);
+    }
+}

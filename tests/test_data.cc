@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Dataset, sharding, batching and synthetic-generator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "data/dataset.hh"
+#include "data/synthetic.hh"
+#include "util/rng.hh"
+
+using namespace socflow;
+using namespace socflow::data;
+using socflow::tensor::Tensor;
+
+namespace {
+
+Dataset
+tinyDataset(std::size_t n = 10, std::size_t classes = 3)
+{
+    Tensor x({n, 1, 2, 2});
+    std::vector<int> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        y[i] = static_cast<int>(i % classes);
+        for (std::size_t j = 0; j < 4; ++j)
+            x[i * 4 + j] = static_cast<float>(i);
+    }
+    return Dataset("tiny", std::move(x), std::move(y), classes);
+}
+
+} // namespace
+
+TEST(Dataset, BatchGathersCorrectSamples)
+{
+    Dataset d = tinyDataset();
+    auto [x, y] = d.batch({3, 7});
+    EXPECT_EQ(x.dim(0), 2u);
+    EXPECT_EQ(x[0], 3.0f);
+    EXPECT_EQ(x[4], 7.0f);
+    EXPECT_EQ(y[0], 0);
+    EXPECT_EQ(y[1], 1);
+}
+
+TEST(Dataset, AllReturnsEverything)
+{
+    Dataset d = tinyDataset(6);
+    auto [x, y] = d.all();
+    EXPECT_EQ(x.dim(0), 6u);
+    EXPECT_EQ(y.size(), 6u);
+}
+
+TEST(Dataset, OutOfRangeBatchPanics)
+{
+    Dataset d = tinyDataset(4);
+    EXPECT_DEATH(d.batch({9}), "out of range");
+}
+
+TEST(Dataset, LabelOutOfRangePanics)
+{
+    Tensor x({1, 1, 2, 2});
+    EXPECT_DEATH(Dataset("bad", std::move(x), {7}, 3), "label");
+}
+
+// -------------------------------------------------------------- shards
+
+TEST(ShardIid, PartitionCoversAllDisjoint)
+{
+    Rng rng(1);
+    const auto shards = shardIid(103, 8, rng);
+    EXPECT_EQ(shards.size(), 8u);
+    std::set<std::size_t> seen;
+    for (const auto &s : shards)
+        for (std::size_t i : s)
+            EXPECT_TRUE(seen.insert(i).second) << "duplicate " << i;
+    EXPECT_EQ(seen.size(), 103u);
+}
+
+TEST(ShardIid, NearEqualSizes)
+{
+    Rng rng(2);
+    const auto shards = shardIid(100, 7, rng);
+    for (const auto &s : shards) {
+        EXPECT_GE(s.size(), 100u / 7);
+        EXPECT_LE(s.size(), 100u / 7 + 1);
+    }
+}
+
+TEST(ShardLabelSkew, ZeroSkewStillPartitions)
+{
+    Rng rng(3);
+    std::vector<int> labels(60);
+    for (std::size_t i = 0; i < 60; ++i)
+        labels[i] = static_cast<int>(i % 10);
+    const auto shards = shardByLabelSkew(labels, 6, 0.0, 10, rng);
+    std::set<std::size_t> seen;
+    for (const auto &s : shards)
+        for (std::size_t i : s)
+            seen.insert(i);
+    EXPECT_EQ(seen.size(), 60u);
+}
+
+TEST(ShardLabelSkew, HighSkewConcentratesDominantClass)
+{
+    Rng rng(4);
+    const std::size_t n = 1000, classes = 10, shards_n = 10;
+    std::vector<int> labels(n);
+    for (std::size_t i = 0; i < n; ++i)
+        labels[i] = static_cast<int>(i % classes);
+    const auto shards =
+        shardByLabelSkew(labels, shards_n, 0.8, classes, rng);
+    // Shard s should be dominated by class s % classes.
+    for (std::size_t s = 0; s < shards_n; ++s) {
+        std::size_t dom = 0;
+        for (std::size_t idx : shards[s])
+            dom += labels[idx] == static_cast<int>(s % classes) ? 1 : 0;
+        EXPECT_GT(static_cast<double>(dom) / shards[s].size(), 0.5);
+    }
+}
+
+// ------------------------------------------------------- BatchIterator
+
+TEST(BatchIterator, CoversEpochExactlyOnce)
+{
+    BatchIterator it(25, 4, Rng(5));
+    std::set<std::size_t> seen;
+    std::size_t batches = 0;
+    while (!it.epochDone()) {
+        for (std::size_t i : it.next())
+            EXPECT_TRUE(seen.insert(i).second);
+        ++batches;
+    }
+    EXPECT_EQ(seen.size(), 25u);
+    EXPECT_EQ(batches, 7u);
+    EXPECT_EQ(it.batchesPerEpoch(), 7u);
+}
+
+TEST(BatchIterator, ResetReshuffles)
+{
+    BatchIterator it(16, 16, Rng(6));
+    const auto first = it.next();
+    it.reset();
+    const auto second = it.next();
+    EXPECT_NE(first, second);  // overwhelmingly likely
+    auto a = first, b = second;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(BatchIterator, ExhaustedNextPanics)
+{
+    BatchIterator it(4, 4, Rng(7));
+    it.next();
+    EXPECT_DEATH(it.next(), "exhausted");
+}
+
+// ----------------------------------------------------------- synthetic
+
+TEST(Synthetic, DeterministicForSeed)
+{
+    SyntheticParams p;
+    p.trainSamples = 32;
+    p.testSamples = 16;
+    DataBundle a = makeSynthetic(p);
+    DataBundle b = makeSynthetic(p);
+    EXPECT_TRUE(a.train.images().equals(b.train.images()));
+    EXPECT_EQ(a.train.labels(), b.train.labels());
+}
+
+TEST(Synthetic, DifferentSeedsDiffer)
+{
+    SyntheticParams p;
+    p.trainSamples = 32;
+    p.testSamples = 16;
+    DataBundle a = makeSynthetic(p);
+    p.seed += 1;
+    DataBundle b = makeSynthetic(p);
+    EXPECT_FALSE(a.train.images().equals(b.train.images()));
+}
+
+TEST(Synthetic, ShapesAndSpec)
+{
+    SyntheticParams p;
+    p.channels = 3;
+    p.height = 10;
+    p.width = 8;
+    p.trainSamples = 20;
+    p.testSamples = 10;
+    DataBundle b = makeSynthetic(p);
+    EXPECT_EQ(b.train.images().shape(),
+              (tensor::Shape{20, 3, 10, 8}));
+    EXPECT_EQ(b.test.size(), 10u);
+    EXPECT_EQ(b.spec.inChannels, 3u);
+    EXPECT_EQ(b.spec.inHeight, 10u);
+    EXPECT_EQ(b.spec.classes, 10u);
+}
+
+TEST(Synthetic, AllClassesPresent)
+{
+    SyntheticParams p;
+    p.trainSamples = 500;
+    p.classes = 10;
+    DataBundle b = makeSynthetic(p);
+    std::set<int> seen(b.train.labels().begin(),
+                       b.train.labels().end());
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+class RegistryNames : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(RegistryNames, BuildsConsistentBundle)
+{
+    DataBundle b = makeDatasetByName(GetParam());
+    EXPECT_GT(b.train.size(), 0u);
+    EXPECT_GT(b.test.size(), 0u);
+    EXPECT_EQ(b.train.images().dim(1), b.spec.inChannels);
+    EXPECT_GE(b.train.classes(), 2u);
+    for (int y : b.train.labels())
+        EXPECT_LT(static_cast<std::size_t>(y), b.train.classes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Analogs, RegistryNames,
+                         ::testing::Values("emnist", "fmnist", "cifar10",
+                                           "celeba", "cinic10"));
+
+TEST(Registry, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeDatasetByName("imagenet"),
+                ::testing::ExitedWithCode(1), "unknown dataset");
+}
+
+TEST(Registry, GrayscaleAnalogsHaveOneChannel)
+{
+    EXPECT_EQ(registryParams("emnist").channels, 1u);
+    EXPECT_EQ(registryParams("fmnist").channels, 1u);
+    EXPECT_EQ(registryParams("cifar10").channels, 3u);
+}
+
+TEST(Registry, CelebaIsBinary)
+{
+    EXPECT_EQ(registryParams("celeba").classes, 2u);
+}
+
+TEST(Registry, CinicSharesCifarGeometry)
+{
+    const auto cifar = registryParams("cifar10");
+    const auto cinic = registryParams("cinic10");
+    EXPECT_EQ(cifar.channels, cinic.channels);
+    EXPECT_EQ(cifar.classes, cinic.classes);
+    EXPECT_GT(cinic.trainSamples, cifar.trainSamples);
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+using namespace socflow::sim;
+
+TEST(Ticks, Conversions)
+{
+    EXPECT_EQ(secondsToTicks(1.0), ticksPerSecond);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(ticksPerSecond), 1.0);
+    EXPECT_EQ(secondsToTicks(0.5), ticksPerSecond / 2);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue q;
+    Tick fired = 0;
+    q.schedule(100, [&] {
+        q.scheduleIn(50, [&] { fired = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(fired, 150u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    const auto id = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    q.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue q;
+    const auto id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(42));
+    EXPECT_FALSE(q.cancel(0));
+}
+
+TEST(EventQueue, RunRespectsLimit)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(100, [&] { order.push_back(2); });
+    q.run(50);
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_EQ(order.size(), 2u);
+}
+
+TEST(EventQueue, StepExecutesOne)
+{
+    EventQueue q;
+    int n = 0;
+    q.schedule(1, [&] { ++n; });
+    q.schedule(2, [&] { ++n; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(n, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5)
+            q.scheduleIn(10, recurse);
+    };
+    q.schedule(0, recurse);
+    q.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    const auto a = q.schedule(5, [] {});
+    q.schedule(6, [] {});
+    EXPECT_EQ(q.pendingEvents(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.pendingEvents(), 1u);
+    q.run();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(50, [] {}), "past");
+}

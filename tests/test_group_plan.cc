@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Group-size selection tests: the Eq. 1 time model and the
+ * first-epoch profiling heuristic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/group_plan.hh"
+
+using namespace socflow;
+using namespace socflow::core;
+
+namespace {
+
+EpochTimeModel
+referenceModel()
+{
+    EpochTimeModel m;
+    m.numSamples = 50000;
+    m.numSocs = 32;
+    m.groupBatch = 64;
+    m.trainSecondsPerBatch = 1.0;
+    m.syncSeconds = 0.6;
+    return m;
+}
+
+} // namespace
+
+TEST(EpochTime, MatchesEq1ByHand)
+{
+    EpochTimeModel m;
+    m.numSamples = 1000;
+    m.numSocs = 8;
+    m.groupBatch = 50;
+    m.trainSecondsPerBatch = 2.0;
+    m.syncSeconds = 0.5;
+    // N=2: steps = 1000/(2*50) = 10; per-step = 2*2/8 + 0.5 = 1.0.
+    EXPECT_NEAR(epochSeconds(m, 2), 10.0, 1e-9);
+    // N=4: steps = 5; per-step = 2*4/8 + 0.5 = 1.5.
+    EXPECT_NEAR(epochSeconds(m, 4), 7.5, 1e-9);
+}
+
+TEST(EpochTime, DecreasesWithGroupCount)
+{
+    const EpochTimeModel m = referenceModel();
+    double prev = epochSeconds(m, 1);
+    for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+        const double t = epochSeconds(m, n);
+        EXPECT_LT(t, prev) << "N=" << n;
+        prev = t;
+    }
+}
+
+TEST(EpochTime, BadInputsPanic)
+{
+    EpochTimeModel m;  // zeros
+    EXPECT_DEATH(epochSeconds(m, 0), "bad epoch-time model");
+}
+
+TEST(GroupSelect, PicksLargestBeforeCollapse)
+{
+    // Synthetic profile: fine until N=16, collapse at 16.
+    std::map<std::size_t, double> acc = {
+        {1, 0.55}, {2, 0.54}, {4, 0.52}, {8, 0.48}, {16, 0.12},
+        {32, 0.10}};
+    const GroupSizeDecision d = selectGroupCount(
+        {1, 2, 4, 8, 16, 32},
+        [&](std::size_t n) { return acc.at(n); });
+    EXPECT_EQ(d.chosenGroups, 8u);
+    // Profiling stopped at the collapsing candidate.
+    EXPECT_EQ(d.profiledCandidates.back(), 16u);
+    EXPECT_EQ(d.profiledCandidates.size(), 5u);
+}
+
+TEST(GroupSelect, RelativeDropAlsoStops)
+{
+    std::map<std::size_t, double> acc = {
+        {1, 0.60}, {2, 0.58}, {4, 0.30}, {8, 0.28}};
+    const GroupSizeDecision d = selectGroupCount(
+        {1, 2, 4, 8}, [&](std::size_t n) { return acc.at(n); },
+        /*collapse=*/0.15, /*relative=*/0.3);
+    EXPECT_EQ(d.chosenGroups, 2u);
+}
+
+TEST(GroupSelect, NoCollapseChoosesLargest)
+{
+    const GroupSizeDecision d = selectGroupCount(
+        {1, 2, 4}, [](std::size_t) { return 0.5; });
+    EXPECT_EQ(d.chosenGroups, 4u);
+    EXPECT_EQ(d.profiledCandidates.size(), 3u);
+}
+
+TEST(GroupSelect, FirstCandidateCollapsedStillReturnsIt)
+{
+    const GroupSizeDecision d = selectGroupCount(
+        {4, 8}, [](std::size_t) { return 0.05; });
+    // Nothing survived; the default (initial) choice of 1 remains.
+    EXPECT_EQ(d.chosenGroups, 1u);
+    EXPECT_EQ(d.profiledCandidates.size(), 1u);
+}
+
+TEST(GroupSelect, EmptyCandidatesPanics)
+{
+    EXPECT_DEATH(selectGroupCount({}, [](std::size_t) { return 0.5; }),
+                 "candidates");
+}

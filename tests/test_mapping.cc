@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Integrity-greedy mapping tests, including property sweeps that
+ * check the paper's two theorems: (1) the greedy mapping minimizes
+ * the conflict metric C among the implemented strategies, and
+ * (2) every split group conflicts with at most two other groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/mapping.hh"
+
+using namespace socflow;
+using namespace socflow::core;
+
+TEST(Mapping, GroupSizesAreEqual)
+{
+    const Mapping m = mapGroups(30, 5, 6, MapStrategy::IntegrityGreedy);
+    ASSERT_EQ(m.numGroups(), 6u);
+    for (const auto &g : m.members)
+        EXPECT_EQ(g.size(), 5u);
+}
+
+TEST(Mapping, EverySocPlacedExactlyOnce)
+{
+    const Mapping m = mapGroups(32, 5, 8, MapStrategy::IntegrityGreedy);
+    std::set<sim::SocId> seen;
+    for (const auto &g : m.members)
+        for (sim::SocId s : g)
+            EXPECT_TRUE(seen.insert(s).second);
+    EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(Mapping, PaperExampleGroupSize3Board5)
+{
+    // The paper's Fig. 5(c): 15 SoCs on 3 boards of 5, 5 logical
+    // groups of 3. Greedy places LG1-3 whole, LG4/LG5 split.
+    const Mapping m = mapGroups(15, 5, 5, MapStrategy::IntegrityGreedy);
+    std::size_t whole = 0;
+    for (std::size_t g = 0; g < 5; ++g)
+        whole += isSplitGroup(m, g, 5) ? 0 : 1;
+    EXPECT_EQ(whole, 3u);
+    EXPECT_EQ(conflictC(m, 5, 3), 2u);
+}
+
+TEST(Mapping, WholeGroupsWhenDivisible)
+{
+    // Group size divides board size: no split groups at all, C = 0.
+    const Mapping m = mapGroups(20, 5, 4, MapStrategy::IntegrityGreedy);
+    for (std::size_t g = 0; g < 4; ++g)
+        EXPECT_FALSE(isSplitGroup(m, g, 5));
+    EXPECT_EQ(conflictC(m, 5, 4), 0u);
+}
+
+TEST(Mapping, RoundRobinSplitsEverything)
+{
+    const Mapping m = mapGroups(20, 5, 4, MapStrategy::RoundRobin);
+    for (std::size_t g = 0; g < 4; ++g)
+        EXPECT_TRUE(isSplitGroup(m, g, 5));
+    EXPECT_EQ(conflictC(m, 5, 4), 4u);
+}
+
+TEST(Mapping, IndivisibleCountIsFatal)
+{
+    EXPECT_EXIT(mapGroups(10, 5, 3, MapStrategy::IntegrityGreedy),
+                ::testing::ExitedWithCode(1), "divisible");
+}
+
+TEST(Mapping, StrategyNames)
+{
+    EXPECT_STREQ(mapStrategyName(MapStrategy::IntegrityGreedy),
+                 "integrity-greedy");
+    EXPECT_STREQ(mapStrategyName(MapStrategy::RoundRobin),
+                 "round-robin");
+    EXPECT_STREQ(mapStrategyName(MapStrategy::Sequential),
+                 "sequential");
+}
+
+TEST(ConflictGraph, OnlySplitGroupsConflict)
+{
+    const Mapping m = mapGroups(15, 5, 5, MapStrategy::IntegrityGreedy);
+    const auto adj = conflictGraph(m, 5);
+    for (std::size_t g = 0; g < 5; ++g) {
+        if (!isSplitGroup(m, g, 5))
+            EXPECT_TRUE(adj[g].empty());
+    }
+}
+
+TEST(ConflictGraph, SymmetricEdges)
+{
+    const Mapping m = mapGroups(32, 5, 8, MapStrategy::IntegrityGreedy);
+    const auto adj = conflictGraph(m, 5);
+    for (std::size_t u = 0; u < adj.size(); ++u) {
+        for (std::size_t v : adj[u]) {
+            EXPECT_NE(std::find(adj[v].begin(), adj[v].end(), u),
+                      adj[v].end());
+        }
+    }
+}
+
+// ----------------------------------------------------- theorem sweeps
+
+struct MapCase {
+    std::size_t socs, perBoard, groups;
+};
+
+class MappingTheorems : public ::testing::TestWithParam<MapCase>
+{
+};
+
+/** Theorem 1: greedy C <= C of both alternative strategies. */
+TEST_P(MappingTheorems, GreedyMinimizesConflictC)
+{
+    const auto p = GetParam();
+    const std::size_t boards =
+        (p.socs + p.perBoard - 1) / p.perBoard;
+    const auto greedy = conflictC(
+        mapGroups(p.socs, p.perBoard, p.groups,
+                  MapStrategy::IntegrityGreedy),
+        p.perBoard, boards);
+    const auto seq = conflictC(
+        mapGroups(p.socs, p.perBoard, p.groups,
+                  MapStrategy::Sequential),
+        p.perBoard, boards);
+    const auto rr = conflictC(
+        mapGroups(p.socs, p.perBoard, p.groups,
+                  MapStrategy::RoundRobin),
+        p.perBoard, boards);
+    EXPECT_LE(greedy, seq);
+    EXPECT_LE(greedy, rr);
+}
+
+/** Theorem 2: each split group conflicts with at most two others. */
+TEST_P(MappingTheorems, SplitGroupsConflictWithAtMostTwo)
+{
+    const auto p = GetParam();
+    const Mapping m = mapGroups(p.socs, p.perBoard, p.groups,
+                                MapStrategy::IntegrityGreedy);
+    const auto adj = conflictGraph(m, p.perBoard);
+    for (std::size_t g = 0; g < adj.size(); ++g)
+        EXPECT_LE(adj[g].size(), 2u) << "group " << g;
+}
+
+/** Split groups occupy contiguous slot ranges -> chains, 2-colorable. */
+TEST_P(MappingTheorems, AllSocsPlacedOnce)
+{
+    const auto p = GetParam();
+    const Mapping m = mapGroups(p.socs, p.perBoard, p.groups,
+                                MapStrategy::IntegrityGreedy);
+    std::set<sim::SocId> seen;
+    for (const auto &g : m.members) {
+        EXPECT_EQ(g.size(), p.socs / p.groups);
+        for (sim::SocId s : g) {
+            EXPECT_LT(s, p.socs);
+            EXPECT_TRUE(seen.insert(s).second);
+        }
+    }
+    EXPECT_EQ(seen.size(), p.socs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, MappingTheorems,
+    ::testing::Values(MapCase{15, 5, 5}, MapCase{30, 5, 6},
+                      MapCase{32, 5, 8}, MapCase{60, 5, 12},
+                      MapCase{60, 5, 20}, MapCase{60, 5, 10},
+                      MapCase{24, 5, 8}, MapCase{48, 5, 16},
+                      MapCase{36, 6, 9}, MapCase{32, 4, 8},
+                      MapCase{32, 8, 4}, MapCase{56, 7, 8},
+                      MapCase{60, 5, 4}, MapCase{16, 5, 16},
+                      MapCase{28, 5, 7}));

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Compute model, calibration zoo, energy meter and DVFS tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/calibration.hh"
+#include "sim/compute_model.hh"
+#include "sim/dvfs.hh"
+#include "sim/energy.hh"
+
+using namespace socflow;
+using namespace socflow::sim;
+
+// --------------------------------------------------------- calibration
+
+TEST(Calibration, ZooHasAllPaperModels)
+{
+    for (const char *name :
+         {"lenet5", "vgg11", "resnet18", "mobilenet_v1", "resnet50"}) {
+        const ModelProfile &m = modelProfile(name);
+        EXPECT_GT(m.paramCount, 0u) << name;
+        EXPECT_GT(m.cpuMsPerSample, 0.0) << name;
+        EXPECT_GT(m.npuSpeedup, 1.0) << name;
+    }
+}
+
+TEST(Calibration, UnknownModelIsFatal)
+{
+    EXPECT_EXIT(modelProfile("bert"), ::testing::ExitedWithCode(1),
+                "unknown model profile");
+}
+
+TEST(Calibration, PaperRatios)
+{
+    // ResNet-18 total CPU training time is ~8x VGG-11 (233 h / 29.1 h).
+    const double ratio = modelProfile("resnet18").cpuMsPerSample /
+                         modelProfile("vgg11").cpuMsPerSample;
+    EXPECT_NEAR(ratio, 8.0, 1.0);
+    // NPU speedups: ~3.9x (VGG-11), ~6.5x (ResNet-18).
+    EXPECT_NEAR(modelProfile("vgg11").npuSpeedup, 3.9, 0.3);
+    EXPECT_NEAR(modelProfile("resnet18").npuSpeedup, 6.5, 0.3);
+}
+
+TEST(Calibration, ParamBytesMatchFp32Size)
+{
+    const ModelProfile &m = modelProfile("resnet18");
+    EXPECT_NEAR(m.paramBytes(), 4.0 * m.paramCount, 1e-6);
+    // ~45 MB, the payload behind the paper's 699 ms ring number.
+    EXPECT_NEAR(m.paramBytes() / 1e6, 44.7, 2.0);
+}
+
+// -------------------------------------------------------- compute model
+
+TEST(ComputeModel, NpuFasterByProfileRatio)
+{
+    ComputeModel cm;
+    const ModelProfile &m = modelProfile("vgg11");
+    const double cpu = cm.batchSeconds(m, Device::SocCpu, 64);
+    const double npu = cm.batchSeconds(m, Device::SocNpu, 64);
+    EXPECT_NEAR(cpu / npu, m.npuSpeedup, 1e-6);
+}
+
+TEST(ComputeModel, GpuMuchFasterThanSoc)
+{
+    ComputeModel cm;
+    const ModelProfile &m = modelProfile("vgg11");
+    EXPECT_LT(cm.batchSeconds(m, Device::GpuV100, 64),
+              cm.batchSeconds(m, Device::SocCpu, 64) / 5.0);
+    EXPECT_LT(cm.batchSeconds(m, Device::GpuA100, 64),
+              cm.batchSeconds(m, Device::GpuV100, 64));
+}
+
+TEST(ComputeModel, UnderclockScalesTime)
+{
+    ComputeModel cm;
+    const ModelProfile &m = modelProfile("lenet5");
+    const double full = cm.batchSeconds(m, Device::SocCpu, 32, 1.0);
+    const double slow = cm.batchSeconds(m, Device::SocCpu, 32, 0.5);
+    EXPECT_NEAR(slow, 2.0 * full, 1e-9);
+}
+
+TEST(ComputeModel, BadClockFactorPanics)
+{
+    ComputeModel cm;
+    const ModelProfile &m = modelProfile("lenet5");
+    EXPECT_DEATH(cm.batchSeconds(m, Device::SocCpu, 1, 0.0), "clock");
+    EXPECT_DEATH(cm.batchSeconds(m, Device::SocCpu, 1, 1.5), "clock");
+}
+
+TEST(ComputeModel, PowerOrdering)
+{
+    ComputeModel cm;
+    // NPU cheaper than CPU; GPUs far above both.
+    EXPECT_LT(cm.trainPowerW(Device::SocNpu),
+              cm.trainPowerW(Device::SocCpu));
+    EXPECT_GT(cm.trainPowerW(Device::GpuV100), 100.0);
+    EXPECT_GT(cm.trainPowerW(Device::GpuA100),
+              cm.trainPowerW(Device::GpuV100));
+}
+
+TEST(ComputeModel, DeviceNames)
+{
+    EXPECT_STREQ(deviceName(Device::SocCpu), "soc-cpu");
+    EXPECT_STREQ(deviceName(Device::GpuA100), "a100");
+}
+
+// ---------------------------------------------------------- EnergyMeter
+
+TEST(EnergyMeter, AccumulatesJoules)
+{
+    EnergyMeter m;
+    m.accumulate(PowerState::CpuTrain, 10.0);  // 5.5 W * 10 s
+    EXPECT_NEAR(m.totalJoules(), 55.0, 1e-9);
+    EXPECT_NEAR(m.joules(PowerState::CpuTrain), 55.0, 1e-9);
+    EXPECT_EQ(m.joules(PowerState::Comm), 0.0);
+}
+
+TEST(EnergyMeter, CountMultipliesDevices)
+{
+    EnergyMeter m;
+    m.accumulate(PowerState::Comm, 2.0, 10);
+    EXPECT_NEAR(m.totalJoules(), 2.2 * 2.0 * 10, 1e-9);
+}
+
+TEST(EnergyMeter, GpuStateUsesDevicePower)
+{
+    EnergyMeter m;
+    m.accumulate(PowerState::GpuTrain, 1.0, 1, Device::GpuV100);
+    const double v100 = m.totalJoules();
+    m.reset();
+    m.accumulate(PowerState::GpuTrain, 1.0, 1, Device::GpuA100);
+    EXPECT_GT(m.totalJoules(), v100);
+}
+
+TEST(EnergyMeter, ResetClears)
+{
+    EnergyMeter m;
+    m.accumulate(PowerState::Idle, 100.0);
+    m.reset();
+    EXPECT_EQ(m.totalJoules(), 0.0);
+}
+
+TEST(EnergyMeter, KilojoulesConversion)
+{
+    EnergyMeter m;
+    m.accumulate(PowerState::Idle, 12500.0);  // 0.8 W
+    EXPECT_NEAR(m.totalKilojoules(), 10.0, 1e-9);
+}
+
+TEST(EnergyMeter, NegativeIntervalPanics)
+{
+    EnergyMeter m;
+    EXPECT_DEATH(m.accumulate(PowerState::Idle, -1.0), "negative");
+}
+
+TEST(EnergyMeter, StateNames)
+{
+    EXPECT_STREQ(powerStateName(PowerState::NpuTrain), "npu-train");
+    EXPECT_STREQ(powerStateName(PowerState::GpuTrain), "gpu-train");
+}
+
+// ---------------------------------------------------------------- DVFS
+
+TEST(Dvfs, StartsAtNominal)
+{
+    UnderclockModel m(8, DvfsConfig{});
+    for (std::size_t s = 0; s < 8; ++s) {
+        EXPECT_FALSE(m.throttled(s));
+        EXPECT_EQ(m.clockFactor(s), 1.0);
+    }
+    EXPECT_EQ(m.throttledCount(), 0u);
+}
+
+TEST(Dvfs, ForcedThrottleChangesFactor)
+{
+    DvfsConfig cfg;
+    cfg.throttledFactor = 0.6;
+    UnderclockModel m(4, cfg);
+    m.setThrottled(2, true);
+    EXPECT_TRUE(m.throttled(2));
+    EXPECT_EQ(m.clockFactor(2), 0.6);
+    EXPECT_EQ(m.throttledCount(), 1u);
+}
+
+TEST(Dvfs, WalkReachesSteadyStateFraction)
+{
+    DvfsConfig cfg;
+    cfg.throttleProb = 0.1;
+    cfg.recoverProb = 0.3;
+    UnderclockModel m(1000, cfg, 42);
+    for (int e = 0; e < 200; ++e)
+        m.step();
+    // Steady state ~ p/(p+q) = 0.25.
+    const double frac = m.throttledCount() / 1000.0;
+    EXPECT_NEAR(frac, 0.25, 0.06);
+}
+
+TEST(Dvfs, OutOfRangePanics)
+{
+    UnderclockModel m(4, DvfsConfig{});
+    EXPECT_DEATH(m.clockFactor(9), "range");
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * SSP baseline tests: synchronous degeneration, staleness/accuracy
+ * trade-off, and the barrier-free timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_sync.hh"
+#include "baselines/ssp.hh"
+#include "data/synthetic.hh"
+
+using namespace socflow;
+using namespace socflow::baselines;
+
+namespace {
+
+data::DataBundle
+tinyBundle()
+{
+    data::SyntheticParams p;
+    p.name = "ssp";
+    p.classes = 4;
+    p.channels = 1;
+    p.height = 8;
+    p.width = 8;
+    p.trainSamples = 256;
+    p.testSamples = 96;
+    p.noise = 0.3;
+    p.seed = 606;
+    return data::makeSynthetic(p);
+}
+
+BaselineConfig
+tinyConfig(std::size_t socs = 8)
+{
+    BaselineConfig cfg;
+    cfg.modelFamily = "mlp";
+    cfg.numSocs = socs;
+    cfg.globalBatch = 16;
+    cfg.sgd.learningRate = 0.05;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Ssp, LearnsWithModerateStaleness)
+{
+    data::DataBundle b = tinyBundle();
+    SspTrainer trainer(tinyConfig(), b, 2);
+    const double acc0 = trainer.testAccuracy();
+    for (int e = 0; e < 4; ++e)
+        trainer.runEpoch();
+    EXPECT_GT(trainer.testAccuracy(), acc0 + 0.2);
+    EXPECT_EQ(trainer.staleness(), 2u);
+    EXPECT_EQ(trainer.methodName(), "SSP");
+}
+
+TEST(Ssp, ZeroStalenessMatchesSynchronousMath)
+{
+    // bound = 0 pulls after every step: each gradient is computed on
+    // the newest weights -- identical math to the exact-sync PS.
+    data::DataBundle b = tinyBundle();
+    SspTrainer ssp(tinyConfig(), b, 0);
+    PsTrainer ps(tinyConfig(), b);
+    for (int e = 0; e < 2; ++e) {
+        ssp.runEpoch();
+        ps.runEpoch();
+    }
+    EXPECT_NEAR(ssp.testAccuracy(), ps.testAccuracy(), 1e-9);
+}
+
+TEST(Ssp, LargeStalenessHurtsAccuracy)
+{
+    data::DataBundle b = tinyBundle();
+    SspTrainer fresh(tinyConfig(), b, 0);
+    SspTrainer stale(tinyConfig(), b, 12);
+    for (int e = 0; e < 4; ++e) {
+        fresh.runEpoch();
+        stale.runEpoch();
+    }
+    // Direction check with slack: bounded-stale gradients should not
+    // beat fresh ones by more than noise.
+    EXPECT_GE(fresh.testAccuracy() + 0.08, stale.testAccuracy());
+}
+
+TEST(Ssp, NoBarrierBeatsSynchronousPsWallClock)
+{
+    data::DataBundle b = tinyBundle();
+    BaselineConfig cfg = tinyConfig(16);
+    cfg.modelFamily = "vgg11";  // paper-scale payload
+    SspTrainer ssp(cfg, b, 4);
+    PsTrainer ps(cfg, b);
+    EXPECT_LT(ssp.runEpoch().simSeconds, ps.runEpoch().simSeconds);
+}
+
+TEST(Ssp, PullTrafficShrinksWithStaleness)
+{
+    data::DataBundle b = tinyBundle();
+    BaselineConfig cfg = tinyConfig(8);
+    cfg.modelFamily = "vgg11";
+    SspTrainer eager(cfg, b, 0);
+    SspTrainer lazy(cfg, b, 7);
+    // bound 0: push+pull every step (2x payload); bound 7: pushes
+    // plus one pull per 8 steps (1.125x payload).
+    const double eagerSync = eager.runEpoch().syncSeconds;
+    const double lazySync = lazy.runEpoch().syncSeconds;
+    EXPECT_NEAR(eagerSync / lazySync, 2.0 / 1.125, 0.05);
+}
+
+TEST(Ssp, EpochRecordSane)
+{
+    data::DataBundle b = tinyBundle();
+    SspTrainer trainer(tinyConfig(), b, 3);
+    const core::EpochRecord rec = trainer.runEpoch();
+    EXPECT_GT(rec.simSeconds, 0.0);
+    EXPECT_GT(rec.energyJoules, 0.0);
+    EXPECT_GE(rec.simSeconds,
+              std::max(rec.computeSeconds, rec.syncSeconds));
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Deeper property tests of the network/cluster substrate: full-duplex
+ * independence, board-NIC sharing, switch capacity, congestion
+ * exponent semantics, and collective-cost monotonicity sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collectives/engine.hh"
+#include "sim/cluster.hh"
+#include "sim/flow_network.hh"
+
+using namespace socflow;
+using namespace socflow::sim;
+
+namespace {
+
+Cluster
+cluster(std::size_t socs, double congestion = 0.1)
+{
+    ClusterConfig cfg;
+    cfg.numSocs = socs;
+    cfg.congestionExponent = congestion;
+    return Cluster(cfg);
+}
+
+} // namespace
+
+TEST(Duplex, OppositeDirectionsDoNotContend)
+{
+    // a->b and b->a on the same board use disjoint port directions.
+    Cluster c = cluster(10);
+    const double oneWay =
+        c.network().makespan({c.transfer(0, 1, 10e6)});
+    const double bothWays = c.network().makespan(
+        {c.transfer(0, 1, 10e6), c.transfer(1, 0, 10e6)});
+    EXPECT_NEAR(bothWays, oneWay, oneWay * 0.01);
+}
+
+TEST(Duplex, SameDirectionSharesReceiverPort)
+{
+    // Two senders into one receiver halve (and congest) the rate.
+    Cluster c = cluster(10);
+    const double one = c.network().makespan({c.transfer(1, 0, 10e6)});
+    const double two = c.network().makespan(
+        {c.transfer(1, 0, 10e6), c.transfer(2, 0, 10e6)});
+    EXPECT_GT(two, 1.9 * one);
+}
+
+TEST(BoardNic, CrossBoardFlowsShareTheUplink)
+{
+    Cluster c = cluster(20);
+    // Two flows from board 0 to board 1, distinct SoCs on both ends:
+    // they still share board 0's NIC uplink.
+    const double one = c.network().makespan({c.transfer(0, 5, 10e6)});
+    const double two = c.network().makespan(
+        {c.transfer(0, 5, 10e6), c.transfer(1, 6, 10e6)});
+    EXPECT_GT(two, 1.9 * one);
+}
+
+TEST(BoardNic, DistinctBoardsDoNotShare)
+{
+    Cluster c = cluster(20);
+    const double one = c.network().makespan({c.transfer(0, 5, 10e6)});
+    const double parallelBoards = c.network().makespan(
+        {c.transfer(0, 5, 10e6), c.transfer(10, 15, 10e6)});
+    EXPECT_NEAR(parallelBoards, one, one * 0.01);
+}
+
+TEST(Switch, BecomesBottleneckUnderManyBoards)
+{
+    // 12 boards all sending cross-board at once: aggregate demand
+    // 12 Gbps < 20 Gbps switch, so the NICs stay the bottleneck;
+    // with a tiny switch the switch dominates instead.
+    ClusterConfig small;
+    small.numSocs = 60;
+    small.switchBps = 2e9;  // deliberately undersized
+    Cluster tiny(small);
+    Cluster normal = cluster(60);
+
+    std::vector<FlowSpec> flows;
+    std::vector<FlowSpec> flowsTiny;
+    for (std::size_t b = 0; b < 6; ++b) {
+        // board b SoC -> board (b+6) SoC
+        flows.push_back(normal.transfer(b * 5, (b + 6) * 5, 10e6));
+        flowsTiny.push_back(tiny.transfer(b * 5, (b + 6) * 5, 10e6));
+    }
+    EXPECT_GT(tiny.network().makespan(flowsTiny),
+              normal.network().makespan(flows) * 1.5);
+}
+
+TEST(Congestion, ZeroExponentRestoresIdealSharing)
+{
+    FlowNetwork ideal(0.0);
+    const auto r = ideal.addResource(100.0, "link");
+    FlowSpec f;
+    f.bytes = 1000.0;
+    f.path = {r};
+    const auto res = ideal.simulate({f, f});
+    EXPECT_NEAR(res[0].finishS, 20.0, 1e-9);
+}
+
+TEST(Congestion, PositiveExponentSlowsSharedFlows)
+{
+    FlowNetwork congested(0.2);
+    const auto r = congested.addResource(100.0, "link");
+    FlowSpec f;
+    f.bytes = 1000.0;
+    f.path = {r};
+    const auto res = congested.simulate({f, f});
+    // Ideal would be 20 s; 2^0.2 fan-in penalty makes it slower.
+    EXPECT_GT(res[0].finishS, 20.0 * 1.1);
+}
+
+TEST(Congestion, SingleFlowUnaffected)
+{
+    FlowNetwork congested(0.3);
+    const auto r = congested.addResource(100.0, "link");
+    FlowSpec f;
+    f.bytes = 1000.0;
+    f.path = {r};
+    EXPECT_NEAR(congested.simulate({f})[0].finishS, 10.0, 1e-9);
+}
+
+TEST(Congestion, NegativeExponentPanics)
+{
+    EXPECT_DEATH(FlowNetwork bad(-0.1), "non-negative");
+}
+
+// -------------------------------------------- collective monotonicity
+
+class PayloadSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PayloadSweep, CollectiveCostsIncreaseWithBytes)
+{
+    Cluster c = cluster(32);
+    collectives::CollectiveEngine eng(c);
+    std::vector<SocId> socs;
+    for (SocId s = 0; s < 16; ++s)
+        socs.push_back(s);
+
+    const double bytes = GetParam();
+    const double ringSmall = eng.ringAllReduce(socs, bytes).seconds;
+    const double ringBig =
+        eng.ringAllReduce(socs, bytes * 2.0).seconds;
+    EXPECT_GT(ringBig, ringSmall);
+
+    const double psSmall = eng.paramServer(socs, 0, bytes).seconds;
+    const double psBig = eng.paramServer(socs, 0, bytes * 2).seconds;
+    EXPECT_GT(psBig, psSmall);
+
+    const double treeSmall = eng.treeAggregate(socs, bytes).seconds;
+    const double treeBig =
+        eng.treeAggregate(socs, bytes * 2).seconds;
+    EXPECT_GT(treeBig, treeSmall);
+}
+
+INSTANTIATE_TEST_SUITE_P(Payloads, PayloadSweep,
+                         ::testing::Values(1e4, 1e5, 1e6, 1e7, 5e7));
+
+class FanoutSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FanoutSweep, PsIncastGrowsWithWorkers)
+{
+    Cluster c = cluster(60);
+    collectives::CollectiveEngine eng(c);
+    const std::size_t n = GetParam();
+    std::vector<SocId> small, big;
+    for (SocId s = 0; s < n; ++s)
+        small.push_back(s);
+    for (SocId s = 0; s < 2 * n; ++s)
+        big.push_back(s);
+    EXPECT_GT(eng.paramServer(big, 0, 10e6).seconds,
+              eng.paramServer(small, 0, 10e6).seconds * 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FanoutSweep,
+                         ::testing::Values(4, 8, 12, 16, 24));
+
+TEST(MessageLatency, AddsToSmallTransfers)
+{
+    ClusterConfig slowCfg;
+    slowCfg.numSocs = 10;
+    slowCfg.messageLatencyS = 0.5;
+    Cluster slow(slowCfg);
+    Cluster fast = cluster(10);
+    const double a = slow.network().makespan({slow.transfer(0, 1, 8)});
+    const double b = fast.network().makespan({fast.transfer(0, 1, 8)});
+    EXPECT_GT(a, b + 0.4);
+}
