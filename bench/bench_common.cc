@@ -9,10 +9,104 @@
 
 #include "baselines/exact_sync.hh"
 #include "baselines/fedavg.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace socflow {
 namespace bench {
+
+namespace {
+
+/** Output paths for the atexit writer (empty = not requested). */
+std::string &
+traceOutPath()
+{
+    static std::string p;
+    return p;
+}
+
+std::string &
+metricsOutPath()
+{
+    static std::string p;
+    return p;
+}
+
+void
+writeObservabilityOutputs()
+{
+    const std::string &trace = traceOutPath();
+    if (!trace.empty()) {
+        if (obs::tracer().writeChromeTrace(trace)) {
+            std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                         trace.c_str(), obs::tracer().eventCount());
+        } else {
+            std::fprintf(stderr, "failed to write trace to %s\n",
+                         trace.c_str());
+        }
+    }
+    const std::string &metricsPath = metricsOutPath();
+    if (!metricsPath.empty()) {
+        if (obs::metrics().writeTextDump(metricsPath)) {
+            std::fprintf(stderr, "metrics written to %s\n",
+                         metricsPath.c_str());
+        } else {
+            std::fprintf(stderr, "failed to write metrics to %s\n",
+                         metricsPath.c_str());
+        }
+    }
+}
+
+} // namespace
+
+void
+initBenchObservability(int &argc, char **argv)
+{
+    int out = 1;
+    bool any = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string *dest = nullptr;
+        std::string value;
+        bool consumed = false;
+        for (const auto &[flag, path] :
+             {std::pair<const char *, std::string *>{
+                  "--trace-out", &traceOutPath()},
+              {"--metrics-out", &metricsOutPath()}}) {
+            const std::string prefix = std::string(flag) + "=";
+            if (arg.rfind(prefix, 0) == 0) {
+                dest = path;
+                value = arg.substr(prefix.size());
+                consumed = true;
+            } else if (arg == flag) {
+                if (i + 1 >= argc)
+                    fatal(flag, " requires a path argument");
+                dest = path;
+                value = argv[++i];
+                consumed = true;
+            }
+            if (consumed)
+                break;
+        }
+        if (!consumed) {
+            argv[out++] = argv[i];
+            continue;
+        }
+        if (value.empty())
+            fatal("empty path for observability flag: ", arg);
+        *dest = value;
+        any = true;
+    }
+    argc = out;
+    argv[argc] = nullptr;
+
+    if (!any)
+        return;
+    if (!traceOutPath().empty())
+        obs::tracer().setEnabled(true);
+    std::atexit(writeObservabilityOutputs);
+}
 
 const std::vector<Workload> &
 paperWorkloads()

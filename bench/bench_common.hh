@@ -40,6 +40,21 @@ struct Workload {
     std::size_t batch = 32;  //!< global / per-group batch size
 };
 
+/**
+ * Observability wiring shared by every bench binary. Recognizes
+ *
+ *   --trace-out=<path>    (or --trace-out <path>)
+ *   --metrics-out=<path>  (or --metrics-out <path>)
+ *
+ * enables the process tracer when a trace path is given, and
+ * registers an atexit hook that writes the Chrome trace_event JSON
+ * and/or the plain-text metrics dump when the bench finishes.
+ * Consumed flags are removed from argv (argc is updated) so benches
+ * with their own argument parsing -- including google-benchmark's
+ * strict Initialize() -- never see them.
+ */
+void initBenchObservability(int &argc, char **argv);
+
 /** The seven from-scratch workloads of Table 2 (in figure order). */
 const std::vector<Workload> &paperWorkloads();
 

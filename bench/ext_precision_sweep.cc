@@ -64,8 +64,9 @@ sweep(const Workload &w)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBenchObservability(argc, argv);
     setLogLevel(LogLevel::Warn);
     for (const auto &w : paperWorkloads())
         if (w.key == "VGG11")

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "trace/tidal.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -14,8 +15,9 @@
 using namespace socflow;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBenchObservability(argc, argv);
     setLogLevel(LogLevel::Warn);
     trace::TidalConfig cfg;  // 60 SoCs, 5-minute slots
     trace::TidalTrace tidal(cfg);

@@ -98,8 +98,9 @@ partB()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBenchObservability(argc, argv);
     setLogLevel(LogLevel::Warn);
     partB();
     std::printf("\n");

@@ -15,8 +15,9 @@ using namespace socflow;
 using namespace socflow::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBenchObservability(argc, argv);
     setLogLevel(LogLevel::Warn);
     Table t("Figure 8: time to 97% relative convergence, 32 SoCs");
     std::vector<std::string> header = {"workload"};

@@ -14,8 +14,9 @@ using namespace socflow;
 using namespace socflow::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBenchObservability(argc, argv);
     setLogLevel(LogLevel::Warn);
     Table t("Figure 9: energy to 97% relative convergence, 32 SoCs "
             "(kJ)");

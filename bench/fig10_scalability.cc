@@ -110,8 +110,9 @@ sweepWorkload(const Workload &w)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBenchObservability(argc, argv);
     setLogLevel(LogLevel::Warn);
     for (const auto &w : paperWorkloads())
         sweepWorkload(w);

@@ -75,8 +75,9 @@ compare(sim::Device gpu, double soc_speedup, const char *title)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBenchObservability(argc, argv);
     setLogLevel(LogLevel::Warn);
     // Snapdragon 865 fleet vs V100.
     compare(sim::Device::GpuV100, 1.0, "60x Snapdragon 865 vs V100");

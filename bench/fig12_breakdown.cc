@@ -50,8 +50,9 @@ breakdown(const Workload &w)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBenchObservability(argc, argv);
     setLogLevel(LogLevel::Warn);
     for (const auto &w : paperWorkloads())
         if (w.key == "VGG11" || w.key == "ResNet18")

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
+
 #include "collectives/engine.hh"
 #include "collectives/reduce.hh"
 #include "core/comm_plan.hh"
@@ -100,4 +102,14 @@ BM_TopKCompression(benchmark::State &state)
 }
 BENCHMARK(BM_TopKCompression)->Arg(1 << 14)->Arg(1 << 18);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bench::initBenchObservability(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

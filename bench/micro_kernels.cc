@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
+
 #include "nn/zoo.hh"
 #include "quant/quantize.hh"
 #include "tensor/conv.hh"
@@ -122,4 +124,14 @@ BM_ModelTrainStep(benchmark::State &state)
 }
 BENCHMARK(BM_ModelTrainStep)->DenseRange(0, 4);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bench::initBenchObservability(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

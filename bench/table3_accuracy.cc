@@ -50,8 +50,9 @@ addSuiteRow(Table &t, const SuiteResult &suite, bool fedConverged)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBenchObservability(argc, argv);
     setLogLevel(LogLevel::Warn);
     Table t("Table 3: convergence accuracy, 32 SoCs "
             "(acc% and degradation vs Local)");

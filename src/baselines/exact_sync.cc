@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "collectives/reduce.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace socflow {
@@ -68,6 +70,16 @@ ExactSyncTrainer::runEpoch()
     core::EpochRecord rec;
     sim::EnergyMeter meter;
 
+    obs::Tracer &tr = obs::tracer();
+    obs::ScopedSpan hostEpoch(tr, "runEpoch", "baseline");
+    const bool tracing = tr.enabled();
+    const std::string method = methodName();
+    obs::Counter &stepCtr = obs::metrics().counter(
+        "baseline_steps_total", {{"method", method}});
+    obs::Histogram &stepSyncHist = obs::metrics().histogram(
+        "baseline_step_sync_seconds", {{"method", method}});
+    const double f = bundle.timeScale();
+
     data::BatchIterator it(bundle.train.size(), cfg.globalBatch,
                            rng.split());
     const double syncS = syncSecondsPerBatch();
@@ -94,11 +106,26 @@ ExactSyncTrainer::runEpoch()
         rec.computeSeconds += computeS;
         rec.syncSeconds += syncS;
         rec.updateSeconds += updateS;
+        double stepWallS;
         if (overlapsCompute()) {
-            rec.simSeconds += std::max(computeS, syncS) + updateS;
+            stepWallS = std::max(computeS, syncS) + updateS;
         } else {
-            rec.simSeconds += computeS + syncS + updateS;
+            stepWallS = computeS + syncS + updateS;
         }
+        rec.simSeconds += stepWallS;
+        stepCtr.add(1.0);
+        stepSyncHist.observe(syncS);
+        if (tracing) {
+            const double t0 = simClockS;
+            tr.recordSpan("compute", "compute",
+                          obs::kTrackGroupBase, t0, computeS * f);
+            tr.recordSpan("sync", "comm", obs::kTrackComm,
+                          overlapsCompute() ? t0 : t0 + computeS * f,
+                          syncS * f);
+            tr.recordSpan("step", "control", obs::kTrackControl, t0,
+                          stepWallS * f);
+        }
+        simClockS += stepWallS * f;
 
         // Every SoC burns CPU power for its share, then comm power.
         cpuSocSeconds += static_cast<double>(idx.size()) *
@@ -109,7 +136,6 @@ ExactSyncTrainer::runEpoch()
     // Replicate per-step timing to a paper-scale epoch (the math ran
     // on the small synthetic stand-in; the simulated hardware would
     // iterate over the full dataset).
-    const double f = bundle.timeScale();
     rec.computeSeconds *= f;
     rec.syncSeconds *= f;
     rec.updateSeconds *= f;

@@ -71,6 +71,10 @@ class ExactSyncTrainer : public core::DistTrainer
     Rng rng;
 
     mutable double cachedSyncS = -1.0;
+
+  private:
+    /** Simulated-timeline cursor for trace spans (paper-scale s). */
+    double simClockS = 0.0;
 };
 
 /** Parameter Server: full-gradient push/pull to one server SoC. */

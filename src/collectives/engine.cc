@@ -3,10 +3,62 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace socflow {
 namespace collectives {
+
+namespace {
+
+/**
+ * Per-operation accounting: how often each collective is evaluated,
+ * what it puts on the wire, and its cost distribution. References
+ * are cached so the hot path is three atomic updates.
+ */
+void
+recordCollective(const char *op, const CommStats &stats)
+{
+    struct OpMetrics {
+        obs::Counter &ops;
+        obs::Counter &wireBytes;
+        obs::Histogram &seconds;
+        explicit OpMetrics(const char *op_name)
+            : ops(obs::metrics().counter("collective_ops_total",
+                                         {{"op", op_name}})),
+              wireBytes(obs::metrics().counter(
+                  "collective_wire_bytes_total", {{"op", op_name}})),
+              seconds(obs::metrics().histogram(
+                  "collective_seconds", {{"op", op_name}}))
+        {
+        }
+    };
+    static OpMetrics ring("ring"), ps("param_server"), tree("tree"),
+        bcast("broadcast"), concurrent("concurrent_rings");
+    OpMetrics *m = nullptr;
+    switch (op[0]) {
+      case 'r':
+        m = &ring;
+        break;
+      case 'p':
+        m = &ps;
+        break;
+      case 't':
+        m = &tree;
+        break;
+      case 'b':
+        m = &bcast;
+        break;
+      default:
+        m = &concurrent;
+        break;
+    }
+    m->ops.add(1.0);
+    m->wireBytes.add(stats.wireBytes);
+    m->seconds.observe(stats.seconds);
+}
+
+} // namespace
 
 CommStats &
 CommStats::operator+=(const CommStats &o)
@@ -55,6 +107,7 @@ CollectiveEngine::ringAllReduce(const std::vector<sim::SocId> &ring,
     stats.wireBytes =
         chunk * static_cast<double>(n) * static_cast<double>(rounds);
     stats.rounds = rounds;
+    recordCollective("ring", stats);
     return stats;
 }
 
@@ -81,6 +134,7 @@ CollectiveEngine::paramServer(const std::vector<sim::SocId> &workers,
                     clusterRef.network().makespan(pull) + overhead;
     stats.wireBytes = 2.0 * bytes * static_cast<double>(clients.size());
     stats.rounds = 2;
+    recordCollective("param_server", stats);
     return stats;
 }
 
@@ -124,6 +178,7 @@ CollectiveEngine::treeAggregate(const std::vector<sim::SocId> &nodes,
         stats.wireBytes += bytes * static_cast<double>(flows.size());
         ++stats.rounds;
     }
+    recordCollective("tree", stats);
     return stats;
 }
 
@@ -158,6 +213,7 @@ CollectiveEngine::broadcast(sim::SocId root,
         ++stats.rounds;
         holders += sends;
     }
+    recordCollective("broadcast", stats);
     return stats;
 }
 
@@ -196,6 +252,7 @@ CollectiveEngine::concurrentRings(
                          clusterRef.roundOverheadS(maxParticipants);
         ++stats.rounds;
     }
+    recordCollective("concurrent_rings", stats);
     return stats;
 }
 

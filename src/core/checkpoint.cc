@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace socflow {
@@ -36,6 +38,14 @@ void
 writeCheckpointFile(const std::string &path,
                     const std::vector<std::uint8_t> &blob)
 {
+    obs::ScopedSpan span(obs::tracer(), "writeCheckpointFile",
+                         "checkpoint");
+    obs::metrics()
+        .counter("checkpoint_file_writes_total")
+        .add(1.0);
+    obs::metrics()
+        .counter("checkpoint_file_bytes_written_total")
+        .add(static_cast<double>(blob.size()));
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
         fatal("cannot open checkpoint for writing: ", path);
@@ -52,6 +62,9 @@ writeCheckpointFile(const std::string &path,
 std::vector<std::uint8_t>
 readCheckpointFile(const std::string &path)
 {
+    obs::ScopedSpan span(obs::tracer(), "readCheckpointFile",
+                         "checkpoint");
+    obs::metrics().counter("checkpoint_file_reads_total").add(1.0);
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         fatal("cannot open checkpoint: ", path);

@@ -13,11 +13,29 @@
 #define SOCFLOW_CORE_CHECKPOINT_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace socflow {
 namespace core {
+
+/**
+ * A malformed or corrupted checkpoint blob handed to
+ * SoCFlowTrainer::loadCheckpoint(). Thrown (not fatal) because a
+ * scheduler holding many checkpoints wants to skip a bad one and
+ * keep the trainer usable; validation completes before any trainer
+ * state is mutated. The *file* helpers below still treat a bad file
+ * as a user error (fatal), matching the CLI tools built on them.
+ */
+class CheckpointError : public std::runtime_error
+{
+  public:
+    explicit CheckpointError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
 
 /** Write a checkpoint blob to `path` (fatal on I/O failure). */
 void writeCheckpointFile(const std::string &path,

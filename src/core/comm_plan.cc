@@ -79,14 +79,15 @@ planCommGroups(const std::vector<std::vector<std::size_t>> &conflict_adj)
     return plan;
 }
 
-collectives::CommStats
-plannedSyncCost(const collectives::CollectiveEngine &engine,
-                const Mapping &mapping, const CommPlan &plan,
-                double bytes)
+SyncSchedule
+planSyncSchedule(const collectives::CollectiveEngine &engine,
+                 const Mapping &mapping, const CommPlan &plan,
+                 double bytes)
 {
     SOCFLOW_ASSERT(plan.commGroup.size() == mapping.numGroups(),
                    "plan does not match mapping");
-    collectives::CommStats total;
+    SyncSchedule sched;
+    sched.usedWaves = true;
     for (std::size_t wave = 0; wave < plan.numCommGroups; ++wave) {
         std::vector<std::vector<sim::SocId>> rings;
         for (std::size_t g = 0; g < mapping.numGroups(); ++g)
@@ -94,7 +95,10 @@ plannedSyncCost(const collectives::CollectiveEngine &engine,
                 rings.push_back(mapping.members[g]);
         if (rings.empty())
             continue;
-        total += engine.concurrentRings(rings, bytes);
+        const collectives::CommStats cost =
+            engine.concurrentRings(rings, bytes);
+        sched.waveSeconds.push_back(cost.seconds);
+        sched.total += cost;
     }
     // The scheduler keeps whichever schedule is faster: when
     // contention is mild, two sequential waves can lose to the
@@ -102,9 +106,20 @@ plannedSyncCost(const collectives::CollectiveEngine &engine,
     // the planner then degenerates to a single communication group.
     const collectives::CommStats allAtOnce =
         unplannedSyncCost(engine, mapping, bytes);
-    if (allAtOnce.seconds < total.seconds)
-        return allAtOnce;
-    return total;
+    if (allAtOnce.seconds < sched.total.seconds) {
+        sched.usedWaves = false;
+        sched.waveSeconds.assign(1, allAtOnce.seconds);
+        sched.total = allAtOnce;
+    }
+    return sched;
+}
+
+collectives::CommStats
+plannedSyncCost(const collectives::CollectiveEngine &engine,
+                const Mapping &mapping, const CommPlan &plan,
+                double bytes)
+{
+    return planSyncSchedule(engine, mapping, plan, bytes).total;
 }
 
 collectives::CommStats

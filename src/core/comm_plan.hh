@@ -40,10 +40,37 @@ CommPlan planCommGroups(
     const std::vector<std::vector<std::size_t>> &conflict_adj);
 
 /**
- * Cost of one full intra-group synchronization step under a plan:
- * waves run in sequence; within a wave, the member rings run
- * concurrently on the fabric.
+ * Resolved synchronization schedule for one intra-group sync step:
+ * the sequential communication waves the fabric will actually run,
+ * with per-wave wall-clock. Consumed by the tracer to lay waves out
+ * on the simulated timeline.
+ */
+struct SyncSchedule {
+    /** Wall-clock of each sequential wave, in execution order. */
+    std::vector<double> waveSeconds;
+    /** Aggregate cost across all waves. */
+    collectives::CommStats total;
+    /**
+     * False when the planner degenerated to the all-at-once schedule
+     * (mild contention where wave sequencing loses to per-round
+     * overhead); waveSeconds then holds the single combined wave.
+     */
+    bool usedWaves = false;
+};
+
+/**
+ * Evaluate the planned schedule: waves run in sequence; within a
+ * wave, the member rings run concurrently on the fabric. Keeps the
+ * all-at-once schedule instead when that is faster.
  * @param bytes gradient payload per ring.
+ */
+SyncSchedule planSyncSchedule(const collectives::CollectiveEngine &engine,
+                              const Mapping &mapping,
+                              const CommPlan &plan, double bytes);
+
+/**
+ * Cost of one full intra-group synchronization step under a plan
+ * (the total of planSyncSchedule).
  */
 collectives::CommStats plannedSyncCost(
     const collectives::CollectiveEngine &engine, const Mapping &mapping,

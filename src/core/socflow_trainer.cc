@@ -5,6 +5,9 @@
 #include <cstring>
 
 #include "collectives/reduce.hh"
+#include "core/checkpoint.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace socflow {
@@ -18,6 +21,58 @@ makeClusterConfig(const SoCFlowConfig &cfg)
     sim::ClusterConfig c = cfg.clusterTemplate;
     c.numSocs = cfg.numSocs;
     return c;
+}
+
+/** Magic prefix of the in-memory checkpoint blob ("SFCKPT1\0"). */
+constexpr std::uint64_t kBlobMagic = 0x5346434b50543100ULL;
+
+/**
+ * Cached handles into the metrics registry for the trainer hot path
+ * (registration takes the registry mutex; these lookups run once).
+ */
+struct TrainerMetrics {
+    obs::Counter &steps;
+    obs::Counter &epochs;
+    obs::Counter &preemptions;
+    obs::Counter &rebuilds;
+    obs::Counter &checkpointSaves;
+    obs::Counter &checkpointLoads;
+    obs::Counter &checkpointErrors;
+    obs::Gauge &alpha;
+    obs::Gauge &cpuFraction;
+    obs::Gauge &activeGroups;
+    obs::Histogram &stepComputeS;
+    obs::Histogram &stepSyncS;
+
+    TrainerMetrics()
+        : steps(obs::metrics().counter("trainer_steps_total")),
+          epochs(obs::metrics().counter("trainer_epochs_total")),
+          preemptions(
+              obs::metrics().counter("trainer_preemptions_total")),
+          rebuilds(
+              obs::metrics().counter("trainer_topology_rebuilds_total")),
+          checkpointSaves(
+              obs::metrics().counter("trainer_checkpoint_saves_total")),
+          checkpointLoads(
+              obs::metrics().counter("trainer_checkpoint_loads_total")),
+          checkpointErrors(obs::metrics().counter(
+              "trainer_checkpoint_errors_total")),
+          alpha(obs::metrics().gauge("trainer_alpha")),
+          cpuFraction(obs::metrics().gauge("trainer_cpu_fraction")),
+          activeGroups(obs::metrics().gauge("trainer_active_groups")),
+          stepComputeS(obs::metrics().histogram(
+              "trainer_step_compute_seconds")),
+          stepSyncS(
+              obs::metrics().histogram("trainer_step_sync_seconds"))
+    {
+    }
+};
+
+TrainerMetrics &
+trainerMetrics()
+{
+    static TrainerMetrics m;
+    return m;
 }
 
 } // namespace
@@ -120,14 +175,18 @@ SoCFlowTrainer::stepSyncSeconds() const
     if (cachedStepSyncS >= 0.0)
         return cachedStepSyncS;
     const double bytes = profile.paramBytes();
-    collectives::CommStats stats;
     if (cfg.usePlanning) {
-        stats = plannedSyncCost(engine, mapping, plan, bytes);
+        const SyncSchedule sched =
+            planSyncSchedule(engine, mapping, plan, bytes);
+        cachedWaveS = sched.waveSeconds;
+        cachedStepSyncS = sched.total.seconds;
     } else {
-        stats = unplannedSyncCost(engine, mapping, bytes);
+        const collectives::CommStats stats =
+            unplannedSyncCost(engine, mapping, bytes);
+        cachedWaveS.assign(1, stats.seconds);
+        cachedStepSyncS = stats.seconds;
     }
-    cachedStepSyncS = stats.seconds;
-    return stats.seconds;
+    return cachedStepSyncS;
 }
 
 double
@@ -214,6 +273,27 @@ SoCFlowTrainer::runEpoch()
     EpochRecord rec;
     meter.reset();
 
+    TrainerMetrics &m = trainerMetrics();
+    obs::Tracer &tr = obs::tracer();
+    obs::ScopedSpan hostEpoch(tr, "runEpoch", "trainer");
+    const bool tracing = tr.enabled();
+    if (tracing && !obsTracksNamed) {
+        tr.setProcessName(obs::kPidSim, "SoC-Cluster (simulated)");
+        tr.setProcessName(obs::kPidHost, "host wall clock");
+        tr.setTrackName(obs::kPidSim, obs::kTrackControl, "control");
+        tr.setTrackName(obs::kPidSim, obs::kTrackComm, "communication");
+        tr.setTrackName(obs::kPidSim, obs::kTrackUpdate,
+                        "optimizer update");
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            tr.setTrackName(
+                obs::kPidSim,
+                obs::kTrackGroupBase + static_cast<int>(gi),
+                "group " + std::to_string(gi) + " compute");
+        }
+        obsTracksNamed = true;
+    }
+    const double epochStartS = simClockS;
+
     if (cfg.dvfsEnabled)
         dvfs.step();
 
@@ -235,6 +315,14 @@ SoCFlowTrainer::runEpoch()
     const double stepSync = stepSyncSeconds();
     const double updateS = compute.updateSeconds(profile);
 
+    // Overlap needs the CG plan: without wave sequencing every ring
+    // contends at once and there is no schedule to hide behind
+    // compute, so the ablation's planning toggle also governs it.
+    const bool overlap = cfg.overlapCommCompute && cfg.usePlanning;
+    // Trace timestamps are laid out at paper scale directly, so the
+    // dataset scale factor applies per span rather than at epoch end.
+    const double f = bundle.timeScale();
+
     double lossSum = 0.0, accSum = 0.0;
     std::size_t sampleSum = 0;
     double cpuSocSecondsSum = 0.0;
@@ -243,6 +331,7 @@ SoCFlowTrainer::runEpoch()
 
     std::vector<std::size_t> cursor(groups.size(), 0);
     for (std::size_t step = 0; step < steps; ++step) {
+        const double t0 = simClockS;
         double stepComputeS = 0.0;
         for (std::size_t gi = 0; gi < groups.size(); ++gi) {
             GroupState &g = *groups[gi];
@@ -310,8 +399,16 @@ SoCFlowTrainer::runEpoch()
                 rNpu.accuracy * static_cast<double>(rNpu.samples);
             sampleSum += rCpu.samples + rNpu.samples;
 
-            stepComputeS =
-                std::max(stepComputeS, groupComputeSeconds(g, fCpu));
+            const double gSec = groupComputeSeconds(g, fCpu);
+            if (tracing) {
+                tr.recordSpan(
+                    "compute", "compute",
+                    obs::kTrackGroupBase + static_cast<int>(gi), t0,
+                    gSec * f,
+                    {{"group", static_cast<double>(gi)},
+                     {"cpu_fraction", fCpu}});
+            }
+            stepComputeS = std::max(stepComputeS, gSec);
         }
 
         // Timing: groups compute concurrently; syncs follow the CG
@@ -319,11 +416,34 @@ SoCFlowTrainer::runEpoch()
         rec.computeSeconds += stepComputeS;
         rec.syncSeconds += stepSync;
         rec.updateSeconds += updateS;
-        if (cfg.overlapCommCompute) {
-            rec.simSeconds += std::max(stepComputeS, stepSync) + updateS;
+        double stepWallS;
+        if (overlap) {
+            stepWallS = std::max(stepComputeS, stepSync) + updateS;
         } else {
-            rec.simSeconds += stepComputeS + stepSync + updateS;
+            stepWallS = stepComputeS + stepSync + updateS;
         }
+        rec.simSeconds += stepWallS;
+
+        if (tracing) {
+            // Sync waves: concurrent with compute under the CG plan,
+            // strictly after it otherwise; waves run in sequence.
+            double waveT = overlap ? t0 : t0 + stepComputeS * f;
+            for (std::size_t w = 0; w < cachedWaveS.size(); ++w) {
+                tr.recordSpan("sync wave", "comm", obs::kTrackComm,
+                              waveT, cachedWaveS[w] * f,
+                              {{"wave", static_cast<double>(w)}});
+                waveT += cachedWaveS[w] * f;
+            }
+            tr.recordSpan("update", "update", obs::kTrackUpdate,
+                          t0 + (stepWallS - updateS) * f, updateS * f);
+            tr.recordSpan("step", "control", obs::kTrackControl, t0,
+                          stepWallS * f,
+                          {{"step", static_cast<double>(step)}});
+        }
+        simClockS += stepWallS * f;
+        m.steps.add(1.0);
+        m.stepComputeS.observe(stepComputeS);
+        m.stepSyncS.observe(stepSync);
 
         // Energy: CPU/NPU busy shares plus comm power.
         const double batch = static_cast<double>(cfg.groupBatch) *
@@ -339,7 +459,6 @@ SoCFlowTrainer::runEpoch()
 
     // Replicate per-step timing/energy to the paper-scale dataset
     // (the math ran on the small synthetic stand-in).
-    const double f = bundle.timeScale();
     rec.computeSeconds *= f;
     rec.syncSeconds *= f;
     rec.updateSeconds *= f;
@@ -368,6 +487,12 @@ SoCFlowTrainer::runEpoch()
     rec.syncSeconds += epochSync;
     rec.simSeconds += epochSync;
     commSocSecondsSum += epochSync * static_cast<double>(cfg.numSocs);
+    if (tracing) {
+        tr.recordSpan("epoch sync", "comm", obs::kTrackComm, simClockS,
+                      epochSync,
+                      {{"groups", static_cast<double>(groups.size())}});
+    }
+    simClockS += epochSync;
 
     meter.accumulate(sim::PowerState::CpuTrain, cpuSocSecondsSum);
     meter.accumulate(sim::PowerState::NpuTrain, npuSocSecondsSum);
@@ -391,6 +516,16 @@ SoCFlowTrainer::runEpoch()
         g->int8Trainer->optimizer().decayLearningRate();
     }
     ++epochCounter;
+    if (tracing) {
+        tr.recordSpan("epoch", "control", obs::kTrackControl,
+                      epochStartS, simClockS - epochStartS,
+                      {{"epoch", static_cast<double>(epochCounter)},
+                       {"sim_seconds", rec.simSeconds}});
+    }
+    m.epochs.add(1.0);
+    m.alpha.set(mpc.alpha());
+    m.cpuFraction.set(fCpu);
+    m.activeGroups.set(static_cast<double>(groups.size()));
     return rec;
 }
 
@@ -424,6 +559,9 @@ SoCFlowTrainer::preemptGroup(std::size_t group_index)
     groups.erase(groups.begin() +
                  static_cast<std::ptrdiff_t>(group_index));
     rebuildTopology();
+    trainerMetrics().preemptions.add(1.0);
+    obs::tracer().recordInstant("preempt group", "control",
+                                obs::kTrackControl, simClockS);
     inform("preempted logical group ", group_index, "; ",
            groups.size(), " groups remain");
 }
@@ -438,6 +576,8 @@ SoCFlowTrainer::setActiveGroups(std::size_t n)
     if (n == groups.size())
         return;
     if (n < groups.size()) {
+        trainerMetrics().preemptions.add(
+            static_cast<double>(groups.size() - n));
         groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(n),
                      groups.end());
     } else {
@@ -453,11 +593,14 @@ SoCFlowTrainer::setActiveGroups(std::size_t n)
         }
     }
     rebuildTopology();
+    obs::tracer().recordInstant("resize active groups", "control",
+                                obs::kTrackControl, simClockS);
 }
 
 void
 SoCFlowTrainer::rebuildTopology()
 {
+    obs::ScopedSpan span(obs::tracer(), "rebuildTopology", "trainer");
     mapping.members.clear();
     for (const auto &g : groups)
         mapping.members.push_back(g->socs);
@@ -465,6 +608,12 @@ SoCFlowTrainer::rebuildTopology()
         conflictGraph(mapping, cluster.config().socsPerBoard));
     cachedStepSyncS = -1.0;
     cachedEpochSyncS = -1.0;
+    cachedWaveS.clear();
+    // New groups may exist; re-emit track names on the next epoch.
+    obsTracksNamed = false;
+    trainerMetrics().rebuilds.add(1.0);
+    trainerMetrics().activeGroups.set(
+        static_cast<double>(groups.size()));
 }
 
 std::vector<float>
@@ -473,17 +622,41 @@ SoCFlowTrainer::globalWeights() const
     return groups.front()->fp32.flatParams();
 }
 
+std::vector<float>
+SoCFlowTrainer::groupWeights(std::size_t g) const
+{
+    SOCFLOW_ASSERT(g < groups.size(), "group out of range");
+    return groups[g]->fp32.flatParams();
+}
+
+double
+SoCFlowTrainer::groupMomentumNorm(std::size_t g) const
+{
+    SOCFLOW_ASSERT(g < groups.size(), "group out of range");
+    return groups[g]->sgd->velocityNorm();
+}
+
+/*
+ * Blob layout (little-endian, host byte order):
+ *   [magic u64][epoch u64][alpha f64][n u64][weights f32 x n]
+ *   [FNV-1a checksum u64 over everything before it]
+ */
 std::vector<std::uint8_t>
 SoCFlowTrainer::saveCheckpoint() const
 {
+    obs::ScopedSpan span(obs::tracer(), "saveCheckpoint", "checkpoint");
     const std::vector<float> w = globalWeights();
     const std::uint64_t epoch = epochCounter;
     const double alphaVal = mpc.alpha();
     const std::uint64_t n = w.size();
 
-    std::vector<std::uint8_t> out(sizeof(epoch) + sizeof(alphaVal) +
-                                  sizeof(n) + n * sizeof(float));
+    std::vector<std::uint8_t> out(sizeof(kBlobMagic) + sizeof(epoch) +
+                                  sizeof(alphaVal) + sizeof(n) +
+                                  n * sizeof(float) +
+                                  sizeof(std::uint64_t));
     std::uint8_t *p = out.data();
+    std::memcpy(p, &kBlobMagic, sizeof(kBlobMagic));
+    p += sizeof(kBlobMagic);
     std::memcpy(p, &epoch, sizeof(epoch));
     p += sizeof(epoch);
     std::memcpy(p, &alphaVal, sizeof(alphaVal));
@@ -491,26 +664,60 @@ SoCFlowTrainer::saveCheckpoint() const
     std::memcpy(p, &n, sizeof(n));
     p += sizeof(n);
     std::memcpy(p, w.data(), n * sizeof(float));
+    p += n * sizeof(float);
+
+    std::vector<std::uint8_t> body(out.begin(),
+                                   out.end() - sizeof(std::uint64_t));
+    const std::uint64_t sum = checkpointChecksum(body);
+    std::memcpy(p, &sum, sizeof(sum));
+    trainerMetrics().checkpointSaves.add(1.0);
     return out;
 }
 
 void
 SoCFlowTrainer::loadCheckpoint(const std::vector<std::uint8_t> &bytes)
 {
-    std::uint64_t epoch = 0, n = 0;
+    obs::ScopedSpan span(obs::tracer(), "loadCheckpoint", "checkpoint");
+    // Validate the whole blob before touching any trainer state, so
+    // a corrupted checkpoint leaves the trainer usable.
+    const auto reject = [](const std::string &why) {
+        trainerMetrics().checkpointErrors.add(1.0);
+        throw CheckpointError("bad checkpoint blob: " + why);
+    };
+
+    std::uint64_t magic = 0, epoch = 0, n = 0;
     double alphaVal = 1.0;
-    if (bytes.size() < sizeof(epoch) + sizeof(alphaVal) + sizeof(n))
-        fatal("checkpoint too short");
+    const std::size_t fixed = sizeof(magic) + sizeof(epoch) +
+                              sizeof(alphaVal) + sizeof(n) +
+                              sizeof(std::uint64_t);
+    if (bytes.size() < fixed)
+        reject("truncated header");
     const std::uint8_t *p = bytes.data();
+    std::memcpy(&magic, p, sizeof(magic));
+    p += sizeof(magic);
+    if (magic != kBlobMagic)
+        reject("wrong magic");
     std::memcpy(&epoch, p, sizeof(epoch));
     p += sizeof(epoch);
     std::memcpy(&alphaVal, p, sizeof(alphaVal));
     p += sizeof(alphaVal);
     std::memcpy(&n, p, sizeof(n));
     p += sizeof(n);
-    if (bytes.size() !=
-        sizeof(epoch) + sizeof(alphaVal) + sizeof(n) + n * sizeof(float))
-        fatal("checkpoint size mismatch");
+    if (bytes.size() != fixed + n * sizeof(float))
+        reject("size mismatch");
+
+    std::vector<std::uint8_t> body(bytes.begin(),
+                                   bytes.end() - sizeof(std::uint64_t));
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(stored),
+                sizeof(stored));
+    if (checkpointChecksum(body) != stored)
+        reject("checksum mismatch (corrupted payload)");
+
+    if (n != groups.front()->fp32.flatParams().size())
+        reject("weight count does not match the built model");
+    if (!(alphaVal >= 0.0 && alphaVal <= 1.0))
+        reject("alpha out of range");
 
     std::vector<float> w(n);
     std::memcpy(w.data(), p, n * sizeof(float));
@@ -520,7 +727,8 @@ SoCFlowTrainer::loadCheckpoint(const std::vector<std::uint8_t> &bytes)
         g->sgd->resetState();
     }
     epochCounter = epoch;
-    mpc.setAlpha(std::clamp(alphaVal, 0.0, 1.0));
+    mpc.setAlpha(alphaVal);
+    trainerMetrics().checkpointLoads.add(1.0);
 }
 
 } // namespace core

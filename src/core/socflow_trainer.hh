@@ -130,11 +130,22 @@ class SoCFlowTrainer : public DistTrainer
     /** Serialize weights + training state to a byte buffer. */
     std::vector<std::uint8_t> saveCheckpoint() const;
 
-    /** Restore from a buffer produced by saveCheckpoint(). */
+    /**
+     * Restore from a buffer produced by saveCheckpoint(). Throws
+     * CheckpointError on truncated, oversized, wrong-magic,
+     * bit-flipped (checksum) or wrong-model-size buffers; the
+     * trainer state is untouched on failure.
+     */
     void loadCheckpoint(const std::vector<std::uint8_t> &bytes);
 
     /** Consensus (post-sync) weights of the global model. */
     std::vector<float> globalWeights() const;
+
+    /** FP32 replica weights of active group `g` (for tests). */
+    std::vector<float> groupWeights(std::size_t g) const;
+
+    /** L2 norm of group `g`'s FP32 optimizer momentum (for tests). */
+    double groupMomentumNorm(std::size_t g) const;
 
     /** Epochs completed so far. */
     std::size_t epochsDone() const { return epochCounter; }
@@ -195,6 +206,13 @@ class SoCFlowTrainer : public DistTrainer
     // rebuildTopology). Mutable: they memoize const cost queries.
     mutable double cachedStepSyncS = -1.0;
     mutable double cachedEpochSyncS = -1.0;
+    /** Per-wave breakdown matching cachedStepSyncS (trace layout). */
+    mutable std::vector<double> cachedWaveS;
+
+    /** Simulated-timeline cursor for trace spans (paper-scale s). */
+    double simClockS = 0.0;
+    /** Chrome track-name metadata emitted (redone on topo changes). */
+    bool obsTracksNamed = false;
 };
 
 } // namespace core

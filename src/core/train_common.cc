@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace socflow {
 namespace core {
 
@@ -77,13 +80,29 @@ runTraining(DistTrainer &trainer, std::size_t max_epochs,
 {
     TrainResult result;
     result.method = trainer.methodName();
+    const obs::Labels labels{{"method", result.method}};
+    obs::Counter &epochCtr =
+        obs::metrics().counter("training_epochs_total", labels);
+    obs::Counter &simSecCtr =
+        obs::metrics().counter("training_sim_seconds_total", labels);
+    obs::Counter &energyCtr =
+        obs::metrics().counter("training_energy_joules_total", labels);
+    obs::Gauge &accGauge =
+        obs::metrics().gauge("training_test_accuracy", labels);
+    obs::ScopedSpan run(obs::tracer(), "runTraining", "driver");
+
     double best = 0.0;
     std::size_t sinceBest = 0;
     for (std::size_t e = 0; e < max_epochs; ++e) {
+        obs::ScopedSpan epochSpan(obs::tracer(), "epoch", "driver");
         EpochRecord rec = trainer.runEpoch();
         rec.epoch = e;
         rec.testAcc = trainer.testAccuracy();
         result.epochs.push_back(rec);
+        epochCtr.add(1.0);
+        simSecCtr.add(rec.simSeconds);
+        energyCtr.add(rec.energyJoules);
+        accGauge.set(rec.testAcc);
         if (target_acc > 0.0 && rec.testAcc >= target_acc)
             break;
         if (rec.testAcc > best + 1e-9) {

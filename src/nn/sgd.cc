@@ -58,5 +58,15 @@ Sgd::resetState()
         std::fill(v.begin(), v.end(), 0.0f);
 }
 
+double
+Sgd::velocityNorm() const
+{
+    double sq = 0.0;
+    for (const auto &buf : velocity)
+        for (float v : buf)
+            sq += static_cast<double>(v) * v;
+    return std::sqrt(sq);
+}
+
 } // namespace nn
 } // namespace socflow

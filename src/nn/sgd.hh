@@ -45,6 +45,9 @@ class Sgd
     /** Zero momentum buffers (e.g. after a weight overwrite). */
     void resetState();
 
+    /** L2 norm over all momentum buffers (observability/tests). */
+    double velocityNorm() const;
+
     /** Apply the per-epoch learning-rate decay. */
     void decayLearningRate();
 

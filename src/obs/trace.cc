@@ -1,0 +1,319 @@
+#include "obs/trace.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace obs {
+
+namespace {
+
+double
+steadyNowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** One wall-clock span opened but not yet closed. */
+struct PendingSpan {
+    std::string name;
+    std::string category;
+    int tid = 0;
+    double startUs = 0.0;
+};
+
+/**
+ * Per-thread state for nested wall-clock spans. Spans opened while
+ * the tracer is disabled only bump `disabledDepth`, so begin/end stay
+ * allocation-free in disabled mode yet remain balanced if tracing is
+ * toggled mid-span.
+ */
+struct ThreadSpanState {
+    std::vector<PendingSpan> stack;
+    std::size_t disabledDepth = 0;
+};
+
+ThreadSpanState &
+threadSpans()
+{
+    static thread_local ThreadSpanState state;
+    return state;
+}
+
+void
+appendJsonEscaped(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void
+appendNumber(std::string &out, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    out += buf;
+}
+
+} // namespace
+
+Tracer::Tracer() : anchorUs(steadyNowUs()) {}
+
+double
+Tracer::nowUs() const
+{
+    return steadyNowUs() - anchorUs;
+}
+
+void
+Tracer::setEnabled(bool enable)
+{
+    on.store(enable, std::memory_order_relaxed);
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    events.clear();
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return events.size();
+}
+
+std::vector<TraceEvent>
+Tracer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return events;
+}
+
+void
+Tracer::push(TraceEvent e)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back(std::move(e));
+}
+
+void
+Tracer::setProcessName(int pid, std::string_view name)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = "process_name";
+    e.phase = 'M';
+    e.pid = pid;
+    e.tid = 0;
+    e.args.emplace_back("name", std::string(name));
+    push(std::move(e));
+}
+
+void
+Tracer::setTrackName(int pid, int tid, std::string_view name)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = "thread_name";
+    e.phase = 'M';
+    e.pid = pid;
+    e.tid = tid;
+    e.args.emplace_back("name", std::string(name));
+    push(std::move(e));
+}
+
+void
+Tracer::recordSpan(std::string_view name, std::string_view category,
+                   int tid, double start_s, double dur_s,
+                   std::initializer_list<SpanArg> args)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = std::string(name);
+    e.category = std::string(category);
+    e.phase = 'X';
+    e.pid = kPidSim;
+    e.tid = tid;
+    e.tsUs = start_s * 1e6;
+    e.durUs = dur_s * 1e6;
+    for (const SpanArg &a : args) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.9g", a.value);
+        e.args.emplace_back(std::string(a.key), buf);
+    }
+    push(std::move(e));
+}
+
+void
+Tracer::recordInstant(std::string_view name, std::string_view category,
+                      int tid, double ts_s)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = std::string(name);
+    e.category = std::string(category);
+    e.phase = 'i';
+    e.pid = kPidSim;
+    e.tid = tid;
+    e.tsUs = ts_s * 1e6;
+    push(std::move(e));
+}
+
+void
+Tracer::beginSpan(std::string_view name, std::string_view category,
+                  int tid)
+{
+    ThreadSpanState &state = threadSpans();
+    if (!enabled()) {
+        ++state.disabledDepth;
+        return;
+    }
+    PendingSpan span;
+    span.name = std::string(name);
+    span.category = std::string(category);
+    span.tid = tid;
+    span.startUs = nowUs();
+    state.stack.push_back(std::move(span));
+}
+
+void
+Tracer::endSpan()
+{
+    ThreadSpanState &state = threadSpans();
+    if (state.disabledDepth > 0) {
+        --state.disabledDepth;
+        return;
+    }
+    SOCFLOW_ASSERT(!state.stack.empty(),
+                   "endSpan without a matching beginSpan");
+    PendingSpan span = std::move(state.stack.back());
+    state.stack.pop_back();
+    if (!enabled())
+        return;  // disabled mid-span: drop silently
+    TraceEvent e;
+    e.name = std::move(span.name);
+    e.category = std::move(span.category);
+    e.phase = 'X';
+    e.pid = kPidHost;
+    e.tid = span.tid;
+    e.tsUs = span.startUs;
+    e.durUs = nowUs() - span.startUs;
+    push(std::move(e));
+}
+
+std::size_t
+Tracer::openSpanDepth() const
+{
+    const ThreadSpanState &state = threadSpans();
+    return state.stack.size() + state.disabledDepth;
+}
+
+std::string
+Tracer::chromeTraceJson() const
+{
+    const std::vector<TraceEvent> snap = snapshot();
+    std::string out;
+    out.reserve(snap.size() * 96 + 64);
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &e : snap) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"name\":\"";
+        appendJsonEscaped(out, e.name);
+        out += "\",\"ph\":\"";
+        out += e.phase;
+        out += "\",\"pid\":";
+        out += std::to_string(e.pid);
+        out += ",\"tid\":";
+        out += std::to_string(e.tid);
+        if (!e.category.empty()) {
+            out += ",\"cat\":\"";
+            appendJsonEscaped(out, e.category);
+            out += '"';
+        }
+        if (e.phase != 'M') {
+            out += ",\"ts\":";
+            appendNumber(out, e.tsUs);
+        }
+        if (e.phase == 'X') {
+            out += ",\"dur\":";
+            appendNumber(out, e.durUs);
+        }
+        if (e.phase == 'i')
+            out += ",\"s\":\"t\"";
+        if (!e.args.empty()) {
+            out += ",\"args\":{";
+            for (std::size_t i = 0; i < e.args.size(); ++i) {
+                if (i)
+                    out += ',';
+                out += '"';
+                appendJsonEscaped(out, e.args[i].first);
+                out += "\":\"";
+                appendJsonEscaped(out, e.args[i].second);
+                out += '"';
+            }
+            out += '}';
+        }
+        out += '}';
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+bool
+Tracer::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << chromeTraceJson();
+    return static_cast<bool>(out);
+}
+
+Tracer &
+tracer()
+{
+    // Leaked on purpose; see obs::metrics().
+    static Tracer *global = new Tracer();
+    return *global;
+}
+
+} // namespace obs
+} // namespace socflow

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Span-based execution tracer with Chrome trace_event JSON export.
+ *
+ * Two clock domains share one trace, separated by Chrome "process"
+ * id so they never interleave on a track:
+ *
+ *  - the *simulated* SoC-Cluster timeline (kPidSim): trainers emit
+ *    complete spans with explicit simulated timestamps -- epoch,
+ *    step, per-group compute, per-wave communication, optimizer
+ *    update -- so compute/communication overlap from CG planning is
+ *    visible and machine-checkable;
+ *  - the *host* wall clock (kPidHost): nested RAII spans around real
+ *    work (checkpoint I/O, topology rebuilds, whole epochs).
+ *
+ * Disabled mode (the default) is near-zero cost: every record call
+ * checks one relaxed atomic and returns without allocating, so
+ * instrumentation can stay in hot paths permanently. Load the
+ * exported JSON in chrome://tracing or https://ui.perfetto.dev.
+ */
+
+#ifndef SOCFLOW_OBS_TRACE_HH
+#define SOCFLOW_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace socflow {
+namespace obs {
+
+/** Chrome pid of the simulated SoC-Cluster timeline. */
+constexpr int kPidSim = 1;
+/** Chrome pid of host wall-clock spans. */
+constexpr int kPidHost = 2;
+
+/** Simulated-timeline track (tid) conventions used by the trainers. */
+constexpr int kTrackControl = 0;    //!< epoch/step framing spans
+constexpr int kTrackComm = 1;       //!< sync waves + epoch aggregation
+constexpr int kTrackUpdate = 2;     //!< optimizer updates
+constexpr int kTrackGroupBase = 10; //!< + g: logical group g compute
+
+/** One recorded trace event (Chrome trace_event semantics). */
+struct TraceEvent {
+    std::string name;
+    std::string category;
+    char phase = 'X';  //!< X=complete, i=instant, M=metadata
+    int pid = kPidSim;
+    int tid = 0;
+    double tsUs = 0.0;   //!< start, microseconds
+    double durUs = 0.0;  //!< duration, microseconds ('X' only)
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/** Numeric argument attached to a span, e.g. {"wave", 1}. */
+struct SpanArg {
+    std::string_view key;
+    double value;
+};
+
+/**
+ * Collects trace events from any thread. One process-wide instance
+ * is available via tracer(); tests may create their own.
+ */
+class Tracer
+{
+  public:
+    Tracer();
+
+    /** True when events are being recorded. */
+    bool
+    enabled() const noexcept
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    /** Turn recording on or off (off drops new events, keeps old). */
+    void setEnabled(bool enable);
+
+    /** Drop all recorded events. */
+    void clear();
+
+    /** Number of events recorded so far. */
+    std::size_t eventCount() const;
+
+    /** Copy of the recorded events (for tests and custom exports). */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Chrome metadata: name a process (clock domain). */
+    void setProcessName(int pid, std::string_view name);
+
+    /** Chrome metadata: name a track within a process. */
+    void setTrackName(int pid, int tid, std::string_view name);
+
+    /**
+     * Record a complete span on the simulated timeline with explicit
+     * timestamps (seconds). No-op without allocation when disabled.
+     */
+    void recordSpan(std::string_view name, std::string_view category,
+                    int tid, double start_s, double dur_s,
+                    std::initializer_list<SpanArg> args = {});
+
+    /** Instant event on the simulated timeline. */
+    void recordInstant(std::string_view name,
+                       std::string_view category, int tid,
+                       double ts_s);
+
+    /**
+     * Open a nested wall-clock span on the host timeline. Pair with
+     * endSpan() (or use ScopedSpan). Nesting is per thread.
+     */
+    void beginSpan(std::string_view name, std::string_view category,
+                   int tid = 0);
+
+    /**
+     * Close the innermost wall-clock span opened by this thread.
+     * Closing with no open span is an internal error (panic).
+     */
+    void endSpan();
+
+    /** This thread's current wall-clock span nesting depth. */
+    std::size_t openSpanDepth() const;
+
+    /** Serialize to Chrome trace_event JSON. */
+    std::string chromeTraceJson() const;
+
+    /** Write chromeTraceJson() to a file; false on I/O failure. */
+    bool writeChromeTrace(const std::string &path) const;
+
+  private:
+    double nowUs() const;
+    void push(TraceEvent e);
+
+    std::atomic<bool> on{false};
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+    /** steady_clock anchor for wall-clock timestamps, microseconds. */
+    double anchorUs = 0.0;
+};
+
+/** The process-wide tracer used by the instrumented subsystems. */
+Tracer &tracer();
+
+/** RAII wall-clock span on the host timeline. */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(Tracer &t, std::string_view name,
+               std::string_view category, int tid = 0)
+        : tr(t)
+    {
+        tr.beginSpan(name, category, tid);
+    }
+
+    ~ScopedSpan() { tr.endSpan(); }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    Tracer &tr;
+};
+
+} // namespace obs
+} // namespace socflow
+
+#endif // SOCFLOW_OBS_TRACE_HH

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace socflow {
@@ -126,6 +127,13 @@ FlowNetwork::simulate(const std::vector<FlowSpec> &flows) const
     if (n == 0)
         return results;
 
+    static obs::Counter &simCalls =
+        obs::metrics().counter("flow_network_simulations_total");
+    static obs::Counter &simFlows =
+        obs::metrics().counter("flow_network_flows_total");
+    simCalls.add(1.0);
+    simFlows.add(static_cast<double>(n));
+
     std::vector<double> remainingBytes(n);
     std::vector<bool> arrived(n, false), done(n, false);
     for (std::size_t f = 0; f < n; ++f) {
@@ -229,6 +237,11 @@ FlowNetwork::makespan(const std::vector<FlowSpec> &flows) const
     double finish = 0.0;
     for (const auto &r : simulate(flows))
         finish = std::max(finish, r.finishS);
+    if (!flows.empty()) {
+        static obs::Histogram &span =
+            obs::metrics().histogram("flow_network_makespan_seconds");
+        span.observe(finish);
+    }
     return finish;
 }
 

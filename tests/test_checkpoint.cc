@@ -136,6 +136,116 @@ TEST(CheckpointFile, TruncatedPayloadDetected)
     std::remove(path.c_str());
 }
 
+// --------------------------------------------- trainer blob validation
+
+namespace {
+
+/** One trained trainer + a valid checkpoint blob for corruption. */
+struct BlobFixture {
+    data::DataBundle bundle = tinyBundle();
+    SoCFlowTrainer trainer{tinyConfig(), bundle};
+    std::vector<std::uint8_t> blob;
+
+    BlobFixture()
+    {
+        trainer.runEpoch();
+        blob = trainer.saveCheckpoint();
+    }
+
+    /** Load must throw, leaving the trainer usable. */
+    void
+    expectRejected(const std::vector<std::uint8_t> &bad,
+                   const char *what_substr)
+    {
+        const auto weightsBefore = trainer.globalWeights();
+        const std::size_t epochsBefore = trainer.epochsDone();
+        try {
+            trainer.loadCheckpoint(bad);
+            FAIL() << "expected CheckpointError (" << what_substr
+                   << ")";
+        } catch (const CheckpointError &e) {
+            EXPECT_NE(std::string(e.what()).find(what_substr),
+                      std::string::npos)
+                << "actual message: " << e.what();
+        }
+        // State untouched; training still works.
+        EXPECT_EQ(trainer.globalWeights(), weightsBefore);
+        EXPECT_EQ(trainer.epochsDone(), epochsBefore);
+        EXPECT_GT(trainer.runEpoch().simSeconds, 0.0);
+    }
+};
+
+} // namespace
+
+TEST(TrainerCheckpointBlob, TruncatedBufferRejected)
+{
+    BlobFixture fx;
+    std::vector<std::uint8_t> bad(fx.blob.begin(),
+                                  fx.blob.begin() + 11);
+    fx.expectRejected(bad, "truncated");
+}
+
+TEST(TrainerCheckpointBlob, EmptyBufferRejected)
+{
+    BlobFixture fx;
+    fx.expectRejected({}, "truncated");
+}
+
+TEST(TrainerCheckpointBlob, BitFlipInWeightsRejected)
+{
+    BlobFixture fx;
+    std::vector<std::uint8_t> bad = fx.blob;
+    bad[bad.size() / 2] ^= 0x40;  // flip one bit mid-payload
+    fx.expectRejected(bad, "checksum");
+}
+
+TEST(TrainerCheckpointBlob, BitFlipInHeaderRejected)
+{
+    BlobFixture fx;
+    std::vector<std::uint8_t> bad = fx.blob;
+    bad[2] ^= 0x01;  // corrupt the magic itself
+    fx.expectRejected(bad, "magic");
+}
+
+TEST(TrainerCheckpointBlob, WrongSizeBufferRejected)
+{
+    BlobFixture fx;
+    // One trailing byte too many: the declared weight count no
+    // longer matches the buffer length.
+    std::vector<std::uint8_t> bad = fx.blob;
+    bad.push_back(0);
+    fx.expectRejected(bad, "size mismatch");
+}
+
+TEST(TrainerCheckpointBlob, ForeignModelSizeRejected)
+{
+    BlobFixture fx;
+    // A valid blob from a *different* model (bigger MLP input):
+    // magic and checksum pass, but the weight count must not match.
+    data::SyntheticParams p;
+    p.name = "other";
+    p.classes = 7;
+    p.channels = 1;
+    p.height = 12;
+    p.width = 12;
+    p.trainSamples = 64;
+    p.testSamples = 32;
+    p.seed = 5;
+    data::DataBundle other = data::makeSynthetic(p);
+    SoCFlowTrainer foreign(tinyConfig(), other);
+    fx.expectRejected(foreign.saveCheckpoint(), "model");
+}
+
+TEST(TrainerCheckpointBlob, ValidBlobStillLoadsAfterRejections)
+{
+    BlobFixture fx;
+    std::vector<std::uint8_t> bad = fx.blob;
+    bad[bad.size() / 2] ^= 0x40;
+    EXPECT_THROW(fx.trainer.loadCheckpoint(bad), CheckpointError);
+    EXPECT_NO_THROW(fx.trainer.loadCheckpoint(fx.blob));
+    EXPECT_EQ(fx.trainer.epochsDone(), 1u);
+}
+
 TEST(CheckpointFile, TrainerResumesAcrossFile)
 {
     const std::string path = tempPath("resume.ckpt");

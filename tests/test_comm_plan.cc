@@ -11,6 +11,7 @@
 #include "core/comm_plan.hh"
 #include "core/mapping.hh"
 #include "sim/cluster.hh"
+#include "util/rng.hh"
 
 using namespace socflow;
 using namespace socflow::core;
@@ -129,6 +130,136 @@ INSTANTIATE_TEST_SUITE_P(
                       PlanCase{60, 5, 20}, PlanCase{24, 5, 8},
                       PlanCase{48, 5, 16}, PlanCase{56, 7, 8},
                       PlanCase{60, 5, 10}));
+
+/** The wave-level schedule is consistent with its aggregate cost. */
+TEST_P(CommPlanSweep, SyncScheduleWavesMatchTotal)
+{
+    const auto p = GetParam();
+    sim::Cluster c = cluster(p.socs);
+    collectives::CollectiveEngine eng(c);
+    const Mapping m = mapGroups(p.socs, p.perBoard, p.groups,
+                                MapStrategy::IntegrityGreedy);
+    const CommPlan plan =
+        planCommGroups(conflictGraph(m, p.perBoard));
+    const SyncSchedule sched =
+        planSyncSchedule(eng, m, plan, 37e6);
+
+    ASSERT_FALSE(sched.waveSeconds.empty());
+    EXPECT_LE(sched.waveSeconds.size(), 2u);
+    double sum = 0.0;
+    for (double w : sched.waveSeconds) {
+        EXPECT_GE(w, 0.0);
+        sum += w;
+    }
+    if (sched.usedWaves)
+        EXPECT_NEAR(sum, sched.total.seconds,
+                    1e-9 * std::max(1.0, sum));
+    EXPECT_NEAR(sched.total.seconds,
+                plannedSyncCost(eng, m, plan, 37e6).seconds, 1e-12);
+}
+
+// --------------------------------------------- Theorem 2: chain shape
+
+namespace {
+
+/** Union-find over group indices, for forest detection. */
+struct Dsu {
+    std::vector<std::size_t> parent;
+
+    explicit Dsu(std::size_t n) : parent(n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            parent[i] = i;
+    }
+
+    std::size_t
+    find(std::size_t x)
+    {
+        while (parent[x] != x)
+            x = parent[x] = parent[parent[x]];
+        return x;
+    }
+
+    /** Returns false if x and y were already connected (a cycle). */
+    bool
+    unite(std::size_t x, std::size_t y)
+    {
+        x = find(x);
+        y = find(y);
+        if (x == y)
+            return false;
+        parent[x] = y;
+        return true;
+    }
+};
+
+/**
+ * Theorem 2 predicate: the conflict graph is a disjoint union of
+ * chains -- every vertex has degree <= 2 and there are no cycles.
+ */
+void
+expectChainShaped(const std::vector<std::vector<std::size_t>> &adj)
+{
+    Dsu dsu(adj.size());
+    for (std::size_t u = 0; u < adj.size(); ++u) {
+        EXPECT_LE(adj[u].size(), 2u)
+            << "group " << u << " conflicts with more than 2 others";
+        for (std::size_t v : adj[u]) {
+            ASSERT_NE(u, v) << "self-conflict at group " << u;
+            if (u < v)  // count each undirected edge once
+                EXPECT_TRUE(dsu.unite(u, v))
+                    << "cycle through groups " << u << " and " << v;
+        }
+    }
+}
+
+} // namespace
+
+/** Theorem 2: integrity-greedy conflict graphs are unions of chains. */
+TEST_P(CommPlanSweep, ConflictGraphIsChainShaped)
+{
+    const auto p = GetParam();
+    const Mapping m = mapGroups(p.socs, p.perBoard, p.groups,
+                                MapStrategy::IntegrityGreedy);
+    expectChainShaped(conflictGraph(m, p.perBoard));
+}
+
+/**
+ * Randomized Theorem 2 sweep: any divisor group count on any board
+ * geometry yields a chain-shaped conflict graph, hence the planner
+ * never needs more than two communication waves.
+ */
+TEST(CommPlanTheorem2, RandomizedNeverMoreThanTwoWaves)
+{
+    Rng rng(0x7e02ULL);
+    int checked = 0;
+    while (checked < 200) {
+        const std::size_t perBoard = 2 + rng.uniformInt(7);   // 2..8
+        const std::size_t boards = 1 + rng.uniformInt(12);    // 1..12
+        std::size_t socs = perBoard * boards;
+        if (boards > 1 && rng.bernoulli(0.3))
+            socs -= rng.uniformInt(perBoard - 1) + 1;
+        if (socs < 2)
+            continue;
+        std::vector<std::size_t> divisors;
+        for (std::size_t d = 1; d <= socs; ++d)
+            if (socs % d == 0)
+                divisors.push_back(d);
+        const std::size_t groups =
+            divisors[rng.uniformInt(divisors.size())];
+        SCOPED_TRACE(::testing::Message()
+                     << socs << " SoCs, " << perBoard << "/board, "
+                     << groups << " groups");
+
+        const Mapping m = mapGroups(socs, perBoard, groups,
+                                    MapStrategy::IntegrityGreedy);
+        const auto adj = conflictGraph(m, perBoard);
+        expectChainShaped(adj);
+        const CommPlan plan = planCommGroups(adj);
+        EXPECT_LE(plan.numCommGroups, 2u);
+        ++checked;
+    }
+}
 
 /** Contended mappings benefit from planning (strict improvement). */
 TEST(CommPlan, PlanningHelpsContendedMapping)

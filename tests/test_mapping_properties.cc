@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Theorem 1 property test: on every cluster small enough to
+ * brute-force, the integrity-greedy mapping's conflict metric C
+ * equals the optimum over *all* assignments of SoCs to equal-size
+ * logical groups. Randomized configurations stay within <= 12 SoCs
+ * and <= 4 boards so exhaustive enumeration remains tractable
+ * (<= 15400 partitions).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "core/mapping.hh"
+#include "util/rng.hh"
+
+using namespace socflow;
+using namespace socflow::core;
+
+namespace {
+
+std::size_t
+numBoards(std::size_t socs, std::size_t per_board)
+{
+    return (socs + per_board - 1) / per_board;
+}
+
+/**
+ * Exhaustive minimum of C over all partitions of `socs` SoCs into
+ * `num_groups` unordered groups of equal size. Each partition is
+ * enumerated exactly once: groups are created in order of their
+ * smallest member, and members join a group in increasing order.
+ */
+std::size_t
+bruteForceMinC(std::size_t socs, std::size_t per_board,
+               std::size_t num_groups)
+{
+    const std::size_t gsize = socs / num_groups;
+    const std::size_t boards = numBoards(socs, per_board);
+    std::vector<std::vector<sim::SocId>> partial;
+    std::vector<bool> used(socs, false);
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+
+    std::function<void()> nextGroup = [&]() {
+        std::size_t first = 0;
+        while (first < socs && used[first])
+            ++first;
+        if (first == socs) {
+            Mapping m;
+            m.members = partial;
+            best = std::min(best, conflictC(m, per_board, boards));
+            return;
+        }
+        used[first] = true;
+        std::vector<sim::SocId> cur{first};
+        std::function<void(std::size_t)> pickMates =
+            [&](std::size_t start) {
+                if (cur.size() == gsize) {
+                    partial.push_back(cur);
+                    nextGroup();
+                    partial.pop_back();
+                    return;
+                }
+                for (std::size_t s = start; s < socs; ++s) {
+                    if (used[s])
+                        continue;
+                    used[s] = true;
+                    cur.push_back(s);
+                    pickMates(s + 1);
+                    cur.pop_back();
+                    used[s] = false;
+                }
+            };
+        pickMates(first + 1);
+        used[first] = false;
+    };
+    nextGroup();
+    return best;
+}
+
+void
+expectGreedyOptimal(std::size_t socs, std::size_t per_board,
+                    std::size_t num_groups)
+{
+    SCOPED_TRACE(::testing::Message()
+                 << socs << " SoCs, " << per_board << "/board, "
+                 << num_groups << " groups");
+    const Mapping greedy = mapGroups(socs, per_board, num_groups,
+                                     MapStrategy::IntegrityGreedy);
+    const std::size_t greedyC =
+        conflictC(greedy, per_board, numBoards(socs, per_board));
+    const std::size_t optimum =
+        bruteForceMinC(socs, per_board, num_groups);
+    EXPECT_EQ(greedyC, optimum);
+}
+
+} // namespace
+
+TEST(MappingTheorem1, WholeGroupsFitBoardsExactly)
+{
+    // Group size == board size: zero conflicts are achievable and
+    // integrity-greedy must find them.
+    expectGreedyOptimal(12, 4, 3);
+    expectGreedyOptimal(12, 3, 4);
+    expectGreedyOptimal(8, 4, 2);
+}
+
+TEST(MappingTheorem1, SplitGroupsForced)
+{
+    // Group size does not divide board size: some split group is
+    // unavoidable; greedy must still reach the optimal C.
+    expectGreedyOptimal(12, 4, 4);  // size-3 groups on size-4 boards
+    expectGreedyOptimal(12, 5, 4);  // partial last board
+    expectGreedyOptimal(10, 4, 5);  // size-2 groups on size-4 boards
+    expectGreedyOptimal(9, 4, 3);
+}
+
+TEST(MappingTheorem1, SingleBoardIsConflictFree)
+{
+    // One board: no group can span boards, so C must be 0.
+    const Mapping m =
+        mapGroups(8, 8, 4, MapStrategy::IntegrityGreedy);
+    EXPECT_EQ(conflictC(m, 8, 1), 0u);
+    expectGreedyOptimal(8, 8, 4);
+}
+
+TEST(MappingTheorem1, SingletonAndWholeClusterGroups)
+{
+    expectGreedyOptimal(12, 4, 12);  // one SoC per group
+    expectGreedyOptimal(12, 4, 1);   // one group spanning everything
+    expectGreedyOptimal(12, 4, 2);   // two board-spanning groups
+}
+
+TEST(MappingTheorem1, RandomizedSmallClusters)
+{
+    Rng rng(0x7e01ULL);
+    int checked = 0;
+    while (checked < 40) {
+        const std::size_t perBoard = 2 + rng.uniformInt(4);   // 2..5
+        const std::size_t boards = 1 + rng.uniformInt(4);     // 1..4
+        std::size_t socs = perBoard * boards;
+        // Sometimes leave the last board partially filled.
+        if (boards > 1 && rng.bernoulli(0.3))
+            socs -= rng.uniformInt(perBoard - 1) + 1;
+        if (socs > 12 || socs < 2)
+            continue;
+        // Random group count dividing the SoC count.
+        std::vector<std::size_t> divisors;
+        for (std::size_t d = 1; d <= socs; ++d)
+            if (socs % d == 0)
+                divisors.push_back(d);
+        const std::size_t groups =
+            divisors[rng.uniformInt(divisors.size())];
+        expectGreedyOptimal(socs, perBoard, groups);
+        ++checked;
+    }
+}

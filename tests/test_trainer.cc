@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checkpoint.hh"
 #include "core/socflow_trainer.hh"
 #include "core/train_common.hh"
 #include "data/synthetic.hh"
@@ -160,13 +161,19 @@ TEST(SoCFlowTrainer, CheckpointRoundTrip)
     EXPECT_NEAR(fresh.testAccuracy(), acc, 1e-9);
 }
 
-TEST(SoCFlowTrainer, CorruptCheckpointIsFatal)
+TEST(SoCFlowTrainer, CorruptCheckpointThrowsAndTrainerSurvives)
 {
     data::DataBundle bundle = tinyBundle();
     SoCFlowTrainer trainer(tinyConfig(), bundle);
+    trainer.runEpoch();
+    const auto weightsBefore = trainer.globalWeights();
+
     std::vector<std::uint8_t> junk(7, 0);
-    EXPECT_EXIT(trainer.loadCheckpoint(junk),
-                ::testing::ExitedWithCode(1), "checkpoint");
+    EXPECT_THROW(trainer.loadCheckpoint(junk), CheckpointError);
+
+    // The failed load left the trainer fully usable.
+    EXPECT_EQ(trainer.globalWeights(), weightsBefore);
+    EXPECT_GT(trainer.runEpoch().simSeconds, 0.0);
 }
 
 TEST(SoCFlowTrainer, PreemptionShrinksGroupsAndContinues)
@@ -197,6 +204,67 @@ TEST(SoCFlowTrainer, SetActiveGroupsGrowAndShrink)
     EXPECT_EQ(trainer.activeGroups(), 4u);
     trainer.runEpoch();
     EXPECT_GT(trainer.testAccuracy(), 0.25);
+}
+
+// --------------------------------------------------------- elasticity
+
+TEST(SoCFlowTrainer, ShrinkGrowRoundTripPreservesConsensusWeights)
+{
+    data::DataBundle bundle = tinyBundle();
+    SoCFlowConfig cfg = tinyConfig();
+    cfg.numGroups = 4;
+    SoCFlowTrainer trainer(cfg, bundle);
+    trainer.runEpoch();
+    const auto consensus = trainer.globalWeights();
+
+    trainer.setActiveGroups(2);
+    trainer.setActiveGroups(4);
+
+    // Resizing alone must not perturb the consensus model: every
+    // group (survivor or re-admitted) carries the consensus weights.
+    for (std::size_t g = 0; g < trainer.activeGroups(); ++g)
+        EXPECT_EQ(trainer.groupWeights(g), consensus)
+            << "group " << g;
+}
+
+TEST(SoCFlowTrainer, ReadmittedGroupsHaveResetMomentum)
+{
+    data::DataBundle bundle = tinyBundle();
+    SoCFlowConfig cfg = tinyConfig();
+    cfg.numGroups = 4;
+    SoCFlowTrainer trainer(cfg, bundle);
+    trainer.runEpoch();
+
+    // Survivors keep training momentum; a fresh epoch guarantees the
+    // survivor's buffers are non-zero at the moment of regrowth.
+    trainer.setActiveGroups(2);
+    trainer.runEpoch();
+    EXPECT_GT(trainer.groupMomentumNorm(0), 0.0);
+
+    trainer.setActiveGroups(4);
+    EXPECT_GT(trainer.groupMomentumNorm(0), 0.0);
+    EXPECT_EQ(trainer.groupMomentumNorm(2), 0.0);
+    EXPECT_EQ(trainer.groupMomentumNorm(3), 0.0);
+}
+
+TEST(SoCFlowTrainer, PreemptToOneGroupStillTrains)
+{
+    data::DataBundle bundle = tinyBundle();
+    SoCFlowConfig cfg = tinyConfig();
+    cfg.numGroups = 4;
+    SoCFlowTrainer trainer(cfg, bundle);
+    trainer.runEpoch();
+    while (trainer.activeGroups() > 1)
+        trainer.preemptGroup(trainer.activeGroups() - 1);
+    EXPECT_EQ(trainer.activeGroups(), 1u);
+
+    const double accBefore = trainer.testAccuracy();
+    for (int e = 0; e < 3; ++e) {
+        const EpochRecord rec = trainer.runEpoch();
+        EXPECT_GT(rec.simSeconds, 0.0);
+    }
+    EXPECT_GT(trainer.testAccuracy(), accBefore - 0.05);
+    EXPECT_GT(trainer.testAccuracy(), 0.3);
 }
 
 TEST(SoCFlowTrainer, SetActiveGroupsBoundsAreFatal)
