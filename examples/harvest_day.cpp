@@ -9,10 +9,14 @@
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/harvest_day
+ *
+ * Pass --trace-out=<path> / --metrics-out=<path> to export the
+ * Chrome trace_event timeline and the metrics dump.
  */
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "core/socflow_trainer.hh"
 #include "data/synthetic.hh"
 #include "trace/harvest.hh"
@@ -23,9 +27,10 @@
 using namespace socflow;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
+    bench::initBenchObservability(argc, argv);
 
     // The job: train a LeNet on the EMNIST analog overnight so the
     // refreshed input-method model ships in the morning.
@@ -52,7 +57,8 @@ main()
 
     Table t("A harvested day (scheduler events)");
     t.setHeader({"hour", "idle-socs", "event", "active-groups"});
-    const char *names[] = {"train", "preempt", "suspend", "resume"};
+    const char *names[] = {"train", "preempt", "suspend", "resume",
+                           "crash"};
     std::size_t shown = 0;
     for (const auto &ev : report.timeline) {
         const bool interesting =

@@ -7,11 +7,15 @@
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
+ *
+ * Pass --trace-out=<path> / --metrics-out=<path> to export the
+ * Chrome trace_event timeline and the metrics dump.
  */
 
 #include <cstdio>
 
 #include "baselines/local.hh"
+#include "bench_common.hh"
 #include "core/socflow_trainer.hh"
 #include "data/synthetic.hh"
 #include "util/logging.hh"
@@ -20,9 +24,10 @@
 using namespace socflow;
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
+    bench::initBenchObservability(argc, argv);
 
     // 1. Make a dataset (a synthetic stand-in for CIFAR-10).
     data::DataBundle bundle = data::makeDatasetByName("cifar10");

@@ -1,5 +1,20 @@
 #!/bin/bash
+# Usage: run_all.sh [--sanitize]
+#   default     run the test suite + every bench from build/
+#   --sanitize  configure build-asan with -DSANITIZE=ON and run the
+#               test suite under AddressSanitizer + UBSan
 cd /root/repo
+
+if [ "$1" = "--sanitize" ]; then
+    cmake -B build-asan -S . -DSANITIZE=ON || exit 1
+    cmake --build build-asan -j || exit 1
+    ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+        ctest --test-dir build-asan --output-on-failure 2>&1 |
+        tee /root/repo/sanitize_output.txt
+    echo "SANITIZE_RUN_COMPLETE"
+    exit 0
+fi
+
 rm -rf .bench_cache
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
 for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt

@@ -74,6 +74,24 @@ CollectiveEngine::CollectiveEngine(const sim::Cluster &cluster)
 {
 }
 
+sim::FlowSpec
+CollectiveEngine::transfer(sim::SocId src, sim::SocId dst,
+                           double bytes) const
+{
+    sim::FlowSpec f = clusterRef.transfer(src, dst, bytes);
+    if (faults) {
+        const sim::BoardId bs = clusterRef.board(src);
+        const sim::BoardId bd = clusterRef.board(dst);
+        if (bs != bd) {
+            const double lf = std::min(faults->linkFactor(bs),
+                                       faults->linkFactor(bd));
+            if (lf > 0.0 && lf < 1.0)
+                f.bytes /= lf;
+        }
+    }
+    return f;
+}
+
 std::vector<sim::FlowSpec>
 CollectiveEngine::ringRoundFlows(const std::vector<sim::SocId> &ring,
                                  double chunk_bytes) const
@@ -83,7 +101,7 @@ CollectiveEngine::ringRoundFlows(const std::vector<sim::SocId> &ring,
     for (std::size_t i = 0; i < ring.size(); ++i) {
         const sim::SocId src = ring[i];
         const sim::SocId dst = ring[(i + 1) % ring.size()];
-        flows.push_back(clusterRef.transfer(src, dst, chunk_bytes));
+        flows.push_back(transfer(src, dst, chunk_bytes));
     }
     return flows;
 }
@@ -125,8 +143,8 @@ CollectiveEngine::paramServer(const std::vector<sim::SocId> &workers,
 
     std::vector<sim::FlowSpec> push, pull;
     for (sim::SocId c : clients) {
-        push.push_back(clusterRef.transfer(c, server, bytes));
-        pull.push_back(clusterRef.transfer(server, c, bytes));
+        push.push_back(transfer(c, server, bytes));
+        pull.push_back(transfer(server, c, bytes));
     }
     const double overhead =
         clusterRef.roundOverheadS(clients.size() + 1);
@@ -152,7 +170,7 @@ CollectiveEngine::treeAggregate(const std::vector<sim::SocId> &nodes,
         std::vector<sim::FlowSpec> flows;
         for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
             flows.push_back(
-                clusterRef.transfer(nodes[i + stride], nodes[i], bytes));
+                transfer(nodes[i + stride], nodes[i], bytes));
         }
         if (flows.empty())
             continue;
@@ -169,7 +187,7 @@ CollectiveEngine::treeAggregate(const std::vector<sim::SocId> &nodes,
         std::vector<sim::FlowSpec> flows;
         for (std::size_t i = 0; i + *it < n; i += 2 * (*it)) {
             flows.push_back(
-                clusterRef.transfer(nodes[i], nodes[i + *it], bytes));
+                transfer(nodes[i], nodes[i + *it], bytes));
         }
         if (flows.empty())
             continue;
@@ -203,9 +221,8 @@ CollectiveEngine::broadcast(sim::SocId root,
         const std::size_t sends =
             std::min(holders, nodes.size() - holders);
         for (std::size_t i = 0; i < sends; ++i) {
-            flows.push_back(clusterRef.transfer(nodes[i],
-                                                nodes[holders + i],
-                                                bytes));
+            flows.push_back(
+                transfer(nodes[i], nodes[holders + i], bytes));
         }
         stats.seconds += clusterRef.network().makespan(flows) +
                          clusterRef.roundOverheadS(2 * sends);
@@ -254,6 +271,62 @@ CollectiveEngine::concurrentRings(
     }
     recordCollective("concurrent_rings", stats);
     return stats;
+}
+
+SyncOutcome
+CollectiveEngine::ringAllReduceResilient(
+    const std::vector<sim::SocId> &ring, double bytes,
+    const std::vector<sim::SocId> *extra_dead) const
+{
+    const auto isDead = [&](sim::SocId s) {
+        if (faults && !faults->socAlive(s))
+            return true;
+        return extra_dead &&
+               std::find(extra_dead->begin(), extra_dead->end(), s) !=
+                   extra_dead->end();
+    };
+
+    SyncOutcome out;
+    out.survivors.reserve(ring.size());
+    for (sim::SocId s : ring)
+        if (!isDead(s))
+            out.survivors.push_back(s);
+
+    if (out.survivors.size() == ring.size()) {
+        out.stats = ringAllReduce(ring, bytes);
+        return out;
+    }
+
+    // A dead member never answers: every attempt stalls for the full
+    // timeout, then backs off before the retry. Crashes are permanent
+    // at this granularity, so the envelope is always exhausted before
+    // the ring is shrunk; timed-out attempts put no accounted bytes
+    // on the wire (the partial chunks are discarded).
+    static obs::Counter &timeouts =
+        obs::metrics().counter("collective_timeouts_total");
+    static obs::Counter &retries =
+        obs::metrics().counter("collective_retries_total");
+    static obs::Counter &degradedOps =
+        obs::metrics().counter("collective_degraded_total");
+
+    double backoff = policy.backoffBaseS;
+    out.attempts = policy.maxRetries + 1;
+    out.retries = policy.maxRetries;
+    for (std::size_t a = 0; a <= policy.maxRetries; ++a) {
+        out.stats.seconds += policy.timeoutS;
+        if (a < policy.maxRetries) {
+            out.stats.seconds += backoff;
+            backoff = std::min(backoff * policy.backoffMultiplier,
+                               policy.backoffMaxS);
+        }
+    }
+    timeouts.add(static_cast<double>(out.attempts));
+    retries.add(static_cast<double>(out.retries));
+    degradedOps.add(1.0);
+
+    out.degraded = true;
+    out.stats += ringAllReduce(out.survivors, bytes);
+    return out;
 }
 
 } // namespace collectives

@@ -9,6 +9,14 @@
  * engine reports wall-clock, bytes on the wire, and round counts;
  * the numerical effect of the collectives is applied separately by
  * collectives/reduce.hh.
+ *
+ * Resilience: an optional fault model (fault/fault.hh) feeds the
+ * engine dead SoCs and degraded board NICs. Degraded NICs inflate
+ * every flow that crosses them; a sync whose ring contains a dead
+ * SoC times out, retries under bounded exponential backoff, and
+ * finally falls back to a degraded ring over the survivors
+ * (ringAllReduceResilient). The retry/backoff envelope is the
+ * SyncPolicy; DESIGN.md "Failure model" documents the contract.
  */
 
 #ifndef SOCFLOW_COLLECTIVES_ENGINE_HH
@@ -17,6 +25,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "sim/cluster.hh"
 
 namespace socflow {
@@ -31,6 +40,34 @@ struct CommStats {
     CommStats &operator+=(const CommStats &o);
 };
 
+/** Timeout/retry envelope for one synchronization attempt. */
+struct SyncPolicy {
+    /** Stall charged per failed attempt before it is abandoned. */
+    double timeoutS = 0.5;
+    /** Retries after the first attempt before degrading the ring. */
+    std::size_t maxRetries = 3;
+    /** Backoff before the first retry; doubles per retry. */
+    double backoffBaseS = 0.05;
+    /** Backoff growth per retry. */
+    double backoffMultiplier = 2.0;
+    /** Backoff ceiling. */
+    double backoffMaxS = 1.0;
+};
+
+/** Result of one fault-aware synchronization. */
+struct SyncOutcome {
+    /** Total cost including timeouts, backoff, and the fallback. */
+    CommStats stats;
+    /** Attempts made (1 when the first try succeeded). */
+    std::size_t attempts = 1;
+    /** Retries charged (attempts - 1 on the broken ring). */
+    std::size_t retries = 0;
+    /** True when the ring was shrunk to the survivor set. */
+    bool degraded = false;
+    /** Members that completed the operation. */
+    std::vector<sim::SocId> survivors;
+};
+
 /**
  * Evaluates collective communication costs on a cluster.
  */
@@ -40,6 +77,23 @@ class CollectiveEngine
     explicit CollectiveEngine(const sim::Cluster &cluster);
 
     const sim::Cluster &cluster() const { return clusterRef; }
+
+    /**
+     * Attach a fault model (not owned; may be nullptr to detach).
+     * Degraded-NIC factors then apply to every cost query, and
+     * ringAllReduceResilient consults it for dead SoCs.
+     */
+    void setFaultModel(const fault::FaultModel *model)
+    {
+        faults = model;
+    }
+
+    /** The attached fault model, or nullptr. */
+    const fault::FaultModel *faultModel() const { return faults; }
+
+    /** Timeout/retry envelope used by ringAllReduceResilient. */
+    void setSyncPolicy(const SyncPolicy &p) { policy = p; }
+    const SyncPolicy &syncPolicy() const { return policy; }
 
     /**
      * Ring all-reduce over the given SoCs (reduce-scatter +
@@ -80,12 +134,38 @@ class CollectiveEngine
         const std::vector<std::vector<sim::SocId>> &rings,
         double bytes) const;
 
+    /**
+     * Fault-aware ring all-reduce. With every member alive this is
+     * exactly ringAllReduce. A ring containing dead members (per the
+     * attached fault model, plus the optional `extra_dead` hint from
+     * callers that track crashes themselves) first burns the full
+     * SyncPolicy envelope -- each attempt stalls for the timeout,
+     * then backs off exponentially -- and finally re-forms a
+     * degraded ring over the survivors and completes there. A
+     * survivor set of <= 1 member completes trivially after the
+     * envelope.
+     */
+    SyncOutcome ringAllReduceResilient(
+        const std::vector<sim::SocId> &ring, double bytes,
+        const std::vector<sim::SocId> *extra_dead = nullptr) const;
+
   private:
     /** One synchronized ring round's flow set. */
     std::vector<sim::FlowSpec> ringRoundFlows(
         const std::vector<sim::SocId> &ring, double chunk_bytes) const;
 
+    /**
+     * Point-to-point transfer spec with degraded-NIC inflation: an
+     * inter-board flow crossing a degraded board NIC has its bytes
+     * scaled by the inverse link factor (equivalent, at flow level,
+     * to the NIC delivering that fraction of its bandwidth).
+     */
+    sim::FlowSpec transfer(sim::SocId src, sim::SocId dst,
+                           double bytes) const;
+
     const sim::Cluster &clusterRef;
+    const fault::FaultModel *faults = nullptr;
+    SyncPolicy policy;
 };
 
 } // namespace collectives

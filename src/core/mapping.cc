@@ -1,6 +1,7 @@
 #include "core/mapping.hh"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "util/logging.hh"
@@ -95,7 +96,105 @@ mapSequential(std::size_t num_socs, std::size_t num_groups)
     return m;
 }
 
+/** Target group sizes: n split into k parts differing by <= 1. */
+std::vector<std::size_t>
+groupSizes(std::size_t n, std::size_t k)
+{
+    std::vector<std::size_t> sizes(k, n / k);
+    for (std::size_t g = 0; g < n % k; ++g)
+        ++sizes[g];
+    return sizes;
+}
+
+Mapping
+mapSubsetIntegrityGreedy(const std::vector<sim::SocId> &socs,
+                         std::size_t socs_per_board,
+                         std::size_t num_groups)
+{
+    // Available slots per board, ascending SoC order within a board.
+    std::map<sim::BoardId, std::vector<sim::SocId>> avail;
+    for (sim::SocId s : socs)
+        avail[s / socs_per_board].push_back(s);
+
+    const std::vector<std::size_t> sizes =
+        groupSizes(socs.size(), num_groups);
+    Mapping m;
+    m.members.assign(num_groups, {});
+
+    // Step 1: place as many whole groups as fit on each board.
+    std::size_t nextGroup = 0;
+    for (auto &[board, slots] : avail) {
+        (void)board;
+        while (nextGroup < num_groups &&
+               slots.size() >= sizes[nextGroup]) {
+            auto &grp = m.members[nextGroup];
+            grp.assign(slots.begin(),
+                       slots.begin() +
+                           static_cast<std::ptrdiff_t>(sizes[nextGroup]));
+            slots.erase(slots.begin(),
+                        slots.begin() + static_cast<std::ptrdiff_t>(
+                                            sizes[nextGroup]));
+            ++nextGroup;
+        }
+    }
+
+    // Step 2: squeeze the remaining groups contiguously across the
+    // leftover slots in board order.
+    for (auto &[board, slots] : avail) {
+        (void)board;
+        for (sim::SocId s : slots) {
+            while (nextGroup < num_groups &&
+                   m.members[nextGroup].size() == sizes[nextGroup])
+                ++nextGroup;
+            if (nextGroup == num_groups)
+                break;
+            m.members[nextGroup].push_back(s);
+        }
+    }
+    while (nextGroup < num_groups &&
+           m.members[nextGroup].size() == sizes[nextGroup])
+        ++nextGroup;
+    SOCFLOW_ASSERT(nextGroup == num_groups,
+                   "subset mapping left groups unplaced");
+    return m;
+}
+
 } // namespace
+
+Mapping
+mapGroupsOnto(const std::vector<sim::SocId> &socs,
+              std::size_t socs_per_board, std::size_t num_groups,
+              MapStrategy strategy)
+{
+    if (num_groups == 0 || socs.empty())
+        fatal("subset mapping requires SoCs and at least one group");
+    if (socs.size() < num_groups) {
+        fatal("cannot split ", socs.size(), " SoCs into ", num_groups,
+              " groups");
+    }
+    std::vector<sim::SocId> sorted(socs);
+    std::sort(sorted.begin(), sorted.end());
+
+    if (strategy == MapStrategy::IntegrityGreedy)
+        return mapSubsetIntegrityGreedy(sorted, socs_per_board,
+                                        num_groups);
+
+    Mapping m;
+    m.members.assign(num_groups, {});
+    if (strategy == MapStrategy::RoundRobin) {
+        for (std::size_t i = 0; i < sorted.size(); ++i)
+            m.members[i % num_groups].push_back(sorted[i]);
+        return m;
+    }
+    const std::vector<std::size_t> sizes =
+        groupSizes(sorted.size(), num_groups);
+    std::size_t at = 0;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+        for (std::size_t i = 0; i < sizes[g]; ++i)
+            m.members[g].push_back(sorted[at++]);
+    }
+    return m;
+}
 
 Mapping
 mapGroups(std::size_t num_socs, std::size_t socs_per_board,

@@ -53,6 +53,22 @@ const char *mapStrategyName(MapStrategy s);
 Mapping mapGroups(std::size_t num_socs, std::size_t socs_per_board,
                   std::size_t num_groups, MapStrategy strategy);
 
+/**
+ * Map an explicit (possibly sparse) SoC set into `num_groups`
+ * groups -- the crash-recovery path, where the survivor set is no
+ * longer contiguous and no longer divides evenly. Group sizes differ
+ * by at most one (earlier groups take the remainder). The
+ * integrity-greedy strategy packs whole groups per board first, then
+ * squeezes the split groups across the remaining slots, exactly as
+ * mapGroups does on the full cluster.
+ * @param socs available SoC ids; must be non-empty, are processed in
+ *        ascending id order, and must satisfy socs.size() >=
+ *        num_groups.
+ */
+Mapping mapGroupsOnto(const std::vector<sim::SocId> &socs,
+                      std::size_t socs_per_board,
+                      std::size_t num_groups, MapStrategy strategy);
+
 /** True when group g spans more than one board. */
 bool isSplitGroup(const Mapping &mapping, std::size_t group,
                   std::size_t socs_per_board);

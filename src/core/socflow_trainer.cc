@@ -38,11 +38,13 @@ struct TrainerMetrics {
     obs::Counter &checkpointSaves;
     obs::Counter &checkpointLoads;
     obs::Counter &checkpointErrors;
+    obs::Counter &crashes;
     obs::Gauge &alpha;
     obs::Gauge &cpuFraction;
     obs::Gauge &activeGroups;
     obs::Histogram &stepComputeS;
     obs::Histogram &stepSyncS;
+    obs::Histogram &recoveryS;
 
     TrainerMetrics()
         : steps(obs::metrics().counter("trainer_steps_total")),
@@ -57,13 +59,16 @@ struct TrainerMetrics {
               obs::metrics().counter("trainer_checkpoint_loads_total")),
           checkpointErrors(obs::metrics().counter(
               "trainer_checkpoint_errors_total")),
+          crashes(obs::metrics().counter("trainer_crashes_total")),
           alpha(obs::metrics().gauge("trainer_alpha")),
           cpuFraction(obs::metrics().gauge("trainer_cpu_fraction")),
           activeGroups(obs::metrics().gauge("trainer_active_groups")),
           stepComputeS(obs::metrics().histogram(
               "trainer_step_compute_seconds")),
           stepSyncS(
-              obs::metrics().histogram("trainer_step_sync_seconds"))
+              obs::metrics().histogram("trainer_step_sync_seconds")),
+          recoveryS(obs::metrics().histogram(
+              "fault_recovery_seconds"))
     {
     }
 };
@@ -153,18 +158,27 @@ SoCFlowTrainer::groupComputeSeconds(const GroupState &g,
     const double perSampleMs =
         std::max(cpu_fraction * cpuMs, (1.0 - cpu_fraction) * npuMs);
 
+    // Effective per-SoC rate: DVFS clock times any injected
+    // straggler slowdown.
+    const auto rate = [this](sim::SocId s) {
+        double r = dvfs.clockFactor(s);
+        if (faults)
+            r *= faults->computeFactor(s);
+        return r;
+    };
+
     if (cfg.rebalanceUnderclock) {
         // Workload rebalancing: shares proportional to clock factor,
         // so the group finishes together.
         double clockSum = 0.0;
         for (sim::SocId s : g.socs)
-            clockSum += dvfs.clockFactor(s);
+            clockSum += rate(s);
         return perSampleMs * batch / (1000.0 * clockSum);
     }
     // Equal shares: the slowest SoC dominates.
     double minClock = 1.0;
     for (sim::SocId s : g.socs)
-        minClock = std::min(minClock, dvfs.clockFactor(s));
+        minClock = std::min(minClock, rate(s));
     const double perSoc = batch / static_cast<double>(g.socs.size());
     return perSampleMs * perSoc / (1000.0 * minClock);
 }
@@ -293,6 +307,24 @@ SoCFlowTrainer::runEpoch()
         obsTracksNamed = true;
     }
     const double epochStartS = simClockS;
+
+    // Fault injection: fire everything scheduled up to this epoch
+    // before its steps run, and drop memoized sync costs (degrade
+    // windows may have opened or closed since last epoch).
+    double crashRecoveryS = 0.0;
+    std::size_t crashCount = 0;
+    if (faults) {
+        for (const fault::FaultSpec &spec :
+             faults->advanceTo(epochCounter)) {
+            if (spec.kind == fault::FaultKind::SocCrash) {
+                crashRecoveryS += injectCrash(spec.soc);
+                ++crashCount;
+            }
+        }
+        cachedStepSyncS = -1.0;
+        cachedEpochSyncS = -1.0;
+        cachedWaveS.clear();
+    }
 
     if (cfg.dvfsEnabled)
         dvfs.step();
@@ -508,6 +540,13 @@ SoCFlowTrainer::runEpoch()
                          totalSocSeconds - busySocSeconds);
     }
 
+    // Crash recovery (timeouts + backoff + degraded re-sync) happened
+    // once at paper scale, like the epoch aggregation.
+    rec.crashes = crashCount;
+    rec.recoverySeconds = crashRecoveryS;
+    rec.syncSeconds += crashRecoveryS;
+    rec.simSeconds += crashRecoveryS;
+
     rec.energyJoules = meter.totalJoules();
     rec.trainLoss = sampleSum ? lossSum / sampleSum : 0.0;
     rec.trainAcc = sampleSum ? accSum / sampleSum : 0.0;
@@ -582,19 +621,137 @@ SoCFlowTrainer::setActiveGroups(std::size_t n)
                      groups.end());
     } else {
         // Re-admit groups seeded from the consensus checkpoint.
+        // Crashed SoCs never come back, and SoCs a crash-recovery
+        // remap moved into another active group must not be claimed
+        // twice, so candidate member lists are filtered first.
         const std::vector<float> w = globalWeights();
         nn::Model proto = groups.front()->fp32;
         proto.setFlatParams(w);
+        std::set<sim::SocId> inUse;
+        for (const auto &g : groups)
+            inUse.insert(g->socs.begin(), g->socs.end());
         while (groups.size() < n) {
             const std::size_t g = groups.size();
+            std::vector<sim::SocId> members;
+            for (sim::SocId s : fullMapping.members[g]) {
+                if (deadSocs.count(s) || inUse.count(s))
+                    continue;
+                if (faults && !faults->socAlive(s))
+                    continue;
+                members.push_back(s);
+            }
+            if (members.empty()) {
+                warn("cannot re-admit logical group ", g,
+                     ": no usable SoC left");
+                break;
+            }
+            inUse.insert(members.begin(), members.end());
             groups.push_back(std::make_unique<GroupState>(
-                fullMapping.members[g], proto, cfg.sgd, cfg.quant,
+                std::move(members), proto, cfg.sgd, cfg.quant,
                 cfg.seed + 997 * (g + 1) + epochCounter));
         }
     }
     rebuildTopology();
     obs::tracer().recordInstant("resize active groups", "control",
                                 obs::kTrackControl, simClockS);
+}
+
+void
+SoCFlowTrainer::attachFaultInjector(fault::FaultInjector *injector)
+{
+    faults = injector;
+    engine.setFaultModel(injector);
+    cachedStepSyncS = -1.0;
+    cachedEpochSyncS = -1.0;
+    cachedWaveS.clear();
+}
+
+double
+SoCFlowTrainer::injectCrash(sim::SocId soc)
+{
+    TrainerMetrics &m = trainerMetrics();
+    deadSocs.insert(soc);
+
+    // Locate the owning active group; a crash on an idle SoC only
+    // blocks its future re-admission.
+    std::size_t gi = groups.size();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const auto &socs = groups[g]->socs;
+        if (std::find(socs.begin(), socs.end(), soc) != socs.end()) {
+            gi = g;
+            break;
+        }
+    }
+    if (gi == groups.size())
+        return 0.0;
+
+    m.crashes.add(1.0);
+    obs::Tracer &tr = obs::tracer();
+    tr.recordInstant("soc crash", "fault", obs::kTrackControl,
+                     simClockS);
+
+    // The in-flight sync: each attempt stalls for the timeout and
+    // backs off exponentially, then the ring degrades to the group's
+    // survivors (collectives::SyncPolicy envelope).
+    const std::vector<sim::SocId> deadList(deadSocs.begin(),
+                                           deadSocs.end());
+    const collectives::SyncOutcome sync =
+        engine.ringAllReduceResilient(groups[gi]->socs,
+                                      profile.paramBytes(), &deadList);
+    const double recoveryS = sync.stats.seconds;
+
+    // Consensus weights survive on the other groups' leaders; the
+    // crashed group's own replica state (momentum included) is lost.
+    const std::size_t donor =
+        (gi == 0 && groups.size() > 1) ? 1 : 0;
+    const std::vector<float> consensus =
+        groups[donor]->fp32.flatParams();
+
+    // Survivor set across all active groups.
+    std::vector<sim::SocId> live;
+    for (const auto &g : groups)
+        for (sim::SocId s : g->socs)
+            if (!deadSocs.count(s))
+                live.push_back(s);
+    if (live.empty())
+        fatal("SoC ", soc, " crashed and no live SoC remains");
+
+    // Shrink the group set when the survivors cannot populate it,
+    // dropping the crashed group first.
+    const std::size_t k = std::min(groups.size(), live.size());
+    bool crashedGroupSurvives = true;
+    if (groups.size() > k) {
+        groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(gi));
+        crashedGroupSurvives = false;
+        while (groups.size() > k)
+            groups.pop_back();
+    }
+
+    // Re-run integrity-greedy mapping on the survivor set and hand
+    // the new member lists to the group replicas.
+    const Mapping remap =
+        mapGroupsOnto(live, cluster.config().socsPerBoard,
+                      groups.size(), cfg.mapping);
+    for (std::size_t g = 0; g < groups.size(); ++g)
+        groups[g]->socs = remap.members[g];
+
+    if (crashedGroupSurvives) {
+        GroupState &g = *groups[gi];
+        g.fp32.setFlatParams(consensus);
+        g.int8.setFlatParams(consensus);
+        g.sgd->resetState();
+    }
+    rebuildTopology();
+
+    m.recoveryS.observe(recoveryS);
+    tr.recordSpan("crash recovery", "fault", obs::kTrackControl,
+                  simClockS, recoveryS,
+                  {{"soc", static_cast<double>(soc)},
+                   {"retries", static_cast<double>(sync.retries)}});
+    simClockS += recoveryS;
+    inform("SoC ", soc, " crashed; recovered onto ", live.size(),
+           " survivors in ", groups.size(), " groups");
+    return recoveryS;
 }
 
 void

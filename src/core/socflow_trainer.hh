@@ -11,7 +11,11 @@
  *  - data-parallel mixed-precision training (CPU FP32 + NPU INT8 per
  *    SoC, alpha/beta-controlled batch split, Eq. 5 weight merge);
  *  - underclocking-aware workload rebalancing;
- *  - checkpointing with group-granular preemption.
+ *  - checkpointing with group-granular preemption;
+ *  - crash resilience: abrupt SoC loss (fault/fault.hh) re-maps the
+ *    survivor set integrity-greedily, restores the crashed group from
+ *    the leaders' consensus weights (momentum is lost), and re-runs
+ *    CG planning.
  *
  * The *math* (SGD, quantization, averaging) is executed for real on
  * scaled models; wall-clock and energy are those the calibrated
@@ -29,10 +33,12 @@
 
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "collectives/engine.hh"
+#include "fault/fault.hh"
 #include "core/comm_plan.hh"
 #include "core/mapping.hh"
 #include "core/mixed_precision.hh"
@@ -123,9 +129,41 @@ class SoCFlowTrainer : public DistTrainer
      * group count). Shrinking preempts trailing groups; growing
      * re-admits groups seeded from the current consensus weights
      * (the checkpoint/resume path of the harvesting scheduler).
-     * Optimizer momentum is reset for re-admitted groups.
+     * Optimizer momentum is reset for re-admitted groups. Crashed
+     * SoCs and SoCs already hosting an active group are filtered
+     * from re-admitted member lists; growth stops early when a
+     * candidate group has no usable SoC left.
      */
     void setActiveGroups(std::size_t n);
+
+    /**
+     * Attach a fault injector (not owned; nullptr detaches). Each
+     * runEpoch() then advances the injector to the current epoch and
+     * reacts: crashes trigger injectCrash(), straggler windows slow
+     * the affected SoCs' compute, and degraded NICs inflate sync
+     * costs via the collective engine.
+     */
+    void attachFaultInjector(fault::FaultInjector *injector);
+
+    /**
+     * Abrupt loss of one SoC (no checkpoint, mid-AllReduce). The
+     * in-flight sync burns the engine's timeout/retry envelope and
+     * degrades to the survivor ring; the dead SoC's group is rebuilt
+     * from the leaders' consensus weights (momentum is NOT
+     * preserved); surviving groups keep their full state; the
+     * survivor set is re-mapped integrity-greedily and CG planning
+     * re-runs. Groups that can no longer be populated are dropped.
+     * Crashing the last live SoC is fatal.
+     * @return simulated seconds the recovery cost (timeouts +
+     *         backoff + degraded re-sync).
+     */
+    double injectCrash(sim::SocId soc);
+
+    /** SoCs lost to crashes so far (injector- or caller-driven). */
+    const std::set<sim::SocId> &crashedSocs() const
+    {
+        return deadSocs;
+    }
 
     /** Serialize weights + training state to a byte buffer. */
     std::vector<std::uint8_t> saveCheckpoint() const;
@@ -201,6 +239,11 @@ class SoCFlowTrainer : public DistTrainer
     std::vector<std::unique_ptr<GroupState>> groups;
     Rng rng;
     std::size_t epochCounter = 0;
+
+    /** Optional fault source (not owned). */
+    fault::FaultInjector *faults = nullptr;
+    /** SoCs lost to crashes; never re-admitted. */
+    std::set<sim::SocId> deadSocs;
 
     // Cached per-step sync costs (topology-dependent only; reset by
     // rebuildTopology). Mutable: they memoize const cost queries.

@@ -31,6 +31,10 @@ struct EpochRecord {
     double trainLoss = 0.0;
     double trainAcc = 0.0;
     double testAcc = 0.0;         //!< filled by the driver loop
+
+    // Fault-injection accounting (zero on fault-free epochs).
+    std::size_t crashes = 0;      //!< SoC crashes recovered from
+    double recoverySeconds = 0.0; //!< timeout/backoff/re-sync cost
 };
 
 /** A whole training run. */

@@ -1,0 +1,233 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+
+#include "obs/metrics.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace socflow {
+namespace fault {
+
+namespace {
+
+/** Injection accounting, one counter per fault kind. */
+obs::Counter &
+injectedCounter(FaultKind k)
+{
+    struct Counters {
+        obs::Counter &crash;
+        obs::Counter &link;
+        obs::Counter &straggler;
+        obs::Counter &ckpt;
+        Counters()
+            : crash(obs::metrics().counter("fault_injected_total",
+                                           {{"kind", "soc_crash"}})),
+              link(obs::metrics().counter("fault_injected_total",
+                                          {{"kind", "link_degrade"}})),
+              straggler(obs::metrics().counter(
+                  "fault_injected_total", {{"kind", "straggler"}})),
+              ckpt(obs::metrics().counter(
+                  "fault_injected_total", {{"kind", "checkpoint_fail"}}))
+        {
+        }
+    };
+    static Counters c;
+    switch (k) {
+      case FaultKind::SocCrash:
+        return c.crash;
+      case FaultKind::LinkDegrade:
+        return c.link;
+      case FaultKind::Straggler:
+        return c.straggler;
+      case FaultKind::CheckpointFail:
+        return c.ckpt;
+    }
+    panic("unknown fault kind");
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::SocCrash:
+        return "soc-crash";
+      case FaultKind::LinkDegrade:
+        return "link-degrade";
+      case FaultKind::Straggler:
+        return "straggler";
+      case FaultKind::CheckpointFail:
+        return "checkpoint-fail";
+    }
+    panic("unknown fault kind");
+}
+
+FaultPlan
+FaultPlan::random(const FaultPlanConfig &cfg)
+{
+    if (cfg.numSocs == 0 || cfg.horizonEpochs < 2)
+        fatal("fault plan needs SoCs and a horizon of >= 2 epochs");
+    Rng rng(cfg.seed);
+    const std::size_t numBoards =
+        (cfg.numSocs + cfg.socsPerBoard - 1) / cfg.socsPerBoard;
+    // Epochs land in [1, horizon) so epoch 0 stays fault-free (the
+    // run establishes a consensus baseline before anything breaks).
+    auto pickEpoch = [&] {
+        return 1 + static_cast<std::size_t>(
+                       rng.uniformInt(cfg.horizonEpochs - 1));
+    };
+
+    FaultPlan plan;
+    for (std::size_t i = 0; i < cfg.crashes; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::SocCrash;
+        s.epoch = pickEpoch();
+        s.soc = rng.uniformInt(cfg.numSocs);
+        plan.add(s);
+    }
+    for (std::size_t i = 0; i < cfg.linkDegrades; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::LinkDegrade;
+        s.epoch = pickEpoch();
+        s.board = rng.uniformInt(numBoards);
+        s.factor = cfg.linkFactor;
+        s.durationEpochs = cfg.windowEpochs;
+        plan.add(s);
+    }
+    for (std::size_t i = 0; i < cfg.stragglers; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::Straggler;
+        s.epoch = pickEpoch();
+        s.soc = rng.uniformInt(cfg.numSocs);
+        s.factor = cfg.stragglerFactor;
+        s.durationEpochs = cfg.windowEpochs;
+        plan.add(s);
+    }
+    for (std::size_t i = 0; i < cfg.checkpointFailures; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::CheckpointFail;
+        s.epoch = pickEpoch();
+        s.count = cfg.checkpointFailBurst;
+        plan.add(s);
+    }
+    return plan;
+}
+
+void
+FaultPlan::add(const FaultSpec &spec)
+{
+    if (!(spec.factor > 0.0 && spec.factor <= 1.0))
+        fatal("fault factor must be in (0, 1], got ", spec.factor);
+    // Stable insert: new specs go after existing same-epoch ones.
+    auto it = std::upper_bound(
+        ordered.begin(), ordered.end(), spec,
+        [](const FaultSpec &a, const FaultSpec &b) {
+            return a.epoch < b.epoch;
+        });
+    ordered.insert(it, spec);
+}
+
+std::size_t
+FaultPlan::countKind(FaultKind k) const
+{
+    std::size_t n = 0;
+    for (const FaultSpec &s : ordered)
+        n += s.kind == k ? 1 : 0;
+    return n;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan_in)
+    : schedule(std::move(plan_in))
+{
+}
+
+std::vector<FaultSpec>
+FaultInjector::advanceTo(std::size_t epoch)
+{
+    epochNow = std::max(epochNow, epoch);
+    // Expire stale rate windows.
+    const auto expire = [this](auto &windows) {
+        for (auto it = windows.begin(); it != windows.end();) {
+            if (it->second.untilEpoch <= epochNow)
+                it = windows.erase(it);
+            else
+                ++it;
+        }
+    };
+    expire(slow);
+    expire(degraded);
+
+    std::vector<FaultSpec> fired;
+    const auto &specs = schedule.specs();
+    while (nextSpec < specs.size() &&
+           specs[nextSpec].epoch <= epochNow) {
+        const FaultSpec &s = specs[nextSpec++];
+        injectedCounter(s.kind).add(1.0);
+        switch (s.kind) {
+          case FaultKind::SocCrash:
+            if (dead.insert(s.soc).second)
+                crashed.push_back(s.soc);
+            break;
+          case FaultKind::LinkDegrade:
+            degraded.emplace(
+                s.board, Window{s.epoch + s.durationEpochs, s.factor});
+            break;
+          case FaultKind::Straggler:
+            slow.emplace(
+                s.soc, Window{s.epoch + s.durationEpochs, s.factor});
+            break;
+          case FaultKind::CheckpointFail:
+            ckptFailBudget += s.count;
+            break;
+        }
+        fired.push_back(s);
+    }
+    return fired;
+}
+
+bool
+FaultInjector::socAlive(sim::SocId soc) const
+{
+    return dead.find(soc) == dead.end();
+}
+
+double
+FaultInjector::computeFactor(sim::SocId soc) const
+{
+    double f = 1.0;
+    auto [lo, hi] = slow.equal_range(soc);
+    for (auto it = lo; it != hi; ++it) {
+        if (it->second.untilEpoch > epochNow)
+            f = std::min(f, it->second.factor);
+    }
+    return f;
+}
+
+double
+FaultInjector::linkFactor(sim::BoardId board) const
+{
+    double f = 1.0;
+    auto [lo, hi] = degraded.equal_range(board);
+    for (auto it = lo; it != hi; ++it) {
+        if (it->second.untilEpoch > epochNow)
+            f = std::min(f, it->second.factor);
+    }
+    return f;
+}
+
+bool
+FaultInjector::checkpointWriteFails()
+{
+    if (ckptFailBudget == 0)
+        return false;
+    --ckptFailBudget;
+    static obs::Counter &failures = obs::metrics().counter(
+        "checkpoint_write_failures_total");
+    failures.add(1.0);
+    return true;
+}
+
+} // namespace fault
+} // namespace socflow

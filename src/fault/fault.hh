@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Deterministic fault injection for harvested training.
+ *
+ * Co-located SoC-Clusters do not fail politely: user demand reclaims
+ * a SoC mid-AllReduce (crash, no checkpoint), gaming traffic degrades
+ * a board's shared NIC, thermal throttling turns a SoC into a
+ * straggler, and checkpoint writes to the control plane fail. This
+ * module schedules those events ahead of time -- a FaultPlan is a
+ * sorted list of FaultSpecs, either hand-written or generated
+ * deterministically from a seed -- and a FaultInjector replays the
+ * plan against the training epoch counter, exposing the resulting
+ * cluster state (dead SoCs, degraded links, slow SoCs, pending
+ * checkpoint-write failures) to the collective engine, the trainer,
+ * and the harvesting scheduler through the FaultModel interface.
+ *
+ * Everything is epoch-driven and seed-deterministic so a faulted run
+ * is exactly reproducible; see DESIGN.md "Failure model" for which
+ * faults are survivable and what state each recovery path preserves.
+ */
+
+#ifndef SOCFLOW_FAULT_FAULT_HH
+#define SOCFLOW_FAULT_FAULT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/cluster.hh"
+
+namespace socflow {
+namespace fault {
+
+/** The failure classes the injector can fire. */
+enum class FaultKind {
+    SocCrash,        //!< abrupt SoC loss, no checkpoint
+    LinkDegrade,     //!< board NIC bandwidth multiplier for a window
+    Straggler,       //!< SoC compute-rate multiplier for a window
+    CheckpointFail,  //!< the next N checkpoint writes fail
+};
+
+/** Printable fault-kind name. */
+const char *faultKindName(FaultKind k);
+
+/** One scheduled fault. */
+struct FaultSpec {
+    FaultKind kind = FaultKind::SocCrash;
+    /** Fires when training reaches this epoch (before its steps). */
+    std::size_t epoch = 0;
+    /** Target SoC (SocCrash, Straggler). */
+    sim::SocId soc = 0;
+    /** Target board (LinkDegrade). */
+    sim::BoardId board = 0;
+    /** Rate multiplier in (0, 1] (LinkDegrade, Straggler). */
+    double factor = 1.0;
+    /** Window length in epochs (LinkDegrade, Straggler). */
+    std::size_t durationEpochs = 1;
+    /** Consecutive failed writes (CheckpointFail). */
+    std::size_t count = 1;
+};
+
+/** Knobs for the seed-driven plan generator. */
+struct FaultPlanConfig {
+    std::size_t horizonEpochs = 48;  //!< faults land in [1, horizon)
+    std::size_t numSocs = 32;
+    std::size_t socsPerBoard = 5;
+    std::size_t crashes = 1;
+    std::size_t linkDegrades = 1;
+    std::size_t stragglers = 1;
+    std::size_t checkpointFailures = 1;
+    double linkFactor = 0.25;       //!< degraded NIC bandwidth share
+    double stragglerFactor = 0.5;   //!< slowed SoC compute share
+    std::size_t windowEpochs = 4;   //!< degrade/straggle window
+    std::size_t checkpointFailBurst = 2;  //!< failed writes per event
+    std::uint64_t seed = 2024;
+};
+
+/**
+ * An ordered fault schedule. Deterministic: the same config and seed
+ * always produce the same plan.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /** Generate a plan from the config's seed (reproducible). */
+    static FaultPlan random(const FaultPlanConfig &cfg);
+
+    /** Insert one spec, keeping the epoch ordering. */
+    void add(const FaultSpec &spec);
+
+    /** All specs, sorted by firing epoch (stable). */
+    const std::vector<FaultSpec> &specs() const { return ordered; }
+
+    /** Number of scheduled specs of one kind. */
+    std::size_t countKind(FaultKind k) const;
+
+  private:
+    std::vector<FaultSpec> ordered;
+};
+
+/**
+ * Read-side view of the injected cluster state, consulted on hot
+ * paths by the collective engine and the trainer.
+ */
+class FaultModel
+{
+  public:
+    virtual ~FaultModel() = default;
+
+    /** False once the SoC has crashed. */
+    virtual bool socAlive(sim::SocId soc) const = 0;
+
+    /** Compute-rate multiplier in (0, 1]; 1 = healthy. */
+    virtual double computeFactor(sim::SocId soc) const = 0;
+
+    /** Board-NIC bandwidth multiplier in (0, 1]; 1 = healthy. */
+    virtual double linkFactor(sim::BoardId board) const = 0;
+};
+
+/**
+ * Replays a FaultPlan against the epoch counter and answers state
+ * queries. advanceTo() is called once per epoch by the trainer; the
+ * query side is cheap enough for per-step use.
+ */
+class FaultInjector : public FaultModel
+{
+  public:
+    explicit FaultInjector(FaultPlan plan_in = {});
+
+    /**
+     * Fire every not-yet-fired spec with epoch <= `epoch` and expire
+     * stale windows. Returns the newly fired specs in plan order.
+     */
+    std::vector<FaultSpec> advanceTo(std::size_t epoch);
+
+    bool socAlive(sim::SocId soc) const override;
+    double computeFactor(sim::SocId soc) const override;
+    double linkFactor(sim::BoardId board) const override;
+
+    /**
+     * Consume one pending checkpoint-write failure. Returns true when
+     * the write the caller is about to do fails (the caller should
+     * retry with backoff, which consumes further failures).
+     */
+    bool checkpointWriteFails();
+
+    /** Failures still queued for future checkpoint writes. */
+    std::size_t pendingCheckpointFailures() const
+    {
+        return ckptFailBudget;
+    }
+
+    /** SoCs crashed so far, in firing order. */
+    const std::vector<sim::SocId> &crashedSocs() const
+    {
+        return crashed;
+    }
+
+    /** Specs fired so far. */
+    std::size_t firedCount() const { return nextSpec; }
+
+    /** The plan being replayed. */
+    const FaultPlan &plan() const { return schedule; }
+
+  private:
+    /** A time-bounded rate-multiplier window. */
+    struct Window {
+        std::size_t untilEpoch = 0;  //!< active while epoch < until
+        double factor = 1.0;
+    };
+
+    FaultPlan schedule;
+    std::size_t nextSpec = 0;
+    std::size_t epochNow = 0;
+    std::set<sim::SocId> dead;
+    std::vector<sim::SocId> crashed;
+    std::multimap<sim::SocId, Window> slow;
+    std::multimap<sim::BoardId, Window> degraded;
+    std::size_t ckptFailBudget = 0;
+};
+
+} // namespace fault
+} // namespace socflow
+
+#endif // SOCFLOW_FAULT_FAULT_HH

@@ -1,7 +1,10 @@
 #include "trace/harvest.hh"
 
 #include <algorithm>
+#include <string_view>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/ticks.hh"
 #include "util/logging.hh"
 
@@ -10,10 +13,38 @@ namespace trace {
 
 namespace {
 
+const char *
+eventKindName(HarvestEvent::Kind k)
+{
+    switch (k) {
+      case HarvestEvent::Kind::Train:
+        return "train";
+      case HarvestEvent::Kind::Preempt:
+        return "preempt";
+      case HarvestEvent::Kind::Suspend:
+        return "suspend";
+      case HarvestEvent::Kind::Resume:
+        return "resume";
+      case HarvestEvent::Kind::Crash:
+        return "crash";
+    }
+    panic("unknown harvest event kind");
+}
+
+obs::Counter &
+eventCounter(HarvestEvent::Kind k)
+{
+    return obs::metrics().counter("harvest_events_total",
+                                  {{"kind", eventKindName(k)}});
+}
+
 /**
  * The per-slot scheduling policy shared by the loop-driven and
  * event-driven drivers: compare idle capacity against the job's
- * needs, then train / preempt / suspend / resume.
+ * needs, then train / preempt / suspend / resume. With a fault
+ * injector attached, checkpoint writes may fail (retried with
+ * exponential backoff) and epochs may report crash recoveries, which
+ * surface as Crash timeline events.
  */
 class HarvestDriver
 {
@@ -23,6 +54,8 @@ class HarvestDriver
         : trainer(trainer), maxGroups(max_groups), trace(trace),
           cfg(cfg)
     {
+        if (cfg.faults)
+            trainer.attachFaultInjector(cfg.faults);
     }
 
     /** Process one trace slot; mutates the report. */
@@ -32,6 +65,7 @@ class HarvestDriver
         const double hour = trace.slotHour(slot);
         if (hour < cfg.startHour)
             return;
+        obs::ScopedSpan span(obs::tracer(), "harvest slot", "harvest");
         const std::size_t idle = trace.idleCount(slot);
         const std::size_t capacity = idle / cfg.socsPerGroup;
         const std::size_t want =
@@ -45,11 +79,11 @@ class HarvestDriver
             if (running) {
                 // Demand surge: checkpoint and give the SoCs back.
                 ++report.suspensions;
-                ++report.checkpointsTaken;
+                takeCheckpoint();
                 running = false;
                 ev.kind = HarvestEvent::Kind::Suspend;
                 ev.activeGroups = 0;
-                report.timeline.push_back(ev);
+                pushEvent(ev);
             }
             return;
         }
@@ -59,15 +93,15 @@ class HarvestDriver
             trainer.setActiveGroups(want);
             ev.kind = HarvestEvent::Kind::Resume;
             ev.activeGroups = want;
-            report.timeline.push_back(ev);
+            pushEvent(ev);
         } else if (want < trainer.activeGroups()) {
             // Partial preemption: shrink to the available capacity.
             ++report.preemptions;
-            ++report.checkpointsTaken;
+            takeCheckpoint();
             trainer.setActiveGroups(want);
             ev.kind = HarvestEvent::Kind::Preempt;
             ev.activeGroups = want;
-            report.timeline.push_back(ev);
+            pushEvent(ev);
         } else if (want > trainer.activeGroups()) {
             trainer.setActiveGroups(want);
         }
@@ -77,9 +111,21 @@ class HarvestDriver
         ++report.epochsTrained;
         report.trainingHours += rec.simSeconds / 3600.0;
 
+        if (rec.crashes > 0) {
+            // The trainer already recovered (survivor re-map +
+            // consensus restore); record the abrupt loss distinctly
+            // from graceful preemption in the timeline.
+            report.crashRecoveries += rec.crashes;
+            report.recoverySeconds += rec.recoverySeconds;
+            HarvestEvent crash = ev;
+            crash.kind = HarvestEvent::Kind::Crash;
+            crash.activeGroups = trainer.activeGroups();
+            pushEvent(crash);
+        }
+
         ev.kind = HarvestEvent::Kind::Train;
         ev.activeGroups = trainer.activeGroups();
-        report.timeline.push_back(ev);
+        pushEvent(ev);
     }
 
     /** Finalize and return the report. */
@@ -91,6 +137,57 @@ class HarvestDriver
     }
 
   private:
+    void
+    pushEvent(HarvestEvent ev)
+    {
+        eventCounter(ev.kind).add();
+        report.timeline.push_back(ev);
+    }
+
+    /**
+     * Serialize a checkpoint, retrying failed writes with bounded
+     * exponential backoff (cfg.checkpointBackoffS doubling per
+     * attempt). The injector's checkpointWriteFails() consumes one
+     * planned failure per attempt, so a failure burst shorter than
+     * the retry budget resolves to a successful write. Exhausting
+     * the budget loses the checkpoint (counted, training goes on:
+     * the previous checkpoint remains the resume point).
+     */
+    void
+    takeCheckpoint()
+    {
+        obs::ScopedSpan span(obs::tracer(), "checkpoint", "harvest");
+        static auto &retries =
+            obs::metrics().counter("checkpoint_retries_total");
+        static auto &lost =
+            obs::metrics().counter("checkpoints_lost_total");
+        static auto &backoffH = obs::metrics().histogram(
+            "checkpoint_backoff_seconds");
+
+        const std::vector<std::uint8_t> bytes =
+            trainer.saveCheckpoint();
+        (void)bytes;  // a real deployment would persist these
+
+        double backoff = cfg.checkpointBackoffS;
+        for (std::size_t attempt = 0;; ++attempt) {
+            if (!cfg.faults || !cfg.faults->checkpointWriteFails()) {
+                ++report.checkpointsTaken;
+                return;
+            }
+            if (attempt >= cfg.checkpointMaxRetries) {
+                ++report.checkpointsLost;
+                lost.add();
+                warn("checkpoint lost after ", attempt + 1,
+                     " failed writes");
+                return;
+            }
+            ++report.checkpointRetries;
+            retries.add();
+            backoffH.observe(backoff);
+            backoff *= 2.0;
+        }
+    }
+
     core::SoCFlowTrainer &trainer;
     std::size_t maxGroups;
     const TidalTrace &trace;

@@ -8,6 +8,24 @@
  * paper's group-granular preemption keeps the remaining groups
  * converging); when demand recedes the job resumes from the
  * checkpoint. This is the workflow of Fig. 1.
+ *
+ * The scheduler distinguishes two ways of losing capacity:
+ *
+ *  - *graceful preemption* (Preempt/Suspend events): demand returns,
+ *    a checkpoint is written first -- with bounded-backoff retries
+ *    when an injected checkpoint-write failure fires -- and the
+ *    trainer keeps consensus weights and momentum;
+ *  - *crash recovery* (Crash events): a fault-injected SoC dies
+ *    abruptly mid-AllReduce with no checkpoint; the trainer burns
+ *    the collective timeout/retry envelope, re-maps the survivor
+ *    set, and restores the lost group from the leaders' consensus
+ *    weights (momentum is lost). See DESIGN.md "Failure model".
+ *
+ * Faults are enabled by pointing HarvestConfig::faults at a
+ * fault::FaultInjector; the scheduler attaches it to the trainer and
+ * consumes its checkpoint-write failures. All decisions emit obs
+ * metrics (harvest_events_total{kind=...}, checkpoint retry/loss
+ * counters) and host-timeline spans.
  */
 
 #ifndef SOCFLOW_TRACE_HARVEST_HH
@@ -17,6 +35,7 @@
 #include <vector>
 
 #include "core/socflow_trainer.hh"
+#include "fault/fault.hh"
 #include "sim/event_queue.hh"
 #include "trace/tidal.hh"
 
@@ -31,6 +50,17 @@ struct HarvestConfig {
     std::size_t minGroups = 1;
     /** Hour of day training is allowed to start. */
     double startHour = 0.0;
+
+    /**
+     * Optional fault injector (not owned): SoC crashes, degraded
+     * NICs, stragglers, checkpoint-write failures. Attached to the
+     * trainer on construction of the driver.
+     */
+    fault::FaultInjector *faults = nullptr;
+    /** Checkpoint-write retries before the checkpoint is lost. */
+    std::size_t checkpointMaxRetries = 3;
+    /** First checkpoint retry backoff, seconds (doubles per retry). */
+    double checkpointBackoffS = 2.0;
 };
 
 /** One scheduler decision in the timeline. */
@@ -38,7 +68,7 @@ struct HarvestEvent {
     double hour = 0.0;
     std::size_t idleSocs = 0;
     std::size_t activeGroups = 0;
-    enum class Kind { Train, Preempt, Suspend, Resume } kind;
+    enum class Kind { Train, Preempt, Suspend, Resume, Crash } kind;
     double testAcc = 0.0;
 };
 
@@ -51,12 +81,19 @@ struct HarvestReport {
     std::size_t checkpointsTaken = 0;
     double finalTestAcc = 0.0;
     double trainingHours = 0.0;  //!< simulated hours spent training
+
+    // Fault/recovery accounting (zero on fault-free days).
+    std::size_t crashRecoveries = 0;   //!< SoC crashes survived
+    std::size_t checkpointRetries = 0; //!< failed writes retried
+    std::size_t checkpointsLost = 0;   //!< retry budget exhausted
+    double recoverySeconds = 0.0;      //!< crash-recovery sim time
 };
 
 /**
  * Walk the trace hour by hour, training whenever capacity allows.
  * The trainer's group count adapts to the instantaneous idle SoC
- * count via checkpoint/preempt/resume.
+ * count via checkpoint/preempt/resume; injected faults surface as
+ * Crash events and checkpoint retries.
  */
 HarvestReport runHarvestDay(core::SoCFlowTrainer &trainer,
                             const core::SoCFlowConfig &trainer_cfg,
