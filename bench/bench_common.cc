@@ -108,6 +108,61 @@ initBenchObservability(int &argc, char **argv)
     std::atexit(writeObservabilityOutputs);
 }
 
+FaultPolicyFlags
+parseFaultPolicyFlags(int &argc, char **argv)
+{
+    FaultPolicyFlags flags;
+    struct Knob {
+        const char *name;
+        double *valueD;       //!< double-valued knobs
+        std::size_t *valueN;  //!< count-valued knobs
+    };
+    const Knob knobs[] = {
+        {"--sync-timeout", &flags.sync.timeoutS, nullptr},
+        {"--sync-retries", nullptr, &flags.sync.maxRetries},
+        {"--sync-backoff-base", &flags.sync.backoffBaseS, nullptr},
+        {"--sync-backoff-max", &flags.sync.backoffMaxS, nullptr},
+        {"--ckpt-retries", nullptr, &flags.checkpointMaxRetries},
+        {"--ckpt-backoff", &flags.checkpointBackoffS, nullptr},
+    };
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        bool consumed = false;
+        for (const Knob &k : knobs) {
+            const std::string prefix = std::string(k.name) + "=";
+            std::string value;
+            if (arg.rfind(prefix, 0) == 0) {
+                value = arg.substr(prefix.size());
+            } else if (arg == k.name) {
+                if (i + 1 >= argc)
+                    fatal(k.name, " requires a value");
+                value = argv[++i];
+            } else {
+                continue;
+            }
+            char *end = nullptr;
+            const double parsed = std::strtod(value.c_str(), &end);
+            if (value.empty() || end == nullptr || *end != '\0' ||
+                parsed < 0.0) {
+                fatal("bad value for ", k.name, ": '", value, "'");
+            }
+            if (k.valueD)
+                *k.valueD = parsed;
+            else
+                *k.valueN = static_cast<std::size_t>(parsed);
+            consumed = true;
+            break;
+        }
+        if (!consumed)
+            argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return flags;
+}
+
 const std::vector<Workload> &
 paperWorkloads()
 {

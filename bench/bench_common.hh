@@ -55,6 +55,35 @@ struct Workload {
  */
 void initBenchObservability(int &argc, char **argv);
 
+/** Fault-handling knobs parsed from the command line. */
+struct FaultPolicyFlags {
+    /** Collective timeout/retry/backoff envelope
+     *  (core::SoCFlowConfig::sync). */
+    collectives::SyncPolicy sync;
+    /** Checkpoint-write retries before a checkpoint is lost
+     *  (trace::HarvestConfig::checkpointMaxRetries). */
+    std::size_t checkpointMaxRetries = 3;
+    /** First checkpoint retry backoff, seconds, doubling per retry
+     *  (trace::HarvestConfig::checkpointBackoffS). */
+    double checkpointBackoffS = 2.0;
+};
+
+/**
+ * Parse the fault-policy flags shared by the resilience examples:
+ *
+ *   --sync-timeout=<seconds>       per-attempt sync stall
+ *   --sync-retries=<n>             retries before the ring degrades
+ *   --sync-backoff-base=<seconds>  first retry backoff (doubles)
+ *   --sync-backoff-max=<seconds>   backoff ceiling
+ *   --ckpt-retries=<n>             checkpoint-write retry budget
+ *   --ckpt-backoff=<seconds>       first checkpoint retry backoff
+ *
+ * Both `--flag=value` and `--flag value` forms are accepted;
+ * consumed flags are removed from argv (argc is updated). Returned
+ * defaults match SyncPolicy / HarvestConfig when a flag is absent.
+ */
+FaultPolicyFlags parseFaultPolicyFlags(int &argc, char **argv);
+
 /** The seven from-scratch workloads of Table 2 (in figure order). */
 const std::vector<Workload> &paperWorkloads();
 

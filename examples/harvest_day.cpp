@@ -11,7 +11,11 @@
  *   ./build/examples/harvest_day
  *
  * Pass --trace-out=<path> / --metrics-out=<path> to export the
- * Chrome trace_event timeline and the metrics dump.
+ * Chrome trace_event timeline and the metrics dump. The collective
+ * sync and checkpoint retry envelopes are tunable via --sync-timeout,
+ * --sync-retries, --sync-backoff-base, --sync-backoff-max,
+ * --ckpt-retries and --ckpt-backoff (see
+ * bench::parseFaultPolicyFlags).
  */
 
 #include <cstdio>
@@ -31,6 +35,8 @@ main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
     bench::initBenchObservability(argc, argv);
+    const bench::FaultPolicyFlags policy =
+        bench::parseFaultPolicyFlags(argc, argv);
 
     // The job: train a LeNet on the EMNIST analog overnight so the
     // refreshed input-method model ships in the morning.
@@ -40,6 +46,7 @@ main(int argc, char **argv)
     cfg.numSocs = 32;
     cfg.numGroups = 8;
     cfg.groupBatch = 32;
+    cfg.sync = policy.sync;
     core::SoCFlowTrainer trainer(cfg, bundle);
 
     // The server's day: 60 SoCs of cloud-gaming demand; training may
@@ -51,6 +58,8 @@ main(int argc, char **argv)
 
     trace::HarvestConfig hcfg;
     hcfg.socsPerGroup = 4;
+    hcfg.checkpointMaxRetries = policy.checkpointMaxRetries;
+    hcfg.checkpointBackoffS = policy.checkpointBackoffS;
 
     const trace::HarvestReport report =
         trace::runHarvestDay(trainer, cfg, trace, hcfg);

@@ -5,12 +5,14 @@
  * Runs the harvest_day scenario (LeNet on the EMNIST analog, 32 SoCs,
  * 8 logical groups, 24-hour tidal demand) twice with identical seeds:
  * once fault-free and once against a deterministic FaultPlan that
- * crashes a SoC mid-training, degrades a board NIC, slows a straggler
- * and fails a burst of checkpoint writes. The comparison shows the
- * resilience claim end to end: the faulted day finishes with accuracy
- * within noise of the clean day, the crash surfaces as a distinct
- * timeline event, and checkpoint failures are absorbed by the retry
- * envelope.
+ * crashes a SoC mid-training, kills another mid-AllReduce wave,
+ * crashes a group leader, corrupts gradient chunks, degrades a board
+ * NIC, slows a straggler and fails a burst of checkpoint writes. The
+ * comparison shows the resilience claim end to end: the faulted day
+ * finishes with accuracy within noise of the clean day, every fault
+ * surfaces in the recovery counters (wave resumes, leader elections,
+ * chunk retransmits), and checkpoint failures are absorbed by the
+ * retry envelope.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -18,7 +20,10 @@
  *
  * Pass --trace-out=<path> to export the Chrome trace_event timeline
  * (crash-recovery spans included), --metrics-out=<path> for the
- * fault/retry counters.
+ * fault/retry counters. The sync/checkpoint retry envelopes are
+ * tunable: --sync-timeout, --sync-retries, --sync-backoff-base,
+ * --sync-backoff-max, --ckpt-retries, --ckpt-backoff (see
+ * bench::parseFaultPolicyFlags).
  */
 
 #include <cstdio>
@@ -38,7 +43,8 @@ namespace {
 
 /** One harvested day; `faults` == nullptr runs fault-free. */
 trace::HarvestReport
-runDay(const trace::TidalTrace &tidal, fault::FaultInjector *faults)
+runDay(const trace::TidalTrace &tidal, fault::FaultInjector *faults,
+       const bench::FaultPolicyFlags &policy)
 {
     data::DataBundle bundle = data::makeDatasetByName("emnist");
     core::SoCFlowConfig cfg;
@@ -46,11 +52,14 @@ runDay(const trace::TidalTrace &tidal, fault::FaultInjector *faults)
     cfg.numSocs = 32;
     cfg.numGroups = 8;
     cfg.groupBatch = 32;
+    cfg.sync = policy.sync;
     core::SoCFlowTrainer trainer(cfg, bundle);
 
     trace::HarvestConfig hcfg;
     hcfg.socsPerGroup = 4;
     hcfg.faults = faults;
+    hcfg.checkpointMaxRetries = policy.checkpointMaxRetries;
+    hcfg.checkpointBackoffS = policy.checkpointBackoffS;
     return trace::runHarvestDay(trainer, cfg, tidal, hcfg);
 }
 
@@ -61,6 +70,8 @@ main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
     bench::initBenchObservability(argc, argv);
+    const bench::FaultPolicyFlags policy =
+        bench::parseFaultPolicyFlags(argc, argv);
 
     trace::TidalConfig tcfg;
     tcfg.numSocs = 32;
@@ -81,12 +92,41 @@ main(int argc, char **argv)
     crash.epoch = 4;
     crash.soc = 2;
     plan.add(crash);
+    // Step-granular faults, hand-placed so every soak exercises the
+    // mid-wave resume and leader re-election paths (see DESIGN.md).
+    fault::FaultSpec midwave;
+    midwave.kind = fault::FaultKind::SocCrashMidWave;
+    midwave.epoch = 6;
+    midwave.step = 1;
+    midwave.phase = fault::FaultPhase::Wave1;
+    midwave.soc = 9;
+    midwave.progress = 0.5;
+    plan.add(midwave);
+    // Group 0 is never preempted (minGroups), so its leader -- soc 0
+    // until an election promotes someone -- is a reliable target.
+    fault::FaultSpec leader;
+    leader.kind = fault::FaultKind::LeaderCrash;
+    leader.epoch = 8;
+    leader.step = 2;
+    leader.phase = fault::FaultPhase::LeaderRing;
+    leader.soc = 0;
+    plan.add(leader);
+    fault::FaultSpec corrupt;
+    corrupt.kind = fault::FaultKind::GradCorrupt;
+    corrupt.epoch = 10;
+    corrupt.step = 1;
+    corrupt.phase = fault::FaultPhase::Wave2;
+    corrupt.soc = 5;
+    corrupt.count = 2;
+    plan.add(corrupt);
 
     Table sched("Fault schedule");
-    sched.setHeader({"epoch", "kind", "target", "factor", "window"});
+    sched.setHeader(
+        {"epoch", "step", "phase", "kind", "target", "factor", "window"});
     for (const auto &s : plan.specs()) {
         const bool isLink = s.kind == fault::FaultKind::LinkDegrade;
-        sched.addRow({std::to_string(s.epoch),
+        sched.addRow({std::to_string(s.epoch), std::to_string(s.step),
+                      fault::faultPhaseName(s.phase),
                       fault::faultKindName(s.kind),
                       isLink ? "board " + std::to_string(s.board)
                              : "soc " + std::to_string(s.soc),
@@ -96,11 +136,12 @@ main(int argc, char **argv)
     sched.print();
 
     std::printf("\n== clean day ==\n");
-    const trace::HarvestReport clean = runDay(tidal, nullptr);
+    const trace::HarvestReport clean = runDay(tidal, nullptr, policy);
 
     std::printf("== faulted day ==\n");
     fault::FaultInjector injector(plan);
-    const trace::HarvestReport faulted = runDay(tidal, &injector);
+    const trace::HarvestReport faulted =
+        runDay(tidal, &injector, policy);
 
     Table t("Soak: clean vs faulted harvested day");
     t.setHeader({"", "clean", "faulted"});
@@ -124,6 +165,19 @@ main(int argc, char **argv)
     t.addRow({"recovery time",
               formatDuration(clean.recoverySeconds),
               formatDuration(faulted.recoverySeconds)});
+    t.addRow({"wave resumes", std::to_string(clean.waveResumes),
+              std::to_string(faulted.waveResumes)});
+    t.addRow({"leader elections",
+              std::to_string(clean.leaderElections),
+              std::to_string(faulted.leaderElections)});
+    t.addRow({"grad corrupt detected",
+              std::to_string(clean.gradCorruptDetected),
+              std::to_string(faulted.gradCorruptDetected)});
+    t.addRow({"chunks retransmitted",
+              std::to_string(clean.chunksRetransmitted),
+              std::to_string(faulted.chunksRetransmitted)});
+    t.addRow({"sync failures", std::to_string(clean.syncFailures),
+              std::to_string(faulted.syncFailures)});
     t.print();
 
     const double delta =
@@ -136,7 +190,13 @@ main(int argc, char **argv)
                         ev.hour, ev.activeGroups);
         }
     }
+    std::printf("timeline hash (faulted day): %016llx\n",
+                static_cast<unsigned long long>(faulted.timelineHash));
     if (faulted.crashRecoveries == 0)
         warn("soak expected at least one crash recovery");
+    if (faulted.waveResumes == 0)
+        warn("soak expected at least one mid-wave resume");
+    if (faulted.leaderElections == 0)
+        warn("soak expected at least one leader re-election");
     return 0;
 }

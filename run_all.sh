@@ -1,9 +1,38 @@
 #!/bin/bash
-# Usage: run_all.sh [--sanitize]
+# Usage: run_all.sh [--sanitize|--chaos]
 #   default     run the test suite + every bench from build/
 #   --sanitize  configure build-asan with -DSANITIZE=ON and run the
 #               test suite under AddressSanitizer + UBSan
+#   --chaos     run the fault suite under ASan+UBSan with 10 random
+#               chaos seeds (SOCFLOW_CHAOS_SEED); fails on any
+#               sanitizer report or non-deterministic replay (the
+#               ChaosReplay tests hash each seed's fault timeline and
+#               re-run it, so same seed must give the same hash)
 cd /root/repo
+
+if [ "$1" = "--chaos" ]; then
+    cmake -B build-asan -S . -DSANITIZE=ON || exit 1
+    cmake --build build-asan -j --target test_fault test_fault_step \
+        || exit 1
+    status=0
+    for seed in 11 42 137 271 828 1729 2024 31337 65537 99991; do
+        echo "== chaos seed $seed =="
+        if ! ASAN_OPTIONS=detect_leaks=0 \
+             UBSAN_OPTIONS=halt_on_error=1 \
+             SOCFLOW_CHAOS_SEED=$seed \
+             ctest --test-dir build-asan --output-on-failure \
+                 -R 'test_fault($|_step)'; then
+            echo "CHAOS_SEED_FAILED seed=$seed"
+            status=1
+        fi
+    done
+    if [ $status -eq 0 ]; then
+        echo "CHAOS_RUN_COMPLETE"
+    else
+        echo "CHAOS_RUN_FAILED"
+    fi
+    exit $status
+fi
 
 if [ "$1" = "--sanitize" ]; then
     cmake -B build-asan -S . -DSANITIZE=ON || exit 1

@@ -17,6 +17,16 @@
  * finally falls back to a degraded ring over the survivors
  * (ringAllReduceResilient). The retry/backoff envelope is the
  * SyncPolicy; DESIGN.md "Failure model" documents the contract.
+ *
+ * Chunk integrity: every ring segment carries a CRC32 tag per chunk
+ * (the numerical verification lives in collectives/reduce.hh). A
+ * corrupted chunk is detected at the receiver and re-requested from
+ * the predecessor under the SyncPolicy backoff envelope
+ * (ringAllReduceChecked); a burst outlasting the retry budget is a
+ * *typed* failure (SyncError::CorruptRetryExhausted), never a silent
+ * wrong sum. A member dying mid-wave leaves acked chunks valid, so
+ * recovery re-runs only the un-acked rounds on the survivor ring
+ * (resumeFromChunk) instead of restarting the AllReduce.
  */
 
 #ifndef SOCFLOW_COLLECTIVES_ENGINE_HH
@@ -54,6 +64,20 @@ struct SyncPolicy {
     double backoffMaxS = 1.0;
 };
 
+/**
+ * Typed failure of a fault-aware synchronization. Everything except
+ * None means the sync did NOT complete and no result was applied;
+ * callers must take an explicit recovery path (consensus restore,
+ * deferred aggregation) rather than trusting partial data.
+ */
+enum class SyncError {
+    None,                   //!< completed (possibly degraded)
+    CorruptRetryExhausted,  //!< a chunk stayed corrupt past the budget
+};
+
+/** Printable SyncError name. */
+const char *syncErrorName(SyncError e);
+
 /** Result of one fault-aware synchronization. */
 struct SyncOutcome {
     /** Total cost including timeouts, backoff, and the fallback. */
@@ -66,6 +90,21 @@ struct SyncOutcome {
     bool degraded = false;
     /** Members that completed the operation. */
     std::vector<sim::SocId> survivors;
+
+    // Chunk-level accounting (zero for the coarse-grained paths).
+    /** CRC-tagged chunk transfers carried by the operation. */
+    std::size_t chunksTotal = 0;
+    /** Chunk transfers re-run on the survivor ring after a crash. */
+    std::size_t chunksResumed = 0;
+    /** Chunks re-requested from the predecessor after a CRC miss. */
+    std::size_t chunksRetransmitted = 0;
+    /** CRC mismatches observed (includes retransmitted ones). */
+    std::size_t corruptDetected = 0;
+    /** Typed failure; None when the sync completed. */
+    SyncError error = SyncError::None;
+
+    /** True when the sync completed and its result is usable. */
+    bool ok() const { return error == SyncError::None; }
 };
 
 /**
@@ -148,6 +187,47 @@ class CollectiveEngine
     SyncOutcome ringAllReduceResilient(
         const std::vector<sim::SocId> &ring, double bytes,
         const std::vector<sim::SocId> *extra_dead = nullptr) const;
+
+    /**
+     * Cost of ring rounds [first_round, 2(N-1)) only -- the tail of
+     * an all-reduce whose earlier rounds are already acked. A
+     * first_round at or past the last round costs nothing.
+     */
+    CommStats ringAllReduceFrom(const std::vector<sim::SocId> &ring,
+                                double bytes,
+                                std::size_t first_round) const;
+
+    /**
+     * Mid-wave crash recovery: a member of `ring` died after
+     * `acked_rounds` of the in-flight all-reduce completed. The
+     * acked chunks hold valid partial reductions (their CRC tags
+     * verified on arrival), so only the remaining share is re-run on
+     * the survivor ring: one detection timeout plus one backoff is
+     * charged (membership is known, so no blind retries), then the
+     * survivors resume from the equivalent round. Returns the
+     * *additional* cost on top of the wave the caller already
+     * charged. A survivor set of <= 1 completes trivially.
+     */
+    SyncOutcome resumeFromChunk(
+        const std::vector<sim::SocId> &ring, double bytes,
+        std::size_t acked_rounds,
+        const std::vector<sim::SocId> *extra_dead = nullptr) const;
+
+    /**
+     * CRC-checked ring all-reduce: every chunk transfer is verified
+     * at the receiver; `corrupt_chunks` pending corruption events
+     * (from fault::FaultInjector::drainGradCorrupt) hit arriving
+     * transfers adversarially -- each event corrupts the next
+     * transfer of the afflicted chunk, including its retransmissions,
+     * so a burst of b costs b retransmits when b <= maxRetries and
+     * fails typed (SyncError::CorruptRetryExhausted) once the budget
+     * is exhausted. Detected/retransmitted chunks are counted here
+     * and in the grad_corrupt_detected_total /
+     * chunks_retransmitted_total metrics.
+     */
+    SyncOutcome ringAllReduceChecked(
+        const std::vector<sim::SocId> &ring, double bytes,
+        std::size_t corrupt_chunks) const;
 
   private:
     /** One synchronized ring round's flow set. */

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace socflow {
@@ -36,6 +38,63 @@ allReduceAverage(std::vector<std::vector<float> *> &vectors)
     vecScale(acc, 1.0f / static_cast<float>(vectors.size()));
     for (auto *v : vectors)
         *v = acc;
+}
+
+VerifiedReduceOutcome
+verifiedAllReduceAverage(std::vector<std::vector<float> *> &vectors,
+                        std::size_t chunk_elems,
+                        const std::function<bool()> &corrupt_next,
+                        std::size_t max_retries)
+{
+    SOCFLOW_ASSERT(!vectors.empty(),
+                   "verifiedAllReduceAverage on empty set");
+    SOCFLOW_ASSERT(chunk_elems > 0, "chunk size must be positive");
+    const std::size_t n = vectors.front()->size();
+
+    VerifiedReduceOutcome out;
+    std::vector<float> acc(n, 0.0f);
+    std::vector<float> wire(chunk_elems);
+    for (auto *v : vectors) {
+        SOCFLOW_ASSERT(v->size() == n, "vector size mismatch");
+        for (std::size_t lo = 0; lo < n; lo += chunk_elems) {
+            const std::size_t len = std::min(chunk_elems, n - lo);
+            const float *src = v->data() + lo;
+            const std::size_t byteLen = len * sizeof(float);
+            // The sender tags the chunk with the CRC32 of its
+            // payload; the tag travels with the chunk.
+            const std::uint32_t tag = crc32(src, byteLen);
+
+            for (std::size_t attempt = 0;; ++attempt) {
+                ++out.chunks;
+                wire.assign(src, src + len);
+                if (corrupt_next && corrupt_next()) {
+                    // Transport bit-flip in the arriving copy. The
+                    // flipped bit position is immaterial: CRC32
+                    // detects every single-bit error.
+                    std::uint32_t word;
+                    std::memcpy(&word, wire.data(), sizeof(word));
+                    word ^= 1u << (attempt % 32);
+                    std::memcpy(wire.data(), &word, sizeof(word));
+                }
+                if (crc32(wire.data(), byteLen) == tag)
+                    break;
+                ++out.corruptDetected;
+                if (attempt >= max_retries) {
+                    // Budget exhausted: drop the whole reduction
+                    // rather than fold a corrupt chunk into the sum.
+                    out.applied = false;
+                    return out;
+                }
+                ++out.retransmitted;
+            }
+            for (std::size_t i = 0; i < len; ++i)
+                acc[lo + i] += wire[i];
+        }
+    }
+    vecScale(acc, 1.0f / static_cast<float>(vectors.size()));
+    for (auto *v : vectors)
+        *v = acc;
+    return out;
 }
 
 void

@@ -13,6 +13,7 @@
 #define SOCFLOW_COLLECTIVES_REDUCE_HH
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 namespace socflow {
@@ -27,6 +28,38 @@ void vecScale(std::vector<float> &dst, float alpha);
 /** Element-wise mean of all vectors, written back into every vector
  *  (the semantics of an all-reduce-average). */
 void allReduceAverage(std::vector<std::vector<float> *> &vectors);
+
+/** Integrity accounting of one verified (chunk-CRC) reduction. */
+struct VerifiedReduceOutcome {
+    /** Chunk transfers carried (and CRC-verified) by the reduce. */
+    std::size_t chunks = 0;
+    /** CRC mismatches detected at the receiver. */
+    std::size_t corruptDetected = 0;
+    /** Chunks re-requested clean from their source. */
+    std::size_t retransmitted = 0;
+    /** False when a chunk stayed corrupt past `max_retries`; no
+     *  vector was modified in that case. */
+    bool applied = true;
+};
+
+/**
+ * allReduceAverage with chunk-level CRC32 integrity tags: every
+ * contribution travels in chunks of `chunk_elems` floats, each tagged
+ * with the CRC32 of its payload. `corrupt_next` models the transport
+ * (fault::FaultInjector::corruptNextChunk): when it returns true the
+ * arriving copy of the chunk is bit-flipped, the receiver detects the
+ * tag mismatch -- CRC32 catches every single-bit error by
+ * construction -- and re-requests the chunk, consuming further
+ * corruption events on each retransmission. A chunk corrupted more
+ * than `max_retries` times in a row aborts the reduction with
+ * `applied = false` and leaves every input vector untouched: a
+ * partial gradient is *dropped*, never silently wrong.
+ */
+VerifiedReduceOutcome verifiedAllReduceAverage(
+    std::vector<std::vector<float> *> &vectors,
+    std::size_t chunk_elems,
+    const std::function<bool()> &corrupt_next,
+    std::size_t max_retries);
 
 /**
  * Weighted average into `out`: out = sum_i w_i * v_i / sum_i w_i.

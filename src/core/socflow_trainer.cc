@@ -39,6 +39,9 @@ struct TrainerMetrics {
     obs::Counter &checkpointLoads;
     obs::Counter &checkpointErrors;
     obs::Counter &crashes;
+    obs::Counter &waveResumes;
+    obs::Counter &leaderElections;
+    obs::Counter &syncFailures;
     obs::Gauge &alpha;
     obs::Gauge &cpuFraction;
     obs::Gauge &activeGroups;
@@ -60,6 +63,11 @@ struct TrainerMetrics {
           checkpointErrors(obs::metrics().counter(
               "trainer_checkpoint_errors_total")),
           crashes(obs::metrics().counter("trainer_crashes_total")),
+          waveResumes(obs::metrics().counter("wave_resume_total")),
+          leaderElections(
+              obs::metrics().counter("leader_elections_total")),
+          syncFailures(
+              obs::metrics().counter("trainer_sync_failures_total")),
           alpha(obs::metrics().gauge("trainer_alpha")),
           cpuFraction(obs::metrics().gauge("trainer_cpu_fraction")),
           activeGroups(obs::metrics().gauge("trainer_active_groups")),
@@ -112,6 +120,7 @@ SoCFlowTrainer::SoCFlowTrainer(SoCFlowConfig config,
 {
     if (cfg.numGroups == 0 || cfg.numGroups > cfg.numSocs)
         fatal("invalid group count ", cfg.numGroups);
+    engine.setSyncPolicy(cfg.sync);
 
     Rng initRng(cfg.seed ^ 0xbeef);
     nn::Model proto =
@@ -308,19 +317,14 @@ SoCFlowTrainer::runEpoch()
     }
     const double epochStartS = simClockS;
 
-    // Fault injection: fire everything scheduled up to this epoch
-    // before its steps run, and drop memoized sync costs (degrade
+    // Fault injection: open the epoch on the step/phase clock. This
+    // fires leftovers from earlier epochs plus anything scheduled at
+    // {epoch, 0, Compute}, and drops memoized sync costs (degrade
     // windows may have opened or closed since last epoch).
-    double crashRecoveryS = 0.0;
-    std::size_t crashCount = 0;
     if (faults) {
-        for (const fault::FaultSpec &spec :
-             faults->advanceTo(epochCounter)) {
-            if (spec.kind == fault::FaultKind::SocCrash) {
-                crashRecoveryS += injectCrash(spec.soc);
-                ++crashCount;
-            }
-        }
+        dispatchFired(faults->advanceTo(fault::FaultPoint{
+                          epochCounter, 0, fault::FaultPhase::Compute}),
+                      0);
         cachedStepSyncS = -1.0;
         cachedEpochSyncS = -1.0;
         cachedWaveS.clear();
@@ -344,7 +348,6 @@ SoCFlowTrainer::runEpoch()
             steps, shard.size() / cfg.groupBatch);
     steps = std::max<std::size_t>(steps, 1);
 
-    const double stepSync = stepSyncSeconds();
     const double updateS = compute.updateSeconds(profile);
 
     // Overlap needs the CG plan: without wave sequencing every ring
@@ -363,6 +366,21 @@ SoCFlowTrainer::runEpoch()
 
     std::vector<std::size_t> cursor(groups.size(), 0);
     for (std::size_t step = 0; step < steps; ++step) {
+        // Step-granular faults land before this step's compute. A
+        // crash may have changed the group set; re-shard when it did
+        // (the lost group's data redistributes over the survivors).
+        if (faults) {
+            dispatchFired(
+                faults->advanceTo(fault::FaultPoint{
+                    epochCounter, step, fault::FaultPhase::Compute}),
+                step);
+            if (groups.size() != shards.size()) {
+                shards = data::shardIid(bundle.train.size(),
+                                        groups.size(), rng);
+                cursor.assign(groups.size(), 0);
+            }
+        }
+        const double stepSync = stepSyncSeconds();
         const double t0 = simClockS;
         double stepComputeS = 0.0;
         for (std::size_t gi = 0; gi < groups.size(); ++gi) {
@@ -443,6 +461,26 @@ SoCFlowTrainer::runEpoch()
             stepComputeS = std::max(stepComputeS, gSec);
         }
 
+        // This step's communication waves: mid-wave crashes and
+        // corrupted chunks fire here. The wave itself is charged at
+        // the healthy cost below; each recovery path accounts its own
+        // extra seconds (timeout + backoff + resumed tail) in tally.
+        if (faults) {
+            dispatchFired(
+                faults->advanceTo(fault::FaultPoint{
+                    epochCounter, step, fault::FaultPhase::Wave1}),
+                step);
+            dispatchFired(
+                faults->advanceTo(fault::FaultPoint{
+                    epochCounter, step, fault::FaultPhase::Wave2}),
+                step);
+            if (groups.size() != shards.size()) {
+                shards = data::shardIid(bundle.train.size(),
+                                        groups.size(), rng);
+                cursor.assign(groups.size(), 0);
+            }
+        }
+
         // Timing: groups compute concurrently; syncs follow the CG
         // plan and overlap with the next step's compute when enabled.
         rec.computeSeconds += stepComputeS;
@@ -499,7 +537,23 @@ SoCFlowTrainer::runEpoch()
     npuSocSecondsSum *= f;
     commSocSecondsSum *= f;
 
+    // The cross-group delayed aggregation phase: leader crashes fire
+    // here, before the leader ring runs, so a re-elected leader (or a
+    // shrunken group set) carries the aggregation.
+    const std::size_t lastStep = steps - 1;
+    if (faults) {
+        dispatchFired(
+            faults->advanceTo(fault::FaultPoint{
+                epochCounter, lastStep, fault::FaultPhase::LeaderRing}),
+            lastStep);
+    }
+
     // Delayed cross-group aggregation (leaders' ring + broadcast).
+    // Chunks travel CRC32-tagged; pending GradCorrupt events from the
+    // injector hit arriving chunks and force retransmissions. A burst
+    // outlasting the retry budget drops the whole aggregation for
+    // this epoch (groups keep their local weights -- a deferred
+    // consensus, never a silently corrupt one).
     if (groups.size() > 1) {
         std::vector<std::vector<float>> weights;
         weights.reserve(groups.size());
@@ -508,11 +562,38 @@ SoCFlowTrainer::runEpoch()
         std::vector<std::vector<float> *> ptrs;
         for (auto &w : weights)
             ptrs.push_back(&w);
-        collectives::allReduceAverage(ptrs);
-        for (auto &g : groups) {
-            g->fp32.setFlatParams(weights.front());
-            g->int8.setFlatParams(weights.front());
+        std::function<bool()> corrupt;
+        if (faults)
+            corrupt = [this] { return faults->corruptNextChunk(); };
+        const std::size_t chunkElems = std::max<std::size_t>(
+            1, weights.front().size() / groups.size());
+        const collectives::VerifiedReduceOutcome vr =
+            collectives::verifiedAllReduceAverage(
+                ptrs, chunkElems, corrupt,
+                engine.syncPolicy().maxRetries);
+        tally.gradCorruptDetected += vr.corruptDetected;
+        tally.chunksRetransmitted += vr.retransmitted;
+        tally.recoverySeconds += static_cast<double>(vr.retransmitted) *
+                                 engine.syncPolicy().backoffBaseS;
+        if (vr.applied) {
+            for (auto &g : groups) {
+                g->fp32.setFlatParams(weights.front());
+                g->int8.setFlatParams(weights.front());
+            }
+        } else {
+            ++tally.syncFailures;
+            m.syncFailures.add(1.0);
+            warn("epoch ", epochCounter,
+                 " cross-group aggregation dropped after ",
+                 vr.corruptDetected, " corrupt chunks: ",
+                 collectives::syncErrorName(
+                     collectives::SyncError::CorruptRetryExhausted));
+            tr.recordInstant("aggregation dropped", "fault",
+                             obs::kTrackControl, simClockS);
         }
+        timeline.mix(static_cast<std::uint64_t>(vr.corruptDetected));
+        timeline.mix(static_cast<std::uint64_t>(vr.retransmitted));
+        timeline.mix(std::uint64_t{vr.applied ? 1u : 0u});
     }
     // Delayed aggregation happens once per epoch and is not scaled.
     const double epochSync = epochSyncSeconds();
@@ -540,12 +621,27 @@ SoCFlowTrainer::runEpoch()
                          totalSocSeconds - busySocSeconds);
     }
 
-    // Crash recovery (timeouts + backoff + degraded re-sync) happened
-    // once at paper scale, like the epoch aggregation.
-    rec.crashes = crashCount;
-    rec.recoverySeconds = crashRecoveryS;
-    rec.syncSeconds += crashRecoveryS;
-    rec.simSeconds += crashRecoveryS;
+    // Close the epoch on the fault clock: the checkpoint phase plus
+    // any stragglers scheduled past the actual step count (an epoch
+    // never leaks its faults into the next one).
+    if (faults) {
+        dispatchFired(
+            faults->advanceTo(fault::FaultPoint::epochEnd(epochCounter)),
+            lastStep);
+    }
+
+    // Recovery work (timeouts + backoff + resumed/degraded re-syncs)
+    // happened once at paper scale, like the epoch aggregation.
+    rec.crashes = tally.crashes;
+    rec.recoverySeconds = tally.recoverySeconds;
+    rec.waveResumes = tally.waveResumes;
+    rec.leaderElections = tally.leaderElections;
+    rec.gradCorruptDetected = tally.gradCorruptDetected;
+    rec.chunksRetransmitted = tally.chunksRetransmitted;
+    rec.syncFailures = tally.syncFailures;
+    rec.syncSeconds += tally.recoverySeconds;
+    rec.simSeconds += tally.recoverySeconds;
+    tally = RecoveryTally{};
 
     rec.energyJoules = meter.totalJoules();
     rec.trainLoss = sampleSum ? lossSum / sampleSum : 0.0;
@@ -555,6 +651,8 @@ SoCFlowTrainer::runEpoch()
         g->int8Trainer->optimizer().decayLearningRate();
     }
     ++epochCounter;
+    timeline.mix(static_cast<std::uint64_t>(epochCounter));
+    timeline.mix(rec.simSeconds);
     if (tracing) {
         tr.recordSpan("epoch", "control", obs::kTrackControl,
                       epochStartS, simClockS - epochStartS,
@@ -674,14 +772,7 @@ SoCFlowTrainer::injectCrash(sim::SocId soc)
 
     // Locate the owning active group; a crash on an idle SoC only
     // blocks its future re-admission.
-    std::size_t gi = groups.size();
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-        const auto &socs = groups[g]->socs;
-        if (std::find(socs.begin(), socs.end(), soc) != socs.end()) {
-            gi = g;
-            break;
-        }
-    }
+    const std::size_t gi = owningGroup(soc);
     if (gi == groups.size())
         return 0.0;
 
@@ -743,6 +834,12 @@ SoCFlowTrainer::injectCrash(sim::SocId soc)
     }
     rebuildTopology();
 
+    ++tally.crashes;
+    tally.recoverySeconds += recoveryS;
+    timeline.mix(std::uint64_t{0x58}); // 'X': full crash recovery
+    timeline.mix(static_cast<std::uint64_t>(soc));
+    timeline.mix(static_cast<std::uint64_t>(live.size()));
+    timeline.mix(recoveryS);
     m.recoveryS.observe(recoveryS);
     tr.recordSpan("crash recovery", "fault", obs::kTrackControl,
                   simClockS, recoveryS,
@@ -752,6 +849,271 @@ SoCFlowTrainer::injectCrash(sim::SocId soc)
     inform("SoC ", soc, " crashed; recovered onto ", live.size(),
            " survivors in ", groups.size(), " groups");
     return recoveryS;
+}
+
+std::size_t
+SoCFlowTrainer::owningGroup(sim::SocId soc) const
+{
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const auto &socs = groups[g]->socs;
+        if (std::find(socs.begin(), socs.end(), soc) != socs.end())
+            return g;
+    }
+    return groups.size();
+}
+
+void
+SoCFlowTrainer::dispatchFired(
+    const std::vector<fault::FaultSpec> &fired, std::size_t step)
+{
+    for (const fault::FaultSpec &spec : fired) {
+        timeline.mix(static_cast<std::uint64_t>(spec.kind));
+        timeline.mix(static_cast<std::uint64_t>(spec.epoch));
+        timeline.mix(static_cast<std::uint64_t>(spec.step));
+        timeline.mix(static_cast<std::uint64_t>(spec.phase));
+        timeline.mix(static_cast<std::uint64_t>(spec.soc));
+        switch (spec.kind) {
+        case fault::FaultKind::SocCrash:
+            injectCrash(spec.soc);
+            break;
+        case fault::FaultKind::SocCrashMidWave:
+            injectMidWaveCrash(
+                spec.soc, spec.progress, step,
+                spec.phase == fault::FaultPhase::Wave2 ? 1 : 0);
+            break;
+        case fault::FaultKind::LeaderCrash:
+            injectLeaderCrash(spec.soc);
+            break;
+        case fault::FaultKind::GradCorrupt:
+            // Wave-phase corruption hits an intra-group ring now;
+            // LeaderRing-phase corruption stays in the injector's
+            // budget for the verified epoch aggregation to consume.
+            if (spec.phase == fault::FaultPhase::Wave1 ||
+                spec.phase == fault::FaultPhase::Wave2)
+                chargeCorruptedWave(spec, step);
+            break;
+        default:
+            break; // rate windows are state, not events
+        }
+    }
+}
+
+void
+SoCFlowTrainer::chargeCorruptedWave(const fault::FaultSpec &spec,
+                                    std::size_t step)
+{
+    const std::size_t burst = faults->drainGradCorrupt();
+    if (burst == 0 || groups.empty())
+        return;
+    std::size_t gi = owningGroup(spec.soc);
+    if (gi == groups.size())
+        gi = 0; // afflicted SoC already gone: charge the first ring
+    if (groups[gi]->socs.size() < 2)
+        return; // single-member group: no wire to corrupt
+
+    // The CRC-checked wave detects each corrupt chunk at the receiver
+    // and re-requests it; only the cost *beyond* the healthy wave
+    // (already charged by the step) is recovery time.
+    const std::vector<sim::SocId> &ring = groups[gi]->socs;
+    const collectives::SyncOutcome sync =
+        engine.ringAllReduceChecked(ring, profile.paramBytes(), burst);
+    const double baseS =
+        engine.ringAllReduce(ring, profile.paramBytes()).seconds;
+    const double extraS = std::max(0.0, sync.stats.seconds - baseS);
+
+    tally.gradCorruptDetected += sync.corruptDetected;
+    tally.chunksRetransmitted += sync.chunksRetransmitted;
+    tally.recoverySeconds += extraS;
+    trainerMetrics().recoveryS.observe(extraS);
+    timeline.mix(std::uint64_t{0x43}); // 'C': corrupt-chunk recovery
+    timeline.mix(static_cast<std::uint64_t>(burst));
+    timeline.mix(static_cast<std::uint64_t>(sync.chunksRetransmitted));
+    timeline.mix(extraS);
+
+    obs::Tracer &tr = obs::tracer();
+    tr.recordSpan(
+        "chunk retransmit", "fault", obs::kTrackControl, simClockS,
+        extraS,
+        {{"step", static_cast<double>(step)},
+         {"burst", static_cast<double>(burst)},
+         {"retransmitted",
+          static_cast<double>(sync.chunksRetransmitted)}});
+    simClockS += extraS;
+
+    if (!sync.ok()) {
+        // Retry budget exhausted: the wave's partial sum is poisoned.
+        // Drop it -- restore the afflicted group from a healthy donor
+        // rather than fold a corrupt chunk into its weights.
+        ++tally.syncFailures;
+        trainerMetrics().syncFailures.add(1.0);
+        warn("corruption burst of ", burst, " exhausted the ",
+             engine.syncPolicy().maxRetries, "-retry budget (",
+             collectives::syncErrorName(sync.error),
+             "); dropping group ", gi, "'s update");
+        const std::size_t donor = (gi == 0 && groups.size() > 1) ? 1 : 0;
+        if (donor != gi) {
+            GroupState &g = *groups[gi];
+            const std::vector<float> consensus =
+                groups[donor]->fp32.flatParams();
+            g.fp32.setFlatParams(consensus);
+            g.int8.setFlatParams(consensus);
+            g.sgd->resetState();
+        }
+        tr.recordInstant("sync failure", "fault", obs::kTrackControl,
+                         simClockS);
+    }
+}
+
+double
+SoCFlowTrainer::injectMidWaveCrash(sim::SocId soc, double progress,
+                                   std::size_t step, std::size_t wave)
+{
+    TrainerMetrics &m = trainerMetrics();
+    deadSocs.insert(soc);
+    const std::size_t gi = owningGroup(soc);
+    if (gi == groups.size())
+        return 0.0;
+
+    m.crashes.add(1.0);
+    obs::Tracer &tr = obs::tracer();
+    tr.recordInstant("soc crash mid-wave", "fault", obs::kTrackControl,
+                     simClockS);
+
+    // The acked share of the in-flight AllReduce survives (its chunk
+    // CRC tags verified on arrival), so only the tail rounds re-run
+    // on the survivor ring.
+    const std::vector<sim::SocId> ring = groups[gi]->socs;
+    const std::size_t totalRounds =
+        ring.size() >= 2 ? 2 * (ring.size() - 1) : 0;
+    progress = std::clamp(progress, 0.0, 1.0);
+    const std::size_t acked = static_cast<std::size_t>(
+        progress * static_cast<double>(totalRounds));
+    const std::vector<sim::SocId> deadList(deadSocs.begin(),
+                                           deadSocs.end());
+    const collectives::SyncOutcome sync = engine.resumeFromChunk(
+        ring, profile.paramBytes(), acked, &deadList);
+    const double recoveryS = sync.stats.seconds;
+
+    // Unlike a full crash, the group replica -- weights AND momentum
+    // -- is preserved: the member list just shrinks.
+    auto &socs = groups[gi]->socs;
+    socs.erase(std::remove(socs.begin(), socs.end(), soc), socs.end());
+    if (socs.empty()) {
+        if (groups.size() == 1)
+            fatal("SoC ", soc,
+                  " crashed mid-wave and no live SoC remains");
+        groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(gi));
+    }
+    rebuildTopology();
+
+    ++tally.crashes;
+    ++tally.waveResumes;
+    tally.recoverySeconds += recoveryS;
+    m.waveResumes.add(1.0);
+    m.recoveryS.observe(recoveryS);
+    timeline.mix(std::uint64_t{0x57}); // 'W': wave resume
+    timeline.mix(static_cast<std::uint64_t>(soc));
+    timeline.mix(static_cast<std::uint64_t>(acked));
+    timeline.mix(static_cast<std::uint64_t>(sync.chunksResumed));
+    timeline.mix(recoveryS);
+    tr.recordSpan(
+        "wave resume", "fault", obs::kTrackControl, simClockS,
+        recoveryS,
+        {{"soc", static_cast<double>(soc)},
+         {"step", static_cast<double>(step)},
+         {"wave", static_cast<double>(wave)},
+         {"acked_rounds", static_cast<double>(acked)},
+         {"chunks_resumed", static_cast<double>(sync.chunksResumed)}});
+    simClockS += recoveryS;
+    inform("SoC ", soc, " crashed mid-wave (", acked, "/", totalRounds,
+           " rounds acked); resumed on the survivor ring, group state "
+           "preserved");
+    return recoveryS;
+}
+
+double
+SoCFlowTrainer::injectLeaderCrash(sim::SocId soc)
+{
+    TrainerMetrics &m = trainerMetrics();
+    deadSocs.insert(soc);
+    const std::size_t gi = owningGroup(soc);
+    if (gi == groups.size())
+        return 0.0;
+
+    m.crashes.add(1.0);
+    obs::Tracer &tr = obs::tracer();
+    tr.recordInstant("leader crash", "fault", obs::kTrackControl,
+                     simClockS);
+
+    GroupState &g = *groups[gi];
+    const bool wasLeader = g.socs.front() == soc;
+    g.socs.erase(std::remove(g.socs.begin(), g.socs.end(), soc),
+                 g.socs.end());
+
+    // Detecting the dead leader costs one timeout + one backoff;
+    // re-forming the leader ring re-runs the delayed aggregation over
+    // the new leader set.
+    double recoveryS =
+        engine.syncPolicy().timeoutS + engine.syncPolicy().backoffBaseS;
+    bool elected = false;
+    sim::SocId newLeader = 0;
+    if (g.socs.empty()) {
+        // The leader died with its whole group: the partial aggregate
+        // it alone held is lost. Fall back to the consensus weights
+        // the surviving groups carry -- i.e. drop the group.
+        if (groups.size() == 1)
+            fatal("SoC ", soc,
+                  " was the last leader and no live SoC remains");
+        groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(gi));
+    } else if (wasLeader) {
+        // Deterministic re-election: highest surviving SoC id leads.
+        auto it = std::max_element(g.socs.begin(), g.socs.end());
+        std::iter_swap(g.socs.begin(), it);
+        newLeader = g.socs.front();
+        elected = true;
+    }
+    if (groups.size() > 1) {
+        std::vector<sim::SocId> leaders;
+        for (const auto &grp : groups)
+            leaders.push_back(grp->socs.front());
+        std::sort(leaders.begin(), leaders.end());
+        recoveryS +=
+            engine.ringAllReduce(leaders, profile.paramBytes()).seconds;
+    }
+    rebuildTopology();
+
+    ++tally.crashes;
+    tally.recoverySeconds += recoveryS;
+    if (elected) {
+        ++tally.leaderElections;
+        m.leaderElections.add(1.0);
+    }
+    m.recoveryS.observe(recoveryS);
+    timeline.mix(std::uint64_t{0x4c}); // 'L': leader recovery
+    timeline.mix(static_cast<std::uint64_t>(soc));
+    timeline.mix(std::uint64_t{elected ? 1u : 0u});
+    timeline.mix(recoveryS);
+    tr.recordSpan("leader election", "fault", obs::kTrackControl,
+                  simClockS, recoveryS,
+                  {{"soc", static_cast<double>(soc)},
+                   {"elected", elected ? 1.0 : 0.0}});
+    simClockS += recoveryS;
+    if (elected) {
+        inform("leader SoC ", soc, " crashed; SoC ", newLeader,
+               " elected (highest surviving id), leader ring "
+               "re-formed");
+    } else {
+        inform("SoC ", soc, " crashed in the leader ring; ",
+               groups.size(), " groups remain");
+    }
+    return recoveryS;
+}
+
+sim::SocId
+SoCFlowTrainer::groupLeader(std::size_t g) const
+{
+    SOCFLOW_ASSERT(g < groups.size(), "group out of range");
+    return groups[g]->socs.front();
 }
 
 void

@@ -15,7 +15,19 @@
  *  - crash resilience: abrupt SoC loss (fault/fault.hh) re-maps the
  *    survivor set integrity-greedily, restores the crashed group from
  *    the leaders' consensus weights (momentum is lost), and re-runs
- *    CG planning.
+ *    CG planning;
+ *  - step-granular faults: the trainer drives the injector's
+ *    {epoch, step, phase} clock through every compute/wave boundary.
+ *    A SoC dying *mid-wave* resumes the in-flight AllReduce from the
+ *    last acked chunk on the survivor ring (group state, momentum
+ *    included, is preserved); corrupted gradient chunks are caught by
+ *    CRC32 tags and retransmitted under the SyncPolicy budget, with
+ *    exhaustion surfacing as a typed SyncError (the poisoned update
+ *    is dropped, never silently applied); a crashed *leader* triggers
+ *    deterministic re-election (highest surviving SoC id in the
+ *    group) and re-forms the leader ring mid-epoch. Every fired
+ *    fault and recovery is folded into a deterministic timeline hash
+ *    for replay checking (same seed => same hash).
  *
  * The *math* (SGD, quantization, averaging) is executed for real on
  * scaled models; wall-clock and energy are those the calibrated
@@ -51,6 +63,7 @@
 #include "sim/cluster.hh"
 #include "sim/dvfs.hh"
 #include "sim/energy.hh"
+#include "util/hash.hh"
 
 namespace socflow {
 namespace core {
@@ -81,6 +94,10 @@ struct SoCFlowConfig {
     std::size_t validationSamples = 128;  //!< for alpha profiling
     std::uint64_t seed = 42;
     sim::ClusterConfig clusterTemplate;   //!< numSocs is overridden
+
+    /** Timeout/retry/backoff envelope for fault-aware syncs; handed
+     *  to the collective engine at construction. */
+    collectives::SyncPolicy sync;
 };
 
 /**
@@ -159,6 +176,45 @@ class SoCFlowTrainer : public DistTrainer
      */
     double injectCrash(sim::SocId soc);
 
+    /**
+     * Abrupt loss of one SoC *mid-wave*: `progress` of the in-flight
+     * AllReduce's 2(N-1) rounds had already been acked (chunks CRC-
+     * verified on arrival), so only the remaining rounds re-run on
+     * the survivor ring (collectives::resumeFromChunk). Unlike
+     * injectCrash, the group's replica state -- weights AND momentum
+     * -- survives as long as one member remains; the dead SoC is
+     * simply dropped from the member list and CG planning re-runs.
+     * @return simulated seconds of the recovery (detection timeout +
+     *         one backoff + the resumed tail rounds).
+     */
+    double injectMidWaveCrash(sim::SocId soc, double progress = 0.5,
+                              std::size_t step = 0,
+                              std::size_t wave = 0);
+
+    /**
+     * Abrupt loss of a SoC during the cross-group leader ring. When
+     * the victim led its group, a new leader is elected
+     * deterministically (highest surviving SoC id in the group) and
+     * the leader ring re-forms mid-epoch; group replica state
+     * survives with any surviving member. Only when the whole group
+     * dies with its leader does the trainer fall back to the last
+     * consensus weights: the group is dropped and its in-flight
+     * delayed-aggregation contribution is lost.
+     * @return simulated seconds of the recovery.
+     */
+    double injectLeaderCrash(sim::SocId soc);
+
+    /** Leader (first member) of active group `g`. */
+    sim::SocId groupLeader(std::size_t g) const;
+
+    /**
+     * FNV-1a digest of every fired fault and recovery action so far
+     * (kind, epoch/step/phase, victim, survivors, recovery cost).
+     * Two trainers built from the same seeds produce identical
+     * hashes; replay divergence is a bug (run_all.sh --chaos).
+     */
+    std::uint64_t timelineHash() const { return timeline.value(); }
+
     /** SoCs lost to crashes so far (injector- or caller-driven). */
     const std::set<sim::SocId> &crashedSocs() const
     {
@@ -218,6 +274,32 @@ class SoCFlowTrainer : public DistTrainer
     /** Rebuild mapping/plan after a preemption. */
     void rebuildTopology();
 
+    /** Recovery events accumulated into the current EpochRecord. */
+    struct RecoveryTally {
+        std::size_t crashes = 0;
+        std::size_t waveResumes = 0;
+        std::size_t leaderElections = 0;
+        std::size_t gradCorruptDetected = 0;
+        std::size_t chunksRetransmitted = 0;
+        std::size_t syncFailures = 0;
+        double recoverySeconds = 0.0;
+    };
+
+    /** Dispatch specs fired by an injector advance to the matching
+     *  recovery path (`step` labels trace spans / the timeline). */
+    void dispatchFired(const std::vector<fault::FaultSpec> &fired,
+                       std::size_t step);
+
+    /** Wave-phase GradCorrupt: charge a CRC-checked ring sync on the
+     *  afflicted group; on retry exhaustion drop the poisoned update
+     *  (consensus restore) instead of applying it. */
+    void chargeCorruptedWave(const fault::FaultSpec &spec,
+                             std::size_t step);
+
+    /** Index of the active group containing `soc` (groups.size()
+     *  when the SoC is idle/unmapped). */
+    std::size_t owningGroup(sim::SocId soc) const;
+
     SoCFlowConfig cfg;
     const data::DataBundle &bundle;
     const sim::ModelProfile &profile;
@@ -244,6 +326,10 @@ class SoCFlowTrainer : public DistTrainer
     fault::FaultInjector *faults = nullptr;
     /** SoCs lost to crashes; never re-admitted. */
     std::set<sim::SocId> deadSocs;
+    /** Recovery events since the last epoch record was cut. */
+    RecoveryTally tally;
+    /** Deterministic digest of the fault/recovery timeline. */
+    Fnv1a64 timeline;
 
     // Cached per-step sync costs (topology-dependent only; reset by
     // rebuildTopology). Mutable: they memoize const cost queries.

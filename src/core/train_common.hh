@@ -35,6 +35,13 @@ struct EpochRecord {
     // Fault-injection accounting (zero on fault-free epochs).
     std::size_t crashes = 0;      //!< SoC crashes recovered from
     double recoverySeconds = 0.0; //!< timeout/backoff/re-sync cost
+
+    // Step-granular recovery paths (see DESIGN.md "Failure model").
+    std::size_t waveResumes = 0;        //!< mid-wave chunk resumes
+    std::size_t leaderElections = 0;    //!< leaders re-elected
+    std::size_t gradCorruptDetected = 0;//!< CRC mismatches caught
+    std::size_t chunksRetransmitted = 0;//!< chunks re-requested clean
+    std::size_t syncFailures = 0;       //!< typed failures (dropped)
 };
 
 /** A whole training run. */

@@ -20,6 +20,9 @@ injectedCounter(FaultKind k)
         obs::Counter &link;
         obs::Counter &straggler;
         obs::Counter &ckpt;
+        obs::Counter &midWave;
+        obs::Counter &gradCorrupt;
+        obs::Counter &leader;
         Counters()
             : crash(obs::metrics().counter("fault_injected_total",
                                            {{"kind", "soc_crash"}})),
@@ -28,7 +31,14 @@ injectedCounter(FaultKind k)
               straggler(obs::metrics().counter(
                   "fault_injected_total", {{"kind", "straggler"}})),
               ckpt(obs::metrics().counter(
-                  "fault_injected_total", {{"kind", "checkpoint_fail"}}))
+                  "fault_injected_total", {{"kind", "checkpoint_fail"}})),
+              midWave(obs::metrics().counter(
+                  "fault_injected_total",
+                  {{"kind", "soc_crash_mid_wave"}})),
+              gradCorrupt(obs::metrics().counter(
+                  "fault_injected_total", {{"kind", "grad_corrupt"}})),
+              leader(obs::metrics().counter(
+                  "fault_injected_total", {{"kind", "leader_crash"}}))
         {
         }
     };
@@ -42,6 +52,12 @@ injectedCounter(FaultKind k)
         return c.straggler;
       case FaultKind::CheckpointFail:
         return c.ckpt;
+      case FaultKind::SocCrashMidWave:
+        return c.midWave;
+      case FaultKind::GradCorrupt:
+        return c.gradCorrupt;
+      case FaultKind::LeaderCrash:
+        return c.leader;
     }
     panic("unknown fault kind");
 }
@@ -60,8 +76,32 @@ faultKindName(FaultKind k)
         return "straggler";
       case FaultKind::CheckpointFail:
         return "checkpoint-fail";
+      case FaultKind::SocCrashMidWave:
+        return "soc-crash-mid-wave";
+      case FaultKind::GradCorrupt:
+        return "grad-corrupt";
+      case FaultKind::LeaderCrash:
+        return "leader-crash";
     }
     panic("unknown fault kind");
+}
+
+const char *
+faultPhaseName(FaultPhase p)
+{
+    switch (p) {
+      case FaultPhase::Compute:
+        return "compute";
+      case FaultPhase::Wave1:
+        return "wave1";
+      case FaultPhase::Wave2:
+        return "wave2";
+      case FaultPhase::LeaderRing:
+        return "leader-ring";
+      case FaultPhase::Checkpoint:
+        return "checkpoint";
+    }
+    panic("unknown fault phase");
 }
 
 FaultPlan
@@ -77,6 +117,12 @@ FaultPlan::random(const FaultPlanConfig &cfg)
     auto pickEpoch = [&] {
         return 1 + static_cast<std::size_t>(
                        rng.uniformInt(cfg.horizonEpochs - 1));
+    };
+    auto pickStep = [&] {
+        return cfg.stepsPerEpoch == 0
+                   ? std::size_t{0}
+                   : static_cast<std::size_t>(
+                         rng.uniformInt(cfg.stepsPerEpoch));
     };
 
     FaultPlan plan;
@@ -109,7 +155,39 @@ FaultPlan::random(const FaultPlanConfig &cfg)
         FaultSpec s;
         s.kind = FaultKind::CheckpointFail;
         s.epoch = pickEpoch();
+        s.phase = FaultPhase::Checkpoint;
         s.count = cfg.checkpointFailBurst;
+        plan.add(s);
+    }
+    for (std::size_t i = 0; i < cfg.midWaveCrashes; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::SocCrashMidWave;
+        s.epoch = pickEpoch();
+        s.step = pickStep();
+        s.phase = rng.bernoulli(0.5) ? FaultPhase::Wave1
+                                     : FaultPhase::Wave2;
+        s.soc = rng.uniformInt(cfg.numSocs);
+        s.progress = 0.25 + 0.5 * rng.uniform();
+        plan.add(s);
+    }
+    for (std::size_t i = 0; i < cfg.gradCorrupts; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::GradCorrupt;
+        s.epoch = pickEpoch();
+        s.step = pickStep();
+        s.phase = rng.bernoulli(0.5) ? FaultPhase::Wave1
+                                     : FaultPhase::Wave2;
+        s.soc = rng.uniformInt(cfg.numSocs);
+        s.count = cfg.gradCorruptBurst;
+        plan.add(s);
+    }
+    for (std::size_t i = 0; i < cfg.leaderCrashes; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::LeaderCrash;
+        s.epoch = pickEpoch();
+        s.step = pickStep();
+        s.phase = FaultPhase::LeaderRing;
+        s.soc = rng.uniformInt(cfg.numSocs);
         plan.add(s);
     }
     return plan;
@@ -120,11 +198,13 @@ FaultPlan::add(const FaultSpec &spec)
 {
     if (!(spec.factor > 0.0 && spec.factor <= 1.0))
         fatal("fault factor must be in (0, 1], got ", spec.factor);
-    // Stable insert: new specs go after existing same-epoch ones.
+    if (!(spec.progress >= 0.0 && spec.progress <= 1.0))
+        fatal("fault progress must be in [0, 1], got ", spec.progress);
+    // Stable insert: new specs go after existing same-point ones.
     auto it = std::upper_bound(
         ordered.begin(), ordered.end(), spec,
         [](const FaultSpec &a, const FaultSpec &b) {
-            return a.epoch < b.epoch;
+            return a.point() < b.point();
         });
     ordered.insert(it, spec);
 }
@@ -144,13 +224,13 @@ FaultInjector::FaultInjector(FaultPlan plan_in)
 }
 
 std::vector<FaultSpec>
-FaultInjector::advanceTo(std::size_t epoch)
+FaultInjector::advanceTo(const FaultPoint &now)
 {
-    epochNow = std::max(epochNow, epoch);
-    // Expire stale rate windows.
+    clock = std::max(clock, now);
+    // Expire rate windows stale at the clock's epoch.
     const auto expire = [this](auto &windows) {
         for (auto it = windows.begin(); it != windows.end();) {
-            if (it->second.untilEpoch <= epochNow)
+            if (it->second.untilEpoch <= clock.epoch)
                 it = windows.erase(it);
             else
                 ++it;
@@ -162,11 +242,13 @@ FaultInjector::advanceTo(std::size_t epoch)
     std::vector<FaultSpec> fired;
     const auto &specs = schedule.specs();
     while (nextSpec < specs.size() &&
-           specs[nextSpec].epoch <= epochNow) {
+           specs[nextSpec].point() <= clock) {
         const FaultSpec &s = specs[nextSpec++];
         injectedCounter(s.kind).add(1.0);
         switch (s.kind) {
           case FaultKind::SocCrash:
+          case FaultKind::SocCrashMidWave:
+          case FaultKind::LeaderCrash:
             if (dead.insert(s.soc).second)
                 crashed.push_back(s.soc);
             break;
@@ -181,10 +263,19 @@ FaultInjector::advanceTo(std::size_t epoch)
           case FaultKind::CheckpointFail:
             ckptFailBudget += s.count;
             break;
+          case FaultKind::GradCorrupt:
+            gradCorruptBudget += s.count;
+            break;
         }
         fired.push_back(s);
     }
     return fired;
+}
+
+std::vector<FaultSpec>
+FaultInjector::advanceTo(std::size_t epoch)
+{
+    return advanceTo(FaultPoint::epochEnd(epoch));
 }
 
 bool
@@ -199,7 +290,7 @@ FaultInjector::computeFactor(sim::SocId soc) const
     double f = 1.0;
     auto [lo, hi] = slow.equal_range(soc);
     for (auto it = lo; it != hi; ++it) {
-        if (it->second.untilEpoch > epochNow)
+        if (it->second.untilEpoch > clock.epoch)
             f = std::min(f, it->second.factor);
     }
     return f;
@@ -211,7 +302,7 @@ FaultInjector::linkFactor(sim::BoardId board) const
     double f = 1.0;
     auto [lo, hi] = degraded.equal_range(board);
     for (auto it = lo; it != hi; ++it) {
-        if (it->second.untilEpoch > epochNow)
+        if (it->second.untilEpoch > clock.epoch)
             f = std::min(f, it->second.factor);
     }
     return f;
@@ -227,6 +318,23 @@ FaultInjector::checkpointWriteFails()
         "checkpoint_write_failures_total");
     failures.add(1.0);
     return true;
+}
+
+bool
+FaultInjector::corruptNextChunk()
+{
+    if (gradCorruptBudget == 0)
+        return false;
+    --gradCorruptBudget;
+    return true;
+}
+
+std::size_t
+FaultInjector::drainGradCorrupt()
+{
+    const std::size_t n = gradCorruptBudget;
+    gradCorruptBudget = 0;
+    return n;
 }
 
 } // namespace fault

@@ -9,21 +9,35 @@
  * module schedules those events ahead of time -- a FaultPlan is a
  * sorted list of FaultSpecs, either hand-written or generated
  * deterministically from a seed -- and a FaultInjector replays the
- * plan against the training epoch counter, exposing the resulting
- * cluster state (dead SoCs, degraded links, slow SoCs, pending
- * checkpoint-write failures) to the collective engine, the trainer,
+ * plan against the training clock, exposing the resulting cluster
+ * state (dead SoCs, degraded links, slow SoCs, pending checkpoint or
+ * gradient-chunk corruption) to the collective engine, the trainer,
  * and the harvesting scheduler through the FaultModel interface.
  *
- * Everything is epoch-driven and seed-deterministic so a faulted run
- * is exactly reproducible; see DESIGN.md "Failure model" for which
- * faults are survivable and what state each recovery path preserves.
+ * The clock is *step- and phase-granular*: a FaultPoint is
+ * {epoch, step, phase} with phase running through the sub-step
+ * timeline compute -> wave1 -> wave2 -> leaderRing -> checkpoint, so
+ * a fault can land exactly where it hurts -- inside a CG-planned
+ * communication wave holding partially-reduced chunks
+ * (SocCrashMidWave), on a ring segment in flight (GradCorrupt), or
+ * on a group leader during the cross-group delayed-aggregation ring
+ * (LeaderCrash). Epoch-granular specs are the special case
+ * {epoch, 0, Compute}, and the epoch-only advanceTo() overload is
+ * kept for callers that do not track steps.
+ *
+ * Everything is seed-deterministic so a faulted run is exactly
+ * reproducible (same seed => identical recovery timeline hash); see
+ * DESIGN.md "Failure model" for which faults are survivable and what
+ * state each recovery path preserves.
  */
 
 #ifndef SOCFLOW_FAULT_FAULT_HH
 #define SOCFLOW_FAULT_FAULT_HH
 
+#include <compare>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <set>
 #include <vector>
@@ -39,17 +53,63 @@ enum class FaultKind {
     LinkDegrade,     //!< board NIC bandwidth multiplier for a window
     Straggler,       //!< SoC compute-rate multiplier for a window
     CheckpointFail,  //!< the next N checkpoint writes fail
+    SocCrashMidWave, //!< ring member dies holding a partial chunk
+    GradCorrupt,     //!< gradient chunks arrive bit-flipped/truncated
+    LeaderCrash,     //!< group leader dies in the cross-group ring
 };
 
 /** Printable fault-kind name. */
 const char *faultKindName(FaultKind k);
 
+/**
+ * Sub-step phases of the training timeline, in execution order.
+ * Wave1/Wave2 are the CG-planned communication waves of one step
+ * (plans that degenerate to a single wave treat Wave2 as a no-op
+ * point); LeaderRing is the per-epoch cross-group delayed
+ * aggregation; Checkpoint closes the epoch.
+ */
+enum class FaultPhase : std::uint8_t {
+    Compute = 0,
+    Wave1,
+    Wave2,
+    LeaderRing,
+    Checkpoint,
+};
+
+/** Printable phase name. */
+const char *faultPhaseName(FaultPhase p);
+
+/**
+ * One instant of the step/phase training clock. Ordered
+ * lexicographically: epoch, then step within the epoch, then phase
+ * within the step.
+ */
+struct FaultPoint {
+    std::size_t epoch = 0;
+    std::size_t step = 0;
+    FaultPhase phase = FaultPhase::Compute;
+
+    auto operator<=>(const FaultPoint &) const = default;
+
+    /** The latest point inside `epoch` (its checkpoint phase). */
+    static FaultPoint
+    epochEnd(std::size_t epoch)
+    {
+        return {epoch, std::numeric_limits<std::size_t>::max(),
+                FaultPhase::Checkpoint};
+    }
+};
+
 /** One scheduled fault. */
 struct FaultSpec {
     FaultKind kind = FaultKind::SocCrash;
-    /** Fires when training reaches this epoch (before its steps). */
+    /** Fires when training reaches this epoch. */
     std::size_t epoch = 0;
-    /** Target SoC (SocCrash, Straggler). */
+    /** Step within the epoch (0 = epoch start). */
+    std::size_t step = 0;
+    /** Phase within the step (Compute = classic epoch granularity). */
+    FaultPhase phase = FaultPhase::Compute;
+    /** Target SoC (crash kinds, Straggler, GradCorrupt ring pick). */
     sim::SocId soc = 0;
     /** Target board (LinkDegrade). */
     sim::BoardId board = 0;
@@ -57,23 +117,41 @@ struct FaultSpec {
     double factor = 1.0;
     /** Window length in epochs (LinkDegrade, Straggler). */
     std::size_t durationEpochs = 1;
-    /** Consecutive failed writes (CheckpointFail). */
+    /** Failed writes (CheckpointFail) / corrupt chunks (GradCorrupt). */
     std::size_t count = 1;
+    /**
+     * Fraction of the wave's ring rounds already acked when a
+     * SocCrashMidWave fires; the recovery re-reduces only the
+     * remaining (1 - progress) share on the survivor ring.
+     */
+    double progress = 0.5;
+
+    /** The instant this spec fires at. */
+    FaultPoint
+    point() const
+    {
+        return {epoch, step, phase};
+    }
 };
 
 /** Knobs for the seed-driven plan generator. */
 struct FaultPlanConfig {
     std::size_t horizonEpochs = 48;  //!< faults land in [1, horizon)
+    std::size_t stepsPerEpoch = 8;   //!< step horizon for step picks
     std::size_t numSocs = 32;
     std::size_t socsPerBoard = 5;
     std::size_t crashes = 1;
     std::size_t linkDegrades = 1;
     std::size_t stragglers = 1;
     std::size_t checkpointFailures = 1;
+    std::size_t midWaveCrashes = 0;  //!< SocCrashMidWave events
+    std::size_t gradCorrupts = 0;    //!< GradCorrupt bursts
+    std::size_t leaderCrashes = 0;   //!< LeaderCrash events
     double linkFactor = 0.25;       //!< degraded NIC bandwidth share
     double stragglerFactor = 0.5;   //!< slowed SoC compute share
     std::size_t windowEpochs = 4;   //!< degrade/straggle window
     std::size_t checkpointFailBurst = 2;  //!< failed writes per event
+    std::size_t gradCorruptBurst = 1;     //!< corrupt chunks per event
     std::uint64_t seed = 2024;
 };
 
@@ -89,10 +167,10 @@ class FaultPlan
     /** Generate a plan from the config's seed (reproducible). */
     static FaultPlan random(const FaultPlanConfig &cfg);
 
-    /** Insert one spec, keeping the epoch ordering. */
+    /** Insert one spec, keeping the firing-point ordering. */
     void add(const FaultSpec &spec);
 
-    /** All specs, sorted by firing epoch (stable). */
+    /** All specs, sorted by firing point (stable). */
     const std::vector<FaultSpec> &specs() const { return ordered; }
 
     /** Number of scheduled specs of one kind. */
@@ -122,9 +200,11 @@ class FaultModel
 };
 
 /**
- * Replays a FaultPlan against the epoch counter and answers state
- * queries. advanceTo() is called once per epoch by the trainer; the
- * query side is cheap enough for per-step use.
+ * Replays a FaultPlan against the training clock and answers state
+ * queries. The trainer advances the point clock at every phase
+ * boundary (advanceTo(FaultPoint)); epoch-only callers use the
+ * advanceTo(epoch) overload, which sweeps through the whole epoch.
+ * The query side is cheap enough for per-step use.
  */
 class FaultInjector : public FaultModel
 {
@@ -132,8 +212,18 @@ class FaultInjector : public FaultModel
     explicit FaultInjector(FaultPlan plan_in = {});
 
     /**
-     * Fire every not-yet-fired spec with epoch <= `epoch` and expire
-     * stale windows. Returns the newly fired specs in plan order.
+     * Fire every not-yet-fired spec with point <= `now` and expire
+     * rate windows stale at now.epoch. Returns the newly fired specs
+     * in plan order. All crash kinds (SocCrash, SocCrashMidWave,
+     * LeaderCrash) mark their target dead at fire time; the caller
+     * runs the matching recovery path.
+     */
+    std::vector<FaultSpec> advanceTo(const FaultPoint &now);
+
+    /**
+     * Epoch-granular sweep: fire everything scheduled anywhere inside
+     * epochs <= `epoch` (equivalent to
+     * advanceTo(FaultPoint::epochEnd(epoch))).
      */
     std::vector<FaultSpec> advanceTo(std::size_t epoch);
 
@@ -154,7 +244,22 @@ class FaultInjector : public FaultModel
         return ckptFailBudget;
     }
 
-    /** SoCs crashed so far, in firing order. */
+    /**
+     * Consume one pending gradient-chunk corruption. Returns true
+     * when the chunk transfer the caller is about to verify arrives
+     * corrupted (CRC mismatch); retransmissions consume further
+     * pending corruptions, so a burst longer than the retry budget
+     * surfaces as a typed sync failure.
+     */
+    bool corruptNextChunk();
+
+    /** Drain the whole pending corruption budget (for cost models). */
+    std::size_t drainGradCorrupt();
+
+    /** Corrupt chunks still queued. */
+    std::size_t pendingGradCorrupt() const { return gradCorruptBudget; }
+
+    /** SoCs crashed so far (all crash kinds), in firing order. */
     const std::vector<sim::SocId> &crashedSocs() const
     {
         return crashed;
@@ -162,6 +267,9 @@ class FaultInjector : public FaultModel
 
     /** Specs fired so far. */
     std::size_t firedCount() const { return nextSpec; }
+
+    /** The current clock position. */
+    const FaultPoint &now() const { return clock; }
 
     /** The plan being replayed. */
     const FaultPlan &plan() const { return schedule; }
@@ -175,12 +283,13 @@ class FaultInjector : public FaultModel
 
     FaultPlan schedule;
     std::size_t nextSpec = 0;
-    std::size_t epochNow = 0;
+    FaultPoint clock;
     std::set<sim::SocId> dead;
     std::vector<sim::SocId> crashed;
     std::multimap<sim::SocId, Window> slow;
     std::multimap<sim::BoardId, Window> degraded;
     std::size_t ckptFailBudget = 0;
+    std::size_t gradCorruptBudget = 0;
 };
 
 } // namespace fault

@@ -122,6 +122,11 @@ class HarvestDriver
             crash.activeGroups = trainer.activeGroups();
             pushEvent(crash);
         }
+        report.waveResumes += rec.waveResumes;
+        report.leaderElections += rec.leaderElections;
+        report.gradCorruptDetected += rec.gradCorruptDetected;
+        report.chunksRetransmitted += rec.chunksRetransmitted;
+        report.syncFailures += rec.syncFailures;
 
         ev.kind = HarvestEvent::Kind::Train;
         ev.activeGroups = trainer.activeGroups();
@@ -133,6 +138,7 @@ class HarvestDriver
     finish()
     {
         report.finalTestAcc = trainer.testAccuracy();
+        report.timelineHash = trainer.timelineHash();
         return std::move(report);
     }
 

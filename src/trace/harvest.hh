@@ -32,6 +32,7 @@
 #define SOCFLOW_TRACE_HARVEST_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/socflow_trainer.hh"
@@ -87,6 +88,16 @@ struct HarvestReport {
     std::size_t checkpointRetries = 0; //!< failed writes retried
     std::size_t checkpointsLost = 0;   //!< retry budget exhausted
     double recoverySeconds = 0.0;      //!< crash-recovery sim time
+
+    // Step-granular recovery paths (DESIGN.md "Failure model").
+    std::size_t waveResumes = 0;         //!< mid-wave chunk resumes
+    std::size_t leaderElections = 0;     //!< leaders re-elected
+    std::size_t gradCorruptDetected = 0; //!< CRC mismatches caught
+    std::size_t chunksRetransmitted = 0; //!< chunks re-requested
+    std::size_t syncFailures = 0;        //!< typed failures (dropped)
+    /** Deterministic digest of the trainer's fault/recovery timeline
+     *  (same seeds => same hash; replay divergence is a bug). */
+    std::uint64_t timelineHash = 0;
 };
 
 /**

@@ -1,0 +1,35 @@
+#include "util/hash.hh"
+
+#include <array>
+
+namespace socflow {
+
+namespace {
+
+/** Nibble-at-a-time table for the reflected polynomial 0xEDB88320. */
+constexpr std::array<std::uint32_t, 16> kCrcTable = [] {
+    std::array<std::uint32_t, 16> t{};
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 4; ++k)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}();
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i) {
+        c = kCrcTable[(c ^ p[i]) & 0x0Fu] ^ (c >> 4);
+        c = kCrcTable[(c ^ (p[i] >> 4)) & 0x0Fu] ^ (c >> 4);
+    }
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace socflow
