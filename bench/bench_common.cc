@@ -9,7 +9,10 @@
 
 #include "baselines/exact_sync.hh"
 #include "baselines/fedavg.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
+#include "obs/snapshot.hh"
+#include "obs/stream_sink.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
 
@@ -33,11 +36,58 @@ metricsOutPath()
     return p;
 }
 
+std::string &
+postmortemOutPath()
+{
+    static std::string p;
+    return p;
+}
+
+/** --trace-rotate-mb in MiB (0 = buffer-all export). */
+std::size_t &
+traceRotateMb()
+{
+    static std::size_t mb = 0;
+    return mb;
+}
+
+std::size_t &
+metricsIntervalEpochs()
+{
+    static std::size_t n = 0;
+    return n;
+}
+
+/** The streaming sink, when rotation was requested (leaked; its
+ *  flusher is joined by the atexit close below). */
+obs::StreamingTraceSink *&
+streamSink()
+{
+    static obs::StreamingTraceSink *sink = nullptr;
+    return sink;
+}
+
+obs::MetricSeriesWriter *&
+seriesWriter()
+{
+    static obs::MetricSeriesWriter *w = nullptr;
+    return w;
+}
+
 void
 writeObservabilityOutputs()
 {
     const std::string &trace = traceOutPath();
-    if (!trace.empty()) {
+    if (obs::StreamingTraceSink *sink = streamSink()) {
+        // Streamed mode: the trace is already on disk; detach so late
+        // events don't race the drain, then flush the final segment.
+        obs::tracer().setStreamSink(nullptr);
+        sink->close();
+        std::fprintf(stderr,
+                     "trace streamed to %s (%zu segments, %zu events)\n",
+                     trace.c_str(), sink->segmentsWritten(),
+                     sink->eventsWritten());
+    } else if (!trace.empty()) {
         if (obs::tracer().writeChromeTrace(trace)) {
             std::fprintf(stderr, "trace written to %s (%zu events)\n",
                          trace.c_str(), obs::tracer().eventCount());
@@ -47,7 +97,11 @@ writeObservabilityOutputs()
         }
     }
     const std::string &metricsPath = metricsOutPath();
-    if (!metricsPath.empty()) {
+    if (obs::MetricSeriesWriter *w = seriesWriter()) {
+        // Series mode: the NDJSON lines are the output; no text dump.
+        std::fprintf(stderr, "metric series written to %s (%zu lines)\n",
+                     metricsPath.c_str(), w->snapshotsWritten());
+    } else if (!metricsPath.empty()) {
         if (obs::metrics().writeTextDump(metricsPath)) {
             std::fprintf(stderr, "metrics written to %s\n",
                          metricsPath.c_str());
@@ -58,11 +112,24 @@ writeObservabilityOutputs()
     }
 }
 
+/** Parse a non-negative integer flag value (fatal on junk). */
+std::size_t
+parseCount(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (value.empty() || end == nullptr || *end != '\0' || parsed < 0.0)
+        fatal("bad value for ", flag, ": '", value, "'");
+    return static_cast<std::size_t>(parsed);
+}
+
 } // namespace
 
 void
 initBenchObservability(int &argc, char **argv)
 {
+    std::string rotateMbValue;
+    std::string intervalValue;
     int out = 1;
     bool any = false;
     for (int i = 1; i < argc; ++i) {
@@ -73,7 +140,10 @@ initBenchObservability(int &argc, char **argv)
         for (const auto &[flag, path] :
              {std::pair<const char *, std::string *>{
                   "--trace-out", &traceOutPath()},
-              {"--metrics-out", &metricsOutPath()}}) {
+              {"--metrics-out", &metricsOutPath()},
+              {"--postmortem-out", &postmortemOutPath()},
+              {"--trace-rotate-mb", &rotateMbValue},
+              {"--metrics-interval", &intervalValue}}) {
             const std::string prefix = std::string(flag) + "=";
             if (arg.rfind(prefix, 0) == 0) {
                 dest = path;
@@ -81,7 +151,7 @@ initBenchObservability(int &argc, char **argv)
                 consumed = true;
             } else if (arg == flag) {
                 if (i + 1 >= argc)
-                    fatal(flag, " requires a path argument");
+                    fatal(flag, " requires a value argument");
                 dest = path;
                 value = argv[++i];
                 consumed = true;
@@ -94,7 +164,7 @@ initBenchObservability(int &argc, char **argv)
             continue;
         }
         if (value.empty())
-            fatal("empty path for observability flag: ", arg);
+            fatal("empty value for observability flag: ", arg);
         *dest = value;
         any = true;
     }
@@ -103,9 +173,43 @@ initBenchObservability(int &argc, char **argv)
 
     if (!any)
         return;
-    if (!traceOutPath().empty())
+    if (!rotateMbValue.empty())
+        traceRotateMb() = parseCount("--trace-rotate-mb", rotateMbValue);
+    if (!intervalValue.empty())
+        metricsIntervalEpochs() =
+            parseCount("--metrics-interval", intervalValue);
+    if (traceRotateMb() > 0 && traceOutPath().empty())
+        fatal("--trace-rotate-mb requires --trace-out");
+    if (metricsIntervalEpochs() > 0 && metricsOutPath().empty())
+        fatal("--metrics-interval requires --metrics-out");
+
+    if (!postmortemOutPath().empty())
+        obs::armFlightRecorder(postmortemOutPath());
+    if (!traceOutPath().empty()) {
+        if (traceRotateMb() > 0) {
+            obs::StreamSinkConfig scfg;
+            scfg.path = traceOutPath();
+            scfg.rotateBytes = traceRotateMb() << 20;
+            streamSink() = new obs::StreamingTraceSink(scfg);
+            obs::tracer().setStreamSink(streamSink());
+        }
         obs::tracer().setEnabled(true);
+    }
+    if (metricsIntervalEpochs() > 0)
+        seriesWriter() = new obs::MetricSeriesWriter(metricsOutPath());
     std::atexit(writeObservabilityOutputs);
+}
+
+std::size_t
+metricsInterval()
+{
+    return metricsIntervalEpochs();
+}
+
+obs::MetricSeriesWriter *
+metricSeries()
+{
+    return seriesWriter();
 }
 
 FaultPolicyFlags

@@ -30,6 +30,11 @@
 #include "data/synthetic.hh"
 
 namespace socflow {
+
+namespace obs {
+class MetricSeriesWriter;
+}
+
 namespace bench {
 
 /** One evaluation workload (a row of Table 2). */
@@ -43,17 +48,36 @@ struct Workload {
 /**
  * Observability wiring shared by every bench binary. Recognizes
  *
- *   --trace-out=<path>    (or --trace-out <path>)
- *   --metrics-out=<path>  (or --metrics-out <path>)
+ *   --trace-out=<path>        (or --trace-out <path>)
+ *   --metrics-out=<path>      (or --metrics-out <path>)
+ *   --trace-rotate-mb=<mb>    stream the trace instead of buffering:
+ *                             rotated segments <base>.0.json,
+ *                             <base>.1.json, ... each a valid Chrome
+ *                             document capped near <mb> MiB
+ *   --metrics-interval=<n>    turn --metrics-out into an NDJSON time
+ *                             series, one snapshot line every n
+ *                             trained epochs (harvest examples)
+ *   --postmortem-out=<path>   arm the crash flight recorder; typed
+ *                             failures dump a post-mortem JSON here
  *
  * enables the process tracer when a trace path is given, and
  * registers an atexit hook that writes the Chrome trace_event JSON
- * and/or the plain-text metrics dump when the bench finishes.
- * Consumed flags are removed from argv (argc is updated) so benches
- * with their own argument parsing -- including google-benchmark's
- * strict Initialize() -- never see them.
+ * (or closes the streaming sink) and/or the metrics dump when the
+ * bench finishes. Consumed flags are removed from argv (argc is
+ * updated) so benches with their own argument parsing -- including
+ * google-benchmark's strict Initialize() -- never see them.
  */
 void initBenchObservability(int &argc, char **argv);
+
+/** --metrics-interval value (0 = plain end-of-run text dump). */
+std::size_t metricsInterval();
+
+/**
+ * The NDJSON series writer created when both --metrics-out and
+ * --metrics-interval were given; nullptr otherwise. Wire into
+ * trace::HarvestConfig::metricSeries.
+ */
+obs::MetricSeriesWriter *metricSeries();
 
 /** Fault-handling knobs parsed from the command line. */
 struct FaultPolicyFlags {

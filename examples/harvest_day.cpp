@@ -11,8 +11,12 @@
  *   ./build/examples/harvest_day
  *
  * Pass --trace-out=<path> / --metrics-out=<path> to export the
- * Chrome trace_event timeline and the metrics dump. The collective
- * sync and checkpoint retry envelopes are tunable via --sync-timeout,
+ * Chrome trace_event timeline and the metrics dump; add
+ * --trace-rotate-mb=<mb> to stream the trace into bounded rotated
+ * segments, --metrics-interval=<n> for an NDJSON metric time series
+ * (one snapshot every n trained epochs), and --postmortem-out=<path>
+ * to arm the crash flight recorder. The collective sync and
+ * checkpoint retry envelopes are tunable via --sync-timeout,
  * --sync-retries, --sync-backoff-base, --sync-backoff-max,
  * --ckpt-retries and --ckpt-backoff (see
  * bench::parseFaultPolicyFlags).
@@ -60,6 +64,8 @@ main(int argc, char **argv)
     hcfg.socsPerGroup = 4;
     hcfg.checkpointMaxRetries = policy.checkpointMaxRetries;
     hcfg.checkpointBackoffS = policy.checkpointBackoffS;
+    hcfg.metricsSnapshotEvery = bench::metricsInterval();
+    hcfg.metricSeries = bench::metricSeries();
 
     const trace::HarvestReport report =
         trace::runHarvestDay(trainer, cfg, trace, hcfg);

@@ -20,10 +20,14 @@
  *
  * Pass --trace-out=<path> to export the Chrome trace_event timeline
  * (crash-recovery spans included), --metrics-out=<path> for the
- * fault/retry counters. The sync/checkpoint retry envelopes are
- * tunable: --sync-timeout, --sync-retries, --sync-backoff-base,
- * --sync-backoff-max, --ckpt-retries, --ckpt-backoff (see
- * bench::parseFaultPolicyFlags).
+ * fault/retry counters. Long soaks stream instead of buffering:
+ * --trace-rotate-mb=<mb> rotates the trace into bounded segments,
+ * --metrics-interval=<n> turns the metrics dump into an NDJSON time
+ * series (one snapshot every n trained epochs), and
+ * --postmortem-out=<path> arms the crash flight recorder. The
+ * sync/checkpoint retry envelopes are tunable: --sync-timeout,
+ * --sync-retries, --sync-backoff-base, --sync-backoff-max,
+ * --ckpt-retries, --ckpt-backoff (see bench::parseFaultPolicyFlags).
  */
 
 #include <cstdio>
@@ -60,6 +64,8 @@ runDay(const trace::TidalTrace &tidal, fault::FaultInjector *faults,
     hcfg.faults = faults;
     hcfg.checkpointMaxRetries = policy.checkpointMaxRetries;
     hcfg.checkpointBackoffS = policy.checkpointBackoffS;
+    hcfg.metricsSnapshotEvery = bench::metricsInterval();
+    hcfg.metricSeries = bench::metricSeries();
     return trace::runHarvestDay(trainer, cfg, tidal, hcfg);
 }
 

@@ -1,27 +1,41 @@
 #!/bin/bash
-# Usage: run_all.sh [--sanitize|--chaos]
+# Usage: run_all.sh [--sanitize|--chaos|--chaos-nightly [count]]
 #   default     run the test suite + every bench from build/
 #   --sanitize  configure build-asan with -DSANITIZE=ON and run the
 #               test suite under AddressSanitizer + UBSan
-#   --chaos     run the fault suite under ASan+UBSan with 10 random
-#               chaos seeds (SOCFLOW_CHAOS_SEED); fails on any
-#               sanitizer report or non-deterministic replay (the
-#               ChaosReplay tests hash each seed's fault timeline and
-#               re-run it, so same seed must give the same hash)
+#   --chaos     run the fault + streaming-obs suites under ASan+UBSan
+#               with 10 fixed chaos seeds (SOCFLOW_CHAOS_SEED); fails
+#               on any sanitizer report or non-deterministic replay
+#               (the ChaosReplay tests hash each seed's fault timeline
+#               and re-run it, so same seed must give the same hash)
+#   --chaos-nightly [count]
+#               like --chaos but with `count` (default 10) *fresh*
+#               random seeds, each with the crash flight recorder
+#               armed (SOCFLOW_POSTMORTEM); failing seeds and their
+#               post-mortem dump paths append to chaos_failures.txt
+#               so a failure found tonight can be replayed tomorrow
 cd /root/repo
+
+chaos_targets="test_fault test_fault_step test_obs_stream"
+chaos_regex='test_(fault($|_step)|obs_stream$)'
+
+run_chaos_seed() {
+    # $1 = seed, $2 = optional post-mortem dump path
+    env ASAN_OPTIONS=detect_leaks=0 \
+        UBSAN_OPTIONS=halt_on_error=1 \
+        SOCFLOW_CHAOS_SEED="$1" \
+        ${2:+SOCFLOW_POSTMORTEM="$2"} \
+        ctest --test-dir build-asan --output-on-failure \
+            -R "$chaos_regex"
+}
 
 if [ "$1" = "--chaos" ]; then
     cmake -B build-asan -S . -DSANITIZE=ON || exit 1
-    cmake --build build-asan -j --target test_fault test_fault_step \
-        || exit 1
+    cmake --build build-asan -j --target $chaos_targets || exit 1
     status=0
     for seed in 11 42 137 271 828 1729 2024 31337 65537 99991; do
         echo "== chaos seed $seed =="
-        if ! ASAN_OPTIONS=detect_leaks=0 \
-             UBSAN_OPTIONS=halt_on_error=1 \
-             SOCFLOW_CHAOS_SEED=$seed \
-             ctest --test-dir build-asan --output-on-failure \
-                 -R 'test_fault($|_step)'; then
+        if ! run_chaos_seed $seed; then
             echo "CHAOS_SEED_FAILED seed=$seed"
             status=1
         fi
@@ -34,12 +48,42 @@ if [ "$1" = "--chaos" ]; then
     exit $status
 fi
 
+if [ "$1" = "--chaos-nightly" ]; then
+    count=${2:-10}
+    cmake -B build-asan -S . -DSANITIZE=ON || exit 1
+    cmake --build build-asan -j --target $chaos_targets || exit 1
+    status=0
+    for i in $(seq 1 "$count"); do
+        seed=$(( (RANDOM << 15 | RANDOM) + 1 ))
+        dump=/root/repo/build-asan/postmortem_seed${seed}.json
+        echo "== chaos-nightly seed $seed ($i/$count) =="
+        if ! run_chaos_seed $seed "$dump"; then
+            echo "CHAOS_SEED_FAILED seed=$seed dump=$dump"
+            echo "seed=$seed dump=$dump" >> /root/repo/chaos_failures.txt
+            status=1
+        fi
+    done
+    if [ $status -eq 0 ]; then
+        echo "CHAOS_NIGHTLY_COMPLETE"
+    else
+        echo "CHAOS_NIGHTLY_FAILED (failing seeds in chaos_failures.txt)"
+    fi
+    exit $status
+fi
+
 if [ "$1" = "--sanitize" ]; then
     cmake -B build-asan -S . -DSANITIZE=ON || exit 1
     cmake --build build-asan -j || exit 1
     ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
         ctest --test-dir build-asan --output-on-failure 2>&1 |
         tee /root/repo/sanitize_output.txt
+    # Exercise the streaming sink + NDJSON series end to end under
+    # the sanitizers (tiny rotation limit forces several segments).
+    ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+        ./build-asan/examples/harvest_day \
+        --trace-out build-asan/harvest_stream.json \
+        --trace-rotate-mb 1 --metrics-out build-asan/harvest_series.ndjson \
+        --metrics-interval 2 >/dev/null || exit 1
     echo "SANITIZE_RUN_COMPLETE"
     exit 0
 fi

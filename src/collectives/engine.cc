@@ -23,13 +23,16 @@ recordCollective(const char *op, const CommStats &stats)
         obs::Counter &ops;
         obs::Counter &wireBytes;
         obs::Histogram &seconds;
+        obs::TDigest &secondsDigest;
         explicit OpMetrics(const char *op_name)
             : ops(obs::metrics().counter("collective_ops_total",
                                          {{"op", op_name}})),
               wireBytes(obs::metrics().counter(
                   "collective_wire_bytes_total", {{"op", op_name}})),
               seconds(obs::metrics().histogram(
-                  "collective_seconds", {{"op", op_name}}))
+                  "collective_seconds", {{"op", op_name}})),
+              secondsDigest(obs::metrics().tdigest(
+                  "collective_seconds_digest", {{"op", op_name}}))
         {
         }
     };
@@ -56,6 +59,7 @@ recordCollective(const char *op, const CommStats &stats)
     m->ops.add(1.0);
     m->wireBytes.add(stats.wireBytes);
     m->seconds.observe(stats.seconds);
+    m->secondsDigest.observe(stats.seconds);
 }
 
 /**

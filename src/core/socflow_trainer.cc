@@ -6,6 +6,7 @@
 
 #include "collectives/reduce.hh"
 #include "core/checkpoint.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
@@ -48,6 +49,7 @@ struct TrainerMetrics {
     obs::Histogram &stepComputeS;
     obs::Histogram &stepSyncS;
     obs::Histogram &recoveryS;
+    obs::TDigest &recoveryDigest;
 
     TrainerMetrics()
         : steps(obs::metrics().counter("trainer_steps_total")),
@@ -76,7 +78,9 @@ struct TrainerMetrics {
           stepSyncS(
               obs::metrics().histogram("trainer_step_sync_seconds")),
           recoveryS(obs::metrics().histogram(
-              "fault_recovery_seconds"))
+              "fault_recovery_seconds")),
+          recoveryDigest(obs::metrics().tdigest(
+              "fault_recovery_seconds_digest"))
     {
     }
 };
@@ -590,6 +594,8 @@ SoCFlowTrainer::runEpoch()
                      collectives::SyncError::CorruptRetryExhausted));
             tr.recordInstant("aggregation dropped", "fault",
                              obs::kTrackControl, simClockS);
+            obs::flightRecorder().dumpPostMortem(
+                "corrupt-retry-exhausted", timeline.value());
         }
         timeline.mix(static_cast<std::uint64_t>(vr.corruptDetected));
         timeline.mix(static_cast<std::uint64_t>(vr.retransmitted));
@@ -804,8 +810,11 @@ SoCFlowTrainer::injectCrash(sim::SocId soc)
         for (sim::SocId s : g->socs)
             if (!deadSocs.count(s))
                 live.push_back(s);
-    if (live.empty())
+    if (live.empty()) {
+        obs::flightRecorder().dumpPostMortem("unsurvivable-crash",
+                                             timeline.value());
         fatal("SoC ", soc, " crashed and no live SoC remains");
+    }
 
     // Shrink the group set when the survivors cannot populate it,
     // dropping the crashed group first.
@@ -841,6 +850,7 @@ SoCFlowTrainer::injectCrash(sim::SocId soc)
     timeline.mix(static_cast<std::uint64_t>(live.size()));
     timeline.mix(recoveryS);
     m.recoveryS.observe(recoveryS);
+    m.recoveryDigest.observe(recoveryS);
     tr.recordSpan("crash recovery", "fault", obs::kTrackControl,
                   simClockS, recoveryS,
                   {{"soc", static_cast<double>(soc)},
@@ -925,6 +935,7 @@ SoCFlowTrainer::chargeCorruptedWave(const fault::FaultSpec &spec,
     tally.chunksRetransmitted += sync.chunksRetransmitted;
     tally.recoverySeconds += extraS;
     trainerMetrics().recoveryS.observe(extraS);
+    trainerMetrics().recoveryDigest.observe(extraS);
     timeline.mix(std::uint64_t{0x43}); // 'C': corrupt-chunk recovery
     timeline.mix(static_cast<std::uint64_t>(burst));
     timeline.mix(static_cast<std::uint64_t>(sync.chunksRetransmitted));
@@ -961,6 +972,8 @@ SoCFlowTrainer::chargeCorruptedWave(const fault::FaultSpec &spec,
         }
         tr.recordInstant("sync failure", "fault", obs::kTrackControl,
                          simClockS);
+        obs::flightRecorder().dumpPostMortem("corrupt-retry-exhausted",
+                                             timeline.value());
     }
 }
 
@@ -1011,6 +1024,7 @@ SoCFlowTrainer::injectMidWaveCrash(sim::SocId soc, double progress,
     tally.recoverySeconds += recoveryS;
     m.waveResumes.add(1.0);
     m.recoveryS.observe(recoveryS);
+    m.recoveryDigest.observe(recoveryS);
     timeline.mix(std::uint64_t{0x57}); // 'W': wave resume
     timeline.mix(static_cast<std::uint64_t>(soc));
     timeline.mix(static_cast<std::uint64_t>(acked));
@@ -1089,6 +1103,7 @@ SoCFlowTrainer::injectLeaderCrash(sim::SocId soc)
         m.leaderElections.add(1.0);
     }
     m.recoveryS.observe(recoveryS);
+    m.recoveryDigest.observe(recoveryS);
     timeline.mix(std::uint64_t{0x4c}); // 'L': leader recovery
     timeline.mix(static_cast<std::uint64_t>(soc));
     timeline.mix(std::uint64_t{elected ? 1u : 0u});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -245,6 +246,19 @@ FaultInjector::advanceTo(const FaultPoint &now)
            specs[nextSpec].point() <= clock) {
         const FaultSpec &s = specs[nextSpec++];
         injectedCounter(s.kind).add(1.0);
+        if (obs::flightRecorder().armed()) {
+            // Keep the injection itself in the post-mortem timeline,
+            // next to the recovery spans it triggers.
+            obs::TraceEvent e;
+            e.name = faultKindName(s.kind);
+            e.category = "fault-injected";
+            e.phase = 'i';
+            e.tid = obs::kTrackControl;
+            e.args.emplace_back("epoch", std::to_string(s.epoch));
+            e.args.emplace_back("step", std::to_string(s.step));
+            e.args.emplace_back("soc", std::to_string(s.soc));
+            obs::flightRecorder().record(e);
+        }
         switch (s.kind) {
           case FaultKind::SocCrash:
           case FaultKind::SocCrashMidWave:

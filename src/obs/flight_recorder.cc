@@ -1,0 +1,158 @@
+#include "obs/flight_recorder.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/metrics.hh"
+#include "util/logging.hh"
+
+namespace socflow {
+namespace obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : cap(capacity ? capacity : 1)
+{
+    ring.resize(cap);  // pre-allocated slots; strings grow in place
+}
+
+void
+FlightRecorder::arm(std::string path)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    outPath = std::move(path);
+    isArmed.store(!outPath.empty(), std::memory_order_relaxed);
+}
+
+void
+FlightRecorder::disarm()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    isArmed.store(false, std::memory_order_relaxed);
+    outPath.clear();
+    next = 0;
+    held = 0;
+}
+
+std::string
+FlightRecorder::path() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return outPath;
+}
+
+void
+FlightRecorder::record(const TraceEvent &e)
+{
+    if (!armed())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    ring[next] = e;
+    next = (next + 1) % cap;
+    if (held < cap)
+        ++held;
+}
+
+std::vector<TraceEvent>
+FlightRecorder::lastSpans() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<TraceEvent> out;
+    out.reserve(held);
+    const std::size_t oldest = held < cap ? 0 : next;
+    for (std::size_t i = 0; i < held; ++i)
+        out.push_back(ring[(oldest + i) % cap]);
+    return out;
+}
+
+std::size_t
+FlightRecorder::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return held;
+}
+
+bool
+FlightRecorder::dumpPostMortem(std::string_view reason,
+                               std::uint64_t timeline_hash)
+{
+    if (!armed())
+        return false;
+    const std::vector<TraceEvent> spans = lastSpans();
+    const std::string dest = path();
+
+    std::string doc;
+    doc.reserve(spans.size() * 96 + 512);
+    doc += "{\"reason\":\"";
+    appendJsonEscaped(doc, reason);
+    doc += "\",\"timeline_hash\":\"";
+    char hashBuf[24];
+    std::snprintf(hashBuf, sizeof(hashBuf), "%016llx",
+                  static_cast<unsigned long long>(timeline_hash));
+    doc += hashBuf;
+    doc += "\",\"spans\":[";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        if (i)
+            doc += ',';
+        appendTraceEventJson(doc, spans[i]);
+    }
+    doc += "],\"metrics\":{";
+    const auto series = metrics().snapshotValues();
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (i)
+            doc += ',';
+        doc += '"';
+        appendJsonEscaped(doc, series[i].first);
+        doc += "\":";
+        if (std::isfinite(series[i].second)) {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.12g", series[i].second);
+            doc += buf;
+        } else {
+            doc += "null";
+        }
+    }
+    doc += "}}";
+
+    std::ofstream out(dest);
+    if (!out) {
+        warn("flight recorder: cannot write post-mortem to ", dest);
+        return false;
+    }
+    out << doc;
+    if (!out)
+        return false;
+    dumps.fetch_add(1, std::memory_order_relaxed);
+    warn("flight recorder: post-mortem (", reason, ") written to ",
+         dest);
+    return true;
+}
+
+FlightRecorder &
+flightRecorder()
+{
+    // Leaked on purpose; see obs::metrics(). Arms itself from the
+    // environment so chaos harnesses capture post-mortems from any
+    // binary without per-binary flag plumbing.
+    static FlightRecorder *global = [] {
+        auto *r = new FlightRecorder();
+        if (const char *env = std::getenv("SOCFLOW_POSTMORTEM");
+            env && *env) {
+            r->arm(env);
+            tracer().attachFlightRecorder(r);
+        }
+        return r;
+    }();
+    return *global;
+}
+
+void
+armFlightRecorder(std::string path)
+{
+    flightRecorder().arm(std::move(path));
+    tracer().attachFlightRecorder(&flightRecorder());
+}
+
+} // namespace obs
+} // namespace socflow

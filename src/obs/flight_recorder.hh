@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Crash flight recorder: last-N spans + a metrics snapshot, dumped
+ * as a post-mortem file when a typed failure fires.
+ *
+ * Long harvested runs die in ways a final trace export never sees --
+ * the process either aborts (unsurvivable crash) or the interesting
+ * events scrolled out of view hours ago. The flight recorder keeps
+ * the most recent N trace events in a pre-allocated ring (constant
+ * memory, overwrite-oldest) regardless of where the full trace is
+ * going, and on demand writes a single JSON post-mortem containing:
+ *
+ *   - the failure reason (e.g. "corrupt-retry-exhausted"),
+ *   - the run's deterministic fault-timeline hash (so the chaos
+ *     harness can replay the exact failing schedule),
+ *   - the last-N spans, newest last, in Chrome trace_event form,
+ *   - a full metrics snapshot at the moment of failure.
+ *
+ * The instrumented subsystems call flightRecorder().dumpPostMortem()
+ * at every typed-failure site (CorruptRetryExhausted, checkpoint
+ * retry exhaustion, unsurvivable crash); the dump is a no-op until
+ * the recorder is armed with an output path -- via armFlightRecorder()
+ * (the --postmortem-out flag) or the SOCFLOW_POSTMORTEM environment
+ * variable (used by run_all.sh --chaos-nightly).
+ */
+
+#ifndef SOCFLOW_OBS_FLIGHT_RECORDER_HH
+#define SOCFLOW_OBS_FLIGHT_RECORDER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace socflow {
+namespace obs {
+
+class FlightRecorder
+{
+  public:
+    /** @param capacity spans retained (the ring is pre-allocated). */
+    explicit FlightRecorder(std::size_t capacity = 256);
+
+    /** Enable recording and set the post-mortem output path. */
+    void arm(std::string path);
+
+    /** Stop recording and drop the buffered spans. */
+    void disarm();
+
+    /** True when armed (record()/dumpPostMortem() are live). */
+    bool armed() const
+    {
+        return isArmed.load(std::memory_order_relaxed);
+    }
+
+    /** The post-mortem path ("" when disarmed). */
+    std::string path() const;
+
+    /** Keep one event (overwrites the oldest once full). No-op when
+     *  disarmed, so the call is safe on hot paths. */
+    void record(const TraceEvent &e);
+
+    /** Spans currently held, oldest first (at most capacity()). */
+    std::vector<TraceEvent> lastSpans() const;
+
+    /** Spans currently held. */
+    std::size_t spanCount() const;
+
+    /** Ring capacity. */
+    std::size_t capacity() const { return cap; }
+
+    /**
+     * Write the post-mortem JSON to the armed path: failure reason,
+     * the fault-timeline hash (16 hex digits), the last-N spans, and
+     * a snapshot of the process metrics registry. Repeated dumps
+     * overwrite (the file reflects the most recent failure).
+     * @return false when disarmed or on I/O failure.
+     */
+    bool dumpPostMortem(std::string_view reason,
+                        std::uint64_t timeline_hash);
+
+    /** Post-mortems written so far. */
+    std::size_t dumpsWritten() const
+    {
+        return dumps.load(std::memory_order_relaxed);
+    }
+
+  private:
+    const std::size_t cap;
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;  //!< pre-allocated, size == cap
+    std::size_t next = 0;          //!< slot the next event overwrites
+    std::size_t held = 0;          //!< events recorded, capped at cap
+    std::string outPath;
+    std::atomic<bool> isArmed{false};
+    std::atomic<std::size_t> dumps{0};
+};
+
+/**
+ * The process-wide flight recorder. On first use it arms itself from
+ * the SOCFLOW_POSTMORTEM environment variable (when set) and attaches
+ * to the process tracer so every recorded event reaches the ring.
+ */
+FlightRecorder &flightRecorder();
+
+/** Arm the process recorder and attach it to the process tracer. */
+void armFlightRecorder(std::string path);
+
+} // namespace obs
+} // namespace socflow
+
+#endif // SOCFLOW_OBS_FLIGHT_RECORDER_HH

@@ -149,8 +149,11 @@ Histogram::percentile(double p) const
 {
     const std::uint64_t total_n = count();
     if (total_n == 0)
-        return 0.0;
-    p = std::clamp(p, 0.0, 100.0);
+        return std::numeric_limits<double>::quiet_NaN();
+    if (p <= 0.0)
+        return lo.load(std::memory_order_relaxed);
+    if (p >= 100.0)
+        return hi.load(std::memory_order_relaxed);
     // Nearest-rank target (1-based).
     const std::uint64_t target = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(
@@ -214,7 +217,8 @@ MetricsRegistry::counter(std::string_view name, const Labels &labels)
 {
     const std::string key = seriesKey(name, labels);
     std::lock_guard<std::mutex> lock(mu);
-    SOCFLOW_ASSERT(!gauges.count(key) && !histograms.count(key),
+    SOCFLOW_ASSERT(!gauges.count(key) && !histograms.count(key) &&
+                       !digests.count(key),
                    "metric re-registered with a different type: ", key);
     auto it = counters.find(key);
     if (it == counters.end())
@@ -227,7 +231,8 @@ MetricsRegistry::gauge(std::string_view name, const Labels &labels)
 {
     const std::string key = seriesKey(name, labels);
     std::lock_guard<std::mutex> lock(mu);
-    SOCFLOW_ASSERT(!counters.count(key) && !histograms.count(key),
+    SOCFLOW_ASSERT(!counters.count(key) && !histograms.count(key) &&
+                       !digests.count(key),
                    "metric re-registered with a different type: ", key);
     auto it = gauges.find(key);
     if (it == gauges.end())
@@ -241,7 +246,8 @@ MetricsRegistry::histogram(std::string_view name, const Labels &labels,
 {
     const std::string key = seriesKey(name, labels);
     std::lock_guard<std::mutex> lock(mu);
-    SOCFLOW_ASSERT(!counters.count(key) && !gauges.count(key),
+    SOCFLOW_ASSERT(!counters.count(key) && !gauges.count(key) &&
+                       !digests.count(key),
                    "metric re-registered with a different type: ", key);
     auto it = histograms.find(key);
     if (it == histograms.end()) {
@@ -255,11 +261,29 @@ MetricsRegistry::histogram(std::string_view name, const Labels &labels,
     return *it->second;
 }
 
+TDigest &
+MetricsRegistry::tdigest(std::string_view name, const Labels &labels,
+                         double compression)
+{
+    const std::string key = seriesKey(name, labels);
+    std::lock_guard<std::mutex> lock(mu);
+    SOCFLOW_ASSERT(!counters.count(key) && !gauges.count(key) &&
+                       !histograms.count(key),
+                   "metric re-registered with a different type: ", key);
+    auto it = digests.find(key);
+    if (it == digests.end())
+        it = digests
+                 .emplace(key, std::make_unique<TDigest>(compression))
+                 .first;
+    return *it->second;
+}
+
 std::size_t
 MetricsRegistry::seriesCount() const
 {
     std::lock_guard<std::mutex> lock(mu);
-    return counters.size() + gauges.size() + histograms.size();
+    return counters.size() + gauges.size() + histograms.size() +
+           digests.size();
 }
 
 std::string
@@ -283,7 +307,63 @@ MetricsRegistry::textDump() const
                 << formatValue(h->percentile(q.p)) << '\n';
         }
     }
+    for (const auto &[key, d] : digests) {
+        oss << key << "_count " << d->count() << '\n';
+        oss << key << "_sum " << formatValue(d->sum()) << '\n';
+        static constexpr struct {
+            const char *label;
+            double q;
+        } quantiles[] = {{"0.5", 0.5},
+                         {"0.95", 0.95},
+                         {"0.99", 0.99},
+                         {"0.999", 0.999}};
+        for (const auto &q : quantiles) {
+            oss << keyWithExtraLabel(key, "quantile", q.label) << ' '
+                << formatValue(d->quantile(q.q)) << '\n';
+        }
+    }
     return oss.str();
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::snapshotValues() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(counters.size() + gauges.size() +
+                histograms.size() * 5 + digests.size() * 6);
+    for (const auto &[key, c] : counters)
+        out.emplace_back(key, c->value());
+    for (const auto &[key, g] : gauges)
+        out.emplace_back(key, g->value());
+    for (const auto &[key, h] : histograms) {
+        out.emplace_back(key + "_count",
+                         static_cast<double>(h->count()));
+        out.emplace_back(key + "_sum", h->sum());
+        static constexpr struct {
+            const char *label;
+            double p;
+        } quantiles[] = {{"0.5", 50.0}, {"0.95", 95.0}, {"0.99", 99.0}};
+        for (const auto &q : quantiles)
+            out.emplace_back(keyWithExtraLabel(key, "quantile", q.label),
+                             h->percentile(q.p));
+    }
+    for (const auto &[key, d] : digests) {
+        out.emplace_back(key + "_count",
+                         static_cast<double>(d->count()));
+        out.emplace_back(key + "_sum", d->sum());
+        static constexpr struct {
+            const char *label;
+            double q;
+        } quantiles[] = {{"0.5", 0.5},
+                         {"0.95", 0.95},
+                         {"0.99", 0.99},
+                         {"0.999", 0.999}};
+        for (const auto &q : quantiles)
+            out.emplace_back(keyWithExtraLabel(key, "quantile", q.label),
+                             d->quantile(q.q));
+    }
+    return out;
 }
 
 bool
@@ -306,6 +386,8 @@ MetricsRegistry::reset()
         g->reset();
     for (auto &[key, h] : histograms)
         h->reset();
+    for (auto &[key, d] : digests)
+        d->reset();
 }
 
 MetricsRegistry &

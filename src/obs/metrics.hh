@@ -1,14 +1,16 @@
 /**
  * @file
- * Lock-cheap metrics registry: counters, gauges, and histograms with
- * label sets, in the spirit of a Prometheus client.
+ * Lock-cheap metrics registry: counters, gauges, histograms, and
+ * t-digest sketches with label sets, in the spirit of a Prometheus
+ * client.
  *
  * Registration (name + labels -> instrument) takes a mutex and is
  * expected on cold paths only; callers cache the returned reference.
- * All observation operations (Counter::add, Gauge::set,
- * Histogram::observe) are lock-free atomic updates, safe to call from
- * any thread on hot paths. Instruments are never destroyed while the
- * registry lives, so cached references stay valid across reset().
+ * Counter::add, Gauge::set and Histogram::observe are lock-free
+ * atomic updates, safe to call from any thread on hot paths;
+ * TDigest::observe takes a short buffered critical section.
+ * Instruments are never destroyed while the registry lives, so cached
+ * references stay valid across reset().
  *
  * The registry exports a plain-text dump (one `name{labels} value`
  * line per series) for offline inspection and diffing; the span-level
@@ -28,6 +30,8 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "obs/tdigest.hh"
 
 namespace socflow {
 namespace obs {
@@ -113,7 +117,8 @@ class Histogram
     /**
      * Estimated percentile by nearest-rank over the buckets with
      * linear interpolation inside the bucket, clamped to the observed
-     * min/max. @param p in [0, 100]. Returns 0 when empty.
+     * min/max. @param p in [0, 100]; p <= 0 returns the observed
+     * minimum and p >= 100 the maximum. Returns NaN when empty.
      */
     double percentile(double p) const;
 
@@ -165,6 +170,13 @@ class MetricsRegistry
                          const Labels &labels = {},
                          std::vector<double> upper_bounds = {});
 
+    /**
+     * @param compression delta for a newly created sketch; ignored
+     *        when the series already exists.
+     */
+    TDigest &tdigest(std::string_view name, const Labels &labels = {},
+                     double compression = 100.0);
+
     /** Number of registered series across all instrument types. */
     std::size_t seriesCount() const;
 
@@ -172,9 +184,17 @@ class MetricsRegistry
      * Plain-text dump, one line per series in sorted order:
      *   name{k="v",...} value
      * Histograms expand to _count/_sum plus p50/p95/p99 quantile
-     * series.
+     * series; t-digests add a p99.9 series (their tail resolution is
+     * the point).
      */
     std::string textDump() const;
+
+    /**
+     * Flattened (series key, value) pairs in dump order, expanding
+     * histograms and digests exactly like textDump(). Quantiles of
+     * empty instruments are NaN -- serializers map them to null.
+     */
+    std::vector<std::pair<std::string, double>> snapshotValues() const;
 
     /** Write textDump() to a file; false on I/O failure. */
     bool writeTextDump(const std::string &path) const;
@@ -190,6 +210,7 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<Counter>> counters;
     std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::map<std::string, std::unique_ptr<TDigest>> digests;
 };
 
 /** The process-wide registry used by the instrumented subsystems. */

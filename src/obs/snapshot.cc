@@ -1,0 +1,69 @@
+#include "obs/snapshot.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace socflow {
+namespace obs {
+
+MetricSeriesWriter::MetricSeriesWriter(std::string path)
+    : outPath(std::move(path)), out(outPath)
+{
+}
+
+bool
+MetricSeriesWriter::snapshot(double t, const MetricsRegistry &reg)
+{
+    const auto series = reg.snapshotValues();
+    std::string line;
+    line.reserve(series.size() * 48 + 64);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "{\"t\":%.6g,", t);
+    line += buf;
+
+    std::lock_guard<std::mutex> lock(mu);
+    std::snprintf(buf, sizeof(buf), "\"seq\":%zu,\"series\":{", lines);
+    line += buf;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (i)
+            line += ',';
+        line += '"';
+        appendJsonEscaped(line, series[i].first);
+        line += "\":";
+        if (std::isfinite(series[i].second)) {
+            std::snprintf(buf, sizeof(buf), "%.12g", series[i].second);
+            line += buf;
+        } else {
+            line += "null";  // NaN quantiles of empty instruments
+        }
+    }
+    line += "}}\n";
+    if (!out)
+        return false;
+    out << line;
+    out.flush();
+    if (!out)
+        return false;
+    ++lines;
+    return true;
+}
+
+bool
+MetricSeriesWriter::snapshot(double t)
+{
+    return snapshot(t, metrics());
+}
+
+std::size_t
+MetricSeriesWriter::snapshotsWritten() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return lines;
+}
+
+} // namespace obs
+} // namespace socflow

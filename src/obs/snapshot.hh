@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Periodic metric snapshots as a newline-delimited JSON time series.
+ *
+ * A single end-of-run metrics scrape collapses a 24-hour harvested
+ * day into one point -- no way to see the p99 of sync latency rise as
+ * demand returns, or recovery time spike around an injected crash.
+ * A MetricSeriesWriter instead appends one JSON object per snapshot
+ * (NDJSON: one line per object), each carrying the snapshot time and
+ * the full flattened registry state:
+ *
+ *   {"t":3.5,"seq":7,"series":{"trainer_epochs_total":7, ...}}
+ *
+ * Histograms and t-digests expand exactly as in the text dump
+ * (_count/_sum plus quantile series); non-finite values serialize as
+ * null so every line is strict JSON. The harvesting scheduler drives
+ * snapshots every --metrics-interval trained epochs.
+ */
+
+#ifndef SOCFLOW_OBS_SNAPSHOT_HH
+#define SOCFLOW_OBS_SNAPSHOT_HH
+
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace socflow {
+namespace obs {
+
+class MetricsRegistry;
+
+class MetricSeriesWriter
+{
+  public:
+    /** Open (truncate) the NDJSON output file. */
+    explicit MetricSeriesWriter(std::string path);
+
+    /**
+     * Append one snapshot line of `reg` at time `t` (the caller's
+     * clock: simulated hours for the harvest scheduler). Thread-safe.
+     * @return false on I/O failure.
+     */
+    bool snapshot(double t, const MetricsRegistry &reg);
+
+    /** Snapshot of the process-wide registry. */
+    bool snapshot(double t);
+
+    /** Lines appended so far. */
+    std::size_t snapshotsWritten() const;
+
+    /** Output path. */
+    const std::string &path() const { return outPath; }
+
+    /** True when the file opened successfully. */
+    bool ok() const { return static_cast<bool>(out); }
+
+  private:
+    std::string outPath;
+    mutable std::mutex mu;
+    std::ofstream out;
+    std::size_t lines = 0;
+};
+
+} // namespace obs
+} // namespace socflow
+
+#endif // SOCFLOW_OBS_SNAPSHOT_HH

@@ -1,0 +1,159 @@
+#include "obs/stream_sink.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace obs {
+
+StreamingTraceSink::StreamingTraceSink(StreamSinkConfig config)
+    : cfg(std::move(config))
+{
+    SOCFLOW_ASSERT(!cfg.path.empty(), "stream sink needs a path");
+    SOCFLOW_ASSERT(cfg.ringCapacity > 0, "ring capacity must be > 0");
+    cfg.rotateBytes = std::max<std::size_t>(cfg.rotateBytes, 1024);
+    ring.resize(cfg.ringCapacity);
+    flusher = std::thread([this] { flusherMain(); });
+}
+
+StreamingTraceSink::~StreamingTraceSink()
+{
+    close();
+}
+
+std::string
+StreamingTraceSink::segmentPath(const std::string &base,
+                                std::size_t index)
+{
+    const std::size_t slash = base.find_last_of('/');
+    const std::size_t dot = base.find_last_of('.');
+    std::string suffix(1, '.');
+    suffix += std::to_string(index);
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return base + suffix;  // no extension: trace -> trace.0
+    }
+    return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
+void
+StreamingTraceSink::offer(TraceEvent e)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    while (pending == cfg.ringCapacity && !closing)
+        notFull.wait(lock);
+    if (closing) {
+        dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    ring[(head + pending) % cfg.ringCapacity] = std::move(e);
+    ++pending;
+    notEmpty.notify_one();
+}
+
+void
+StreamingTraceSink::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (closing && joined)
+            return;
+        closing = true;
+        notEmpty.notify_all();
+        notFull.notify_all();
+    }
+    if (flusher.joinable())
+        flusher.join();
+    joined = true;
+}
+
+void
+StreamingTraceSink::flusherMain()
+{
+    std::vector<TraceEvent> batch;
+    batch.reserve(cfg.ringCapacity);
+    for (;;) {
+        bool done = false;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            if (pending == 0 && !closing) {
+                notEmpty.wait_for(
+                    lock,
+                    std::chrono::milliseconds(cfg.flushIntervalMs));
+            }
+            while (pending > 0) {
+                batch.push_back(std::move(ring[head]));
+                head = (head + 1) % cfg.ringCapacity;
+                --pending;
+            }
+            done = closing && pending == 0;
+            notFull.notify_all();
+        }
+        if (!batch.empty()) {
+            writeBatch(batch);
+            batch.clear();
+        }
+        if (done)
+            break;
+    }
+    closeSegment();
+}
+
+void
+StreamingTraceSink::openSegment()
+{
+    const std::string path = segmentPath(cfg.path, segmentIndex);
+    out = std::fopen(path.c_str(), "w");
+    if (!out) {
+        warn("stream sink: cannot open ", path, "; events discarded");
+        return;
+    }
+    static constexpr char header[] = "{\"traceEvents\":[";
+    std::fwrite(header, 1, sizeof(header) - 1, out);
+    segmentBytes = sizeof(header) - 1;
+    segmentHasEvents = false;
+}
+
+void
+StreamingTraceSink::closeSegment()
+{
+    if (!out)
+        return;
+    static constexpr char footer[] = "],\"displayTimeUnit\":\"ms\"}";
+    std::fwrite(footer, 1, sizeof(footer) - 1, out);
+    std::fclose(out);
+    out = nullptr;
+    ++segmentIndex;
+    segmentsDone.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+StreamingTraceSink::writeBatch(const std::vector<TraceEvent> &batch)
+{
+    std::string buf;
+    for (const TraceEvent &e : batch) {
+        if (!out)
+            openSegment();
+        if (!out) {
+            dropped.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        buf.clear();
+        if (segmentHasEvents)
+            buf += ',';
+        appendTraceEventJson(buf, e);
+        std::fwrite(buf.data(), 1, buf.size(), out);
+        segmentBytes += buf.size();
+        segmentHasEvents = true;
+        written.fetch_add(1, std::memory_order_relaxed);
+        if (segmentBytes >= cfg.rotateBytes)
+            closeSegment();  // the next event opens the next segment
+    }
+    if (out)
+        std::fflush(out);
+}
+
+} // namespace obs
+} // namespace socflow

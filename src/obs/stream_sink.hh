@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Streaming Chrome-trace export with size-based file rotation.
+ *
+ * The Tracer's default path buffers every event in memory and writes
+ * one JSON document at exit -- fine for a bench, unusable for a
+ * multi-hour harvested day. A StreamingTraceSink instead holds a
+ * *bounded* ring of pending events; a background flusher thread
+ * drains the ring and appends each event to the current trace
+ * segment, closing the segment and opening the next one whenever it
+ * grows past the rotation limit. Peak memory is the ring capacity,
+ * not the event count.
+ *
+ * Every segment is a complete, independently valid Chrome
+ * trace_event document ({"traceEvents":[...]}), so each loads on its
+ * own in chrome://tracing / Perfetto and the union of all segments is
+ * the full timeline. Producers block briefly (backpressure) when the
+ * ring is full rather than dropping events; only events offered
+ * after close() are dropped, and those are counted.
+ *
+ * Attach to a Tracer with Tracer::setStreamSink(); detach (and
+ * close()) before destroying the sink.
+ */
+
+#ifndef SOCFLOW_OBS_STREAM_SINK_HH
+#define SOCFLOW_OBS_STREAM_SINK_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace socflow {
+namespace obs {
+
+/** Knobs of one streaming sink. */
+struct StreamSinkConfig {
+    /** Base output path; segment k is written to segmentPath(path,k)
+     *  (an index inserted before the extension: trace.json ->
+     *  trace.0.json, trace.1.json, ...). */
+    std::string path;
+    /** Rotate to the next segment once the current one exceeds this
+     *  many bytes (checked after each event). */
+    std::size_t rotateBytes = 64ull << 20;
+    /** Pending-event ring capacity (the peak-memory bound). */
+    std::size_t ringCapacity = 4096;
+    /** Flusher wake-up period when no events arrive, milliseconds. */
+    int flushIntervalMs = 20;
+};
+
+class StreamingTraceSink
+{
+  public:
+    explicit StreamingTraceSink(StreamSinkConfig config);
+
+    /** Closes (drains + joins the flusher) if not already closed. */
+    ~StreamingTraceSink();
+
+    StreamingTraceSink(const StreamingTraceSink &) = delete;
+    StreamingTraceSink &operator=(const StreamingTraceSink &) = delete;
+
+    /**
+     * Hand one event to the ring. Blocks while the ring is full and
+     * the sink is open (bounded-memory backpressure; the flusher is
+     * draining meanwhile). Events offered after close() are dropped
+     * and counted in eventsDropped().
+     */
+    void offer(TraceEvent e);
+
+    /**
+     * Drain every pending event, close the open segment, and join
+     * the flusher thread. Idempotent; called by the destructor.
+     * Sanitizer-friendly: no event or thread outlives this call.
+     */
+    void close();
+
+    /** Segments fully written (the open one counts once closed). */
+    std::size_t segmentsWritten() const
+    {
+        return segmentsDone.load(std::memory_order_relaxed);
+    }
+
+    /** Events serialized to disk so far. */
+    std::size_t eventsWritten() const
+    {
+        return written.load(std::memory_order_relaxed);
+    }
+
+    /** Events dropped (only possible after close()). */
+    std::size_t eventsDropped() const
+    {
+        return dropped.load(std::memory_order_relaxed);
+    }
+
+    /** The configured ring capacity (peak pending-event bound). */
+    std::size_t ringCapacity() const { return cfg.ringCapacity; }
+
+    /** Path of segment `index` under base path `base`. */
+    static std::string segmentPath(const std::string &base,
+                                   std::size_t index);
+
+  private:
+    void flusherMain();
+    void writeBatch(const std::vector<TraceEvent> &batch);
+    void openSegment();
+    void closeSegment();
+
+    StreamSinkConfig cfg;
+
+    std::mutex mu;
+    std::condition_variable notFull;
+    std::condition_variable notEmpty;
+    std::vector<TraceEvent> ring;  //!< fixed-capacity FIFO
+    std::size_t head = 0;          //!< oldest pending event
+    std::size_t pending = 0;       //!< events in the ring
+    bool closing = false;
+
+    // Flusher-thread-only state (no locking needed).
+    std::FILE *out = nullptr;
+    std::size_t segmentIndex = 0;
+    std::size_t segmentBytes = 0;
+    bool segmentHasEvents = false;
+
+    std::atomic<std::size_t> segmentsDone{0};
+    std::atomic<std::size_t> written{0};
+    std::atomic<std::size_t> dropped{0};
+
+    std::thread flusher;
+    bool joined = false;
+};
+
+} // namespace obs
+} // namespace socflow
+
+#endif // SOCFLOW_OBS_STREAM_SINK_HH

@@ -1,0 +1,219 @@
+#include "obs/tdigest.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace obs {
+
+TDigest::TDigest(double compression)
+    : comp(compression),
+      bufferLimit(std::max<std::size_t>(
+          32, static_cast<std::size_t>(5.0 * compression))),
+      lo(std::numeric_limits<double>::infinity()),
+      hi(-std::numeric_limits<double>::infinity())
+{
+    SOCFLOW_ASSERT(compression >= 10.0,
+                   "t-digest compression must be >= 10");
+    cents.reserve(bufferLimit);
+    buffer.reserve(bufferLimit);
+}
+
+void
+TDigest::observe(double x, double w)
+{
+    if (!(w > 0.0) || std::isnan(x))
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    buffer.push_back({x, w});
+    ++n;
+    total += w;
+    weightedSum += x * w;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    if (buffer.size() >= bufferLimit)
+        compressLocked();
+}
+
+void
+TDigest::merge(const TDigest &other)
+{
+    // Copy the source under its own lock first so self-merge and
+    // opposite-order merges cannot deadlock.
+    const std::vector<Centroid> theirs = other.centroids();
+    std::uint64_t theirN;
+    double theirTotal, theirSum, theirLo, theirHi;
+    {
+        std::lock_guard<std::mutex> lock(other.mu);
+        theirN = other.n;
+        theirTotal = other.total;
+        theirSum = other.weightedSum;
+        theirLo = other.lo;
+        theirHi = other.hi;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    for (const Centroid &c : theirs)
+        buffer.push_back(c);
+    n += theirN;
+    total += theirTotal;
+    weightedSum += theirSum;
+    lo = std::min(lo, theirLo);
+    hi = std::max(hi, theirHi);
+    compressLocked();
+}
+
+void
+TDigest::compressLocked() const
+{
+    if (buffer.empty())
+        return;
+    cents.insert(cents.end(), buffer.begin(), buffer.end());
+    buffer.clear();
+    if (cents.empty())
+        return;
+    std::sort(cents.begin(), cents.end(),
+              [](const Centroid &a, const Centroid &b) {
+                  return a.mean < b.mean;
+              });
+
+    // One merge sweep under the k1 (arcsine) scale function: two
+    // neighbours may fuse while the merged centroid spans at most one
+    // unit of k(q) = (delta/2pi) * asin(2q-1). k changes fastest at
+    // the ends, so tail centroids stay tiny (fine p99/p99.9) and the
+    // total count is bounded near delta regardless of stream length.
+    constexpr double kPi = 3.14159265358979323846;
+    const double kScale = comp / (2.0 * kPi);
+    const auto kOf = [&](double q) {
+        return kScale * std::asin(std::clamp(2.0 * q - 1.0, -1.0, 1.0));
+    };
+    std::vector<Centroid> merged;
+    merged.reserve(cents.size());
+    Centroid cur = cents.front();
+    double before = 0.0;  // weight fully to the left of `cur`
+    double kLeft = kOf(0.0);
+    for (std::size_t i = 1; i < cents.size(); ++i) {
+        const Centroid &c = cents[i];
+        const double proposed = cur.weight + c.weight;
+        const double qRight = (before + proposed) / total;
+        if (kOf(qRight) - kLeft <= 1.0) {
+            cur.mean += (c.mean - cur.mean) * (c.weight / proposed);
+            cur.weight = proposed;
+        } else {
+            merged.push_back(cur);
+            before += cur.weight;
+            kLeft = kOf(before / total);
+            cur = c;
+        }
+    }
+    merged.push_back(cur);
+    cents.swap(merged);
+}
+
+double
+TDigest::quantile(double q) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    compressLocked();
+    if (n == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    if (q <= 0.0)
+        return lo;
+    if (q >= 1.0)
+        return hi;
+
+    const double target = q * total;
+    double cumBefore = 0.0;  // weight left of the current centroid
+    for (std::size_t i = 0; i < cents.size(); ++i) {
+        const double mid = cumBefore + cents[i].weight * 0.5;
+        if (target <= mid) {
+            if (i == 0) {
+                // Between the observed minimum and the first mean.
+                const double frac = mid > 0.0 ? target / mid : 0.0;
+                return lo + (cents[0].mean - lo) * frac;
+            }
+            const double prevMid = cumBefore - cents[i - 1].weight * 0.5;
+            const double span = mid - prevMid;
+            const double frac =
+                span > 0.0 ? (target - prevMid) / span : 0.0;
+            return cents[i - 1].mean +
+                   (cents[i].mean - cents[i - 1].mean) * frac;
+        }
+        cumBefore += cents[i].weight;
+    }
+    // Past the last mean: interpolate toward the observed maximum.
+    const double lastMid = total - cents.back().weight * 0.5;
+    const double span = total - lastMid;
+    const double frac =
+        span > 0.0 ? std::min(1.0, (target - lastMid) / span) : 1.0;
+    return cents.back().mean + (hi - cents.back().mean) * frac;
+}
+
+std::uint64_t
+TDigest::count() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return n;
+}
+
+double
+TDigest::totalWeight() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return total;
+}
+
+double
+TDigest::sum() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return weightedSum;
+}
+
+double
+TDigest::minSeen() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return n ? lo : 0.0;
+}
+
+double
+TDigest::maxSeen() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return n ? hi : 0.0;
+}
+
+std::size_t
+TDigest::centroidCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    compressLocked();
+    return cents.size();
+}
+
+void
+TDigest::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    cents.clear();
+    buffer.clear();
+    n = 0;
+    total = 0.0;
+    weightedSum = 0.0;
+    lo = std::numeric_limits<double>::infinity();
+    hi = -std::numeric_limits<double>::infinity();
+}
+
+std::vector<Centroid>
+TDigest::centroids() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    compressLocked();
+    return cents;
+}
+
+} // namespace obs
+} // namespace socflow

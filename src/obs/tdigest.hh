@@ -1,0 +1,112 @@
+/**
+ * @file
+ * t-digest quantile sketch (Dunning & Ertl, merging variant).
+ *
+ * A Histogram answers percentile queries by interpolating fixed
+ * buckets, which caps tail resolution at the bucket width. The
+ * t-digest instead keeps a bounded set of centroids whose maximum
+ * weight shrinks toward the distribution's ends (the k1/arcsine
+ * scale function k(q) = (delta/2pi) asin(2q-1); a centroid may span
+ * one unit of k), so p99/p99.9 of a latency or recovery-time stream
+ * stay resolvable from O(compression) memory no matter how many
+ * samples arrive.
+ *
+ * Digests are *mergeable*: per-SoC (or per-group) digests fold into a
+ * cluster-level digest the same way group leaders fold weights, and
+ * the merged sketch answers quantiles over the union stream within
+ * the same error envelope. Observation buffers internally and
+ * compresses in amortized O(log n) batches; all operations are
+ * thread-safe behind one short-critical-section mutex.
+ */
+
+#ifndef SOCFLOW_OBS_TDIGEST_HH
+#define SOCFLOW_OBS_TDIGEST_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace socflow {
+namespace obs {
+
+/** One weighted centroid of the sketch. */
+struct Centroid {
+    double mean = 0.0;
+    double weight = 0.0;
+};
+
+class TDigest
+{
+  public:
+    /**
+     * @param compression the delta parameter: larger = more centroids
+     *        = finer quantiles. 100 bounds the sketch near ~2*delta
+     *        centroids and keeps p99 rank error well under 1%.
+     */
+    explicit TDigest(double compression = 100.0);
+
+    /** Record one sample with optional weight (> 0). */
+    void observe(double x, double w = 1.0);
+
+    /**
+     * Fold another digest into this one (order-insensitive up to the
+     * sketch's approximation; total weight adds exactly).
+     */
+    void merge(const TDigest &other);
+
+    /**
+     * Estimated quantile, q in [0, 1]: q<=0 returns the observed
+     * minimum, q>=1 the maximum, and an empty digest returns NaN.
+     * Piecewise-linear interpolation between centroid means.
+     */
+    double quantile(double q) const;
+
+    /** Histogram-compatible spelling: percentile(99) = quantile(.99). */
+    double percentile(double p) const { return quantile(p / 100.0); }
+
+    /** Number of observe() samples folded in (merges included). */
+    std::uint64_t count() const;
+
+    /** Total weight (== count() for unit-weight streams). */
+    double totalWeight() const;
+
+    /** Weighted sum of samples (for _sum metric series). */
+    double sum() const;
+
+    /** Observed extremes; 0 when empty (Histogram convention). */
+    double minSeen() const;
+    double maxSeen() const;
+
+    /** Centroids currently held (post-compression; for tests). */
+    std::size_t centroidCount() const;
+
+    /** The delta parameter. */
+    double compression() const { return comp; }
+
+    /** Drop all state (registry reset; instrument stays valid). */
+    void reset();
+
+    /** Compacted centroid list, sorted by mean (for tests/export). */
+    std::vector<Centroid> centroids() const;
+
+  private:
+    /** Fold the observation buffer into the centroid list. */
+    void compressLocked() const;
+
+    double comp;
+    std::size_t bufferLimit;
+    mutable std::mutex mu;
+    mutable std::vector<Centroid> cents;  //!< sorted by mean
+    mutable std::vector<Centroid> buffer; //!< unmerged observations
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double weightedSum = 0.0;
+    double lo;
+    double hi;
+};
+
+} // namespace obs
+} // namespace socflow
+
+#endif // SOCFLOW_OBS_TDIGEST_HH

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/flight_recorder.hh"
+#include "obs/stream_sink.hh"
 #include "util/logging.hh"
 
 namespace socflow {
@@ -47,7 +49,17 @@ threadSpans()
 }
 
 void
-appendJsonEscaped(std::string &out, const std::string &s)
+appendNumber(std::string &out, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    out += buf;
+}
+
+} // namespace
+
+void
+appendJsonEscaped(std::string &out, std::string_view s)
 {
     for (char c : s) {
         switch (c) {
@@ -76,14 +88,46 @@ appendJsonEscaped(std::string &out, const std::string &s)
 }
 
 void
-appendNumber(std::string &out, double v)
+appendTraceEventJson(std::string &out, const TraceEvent &e)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.3f", v);
-    out += buf;
+    out += "{\"name\":\"";
+    appendJsonEscaped(out, e.name);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":";
+    out += std::to_string(e.pid);
+    out += ",\"tid\":";
+    out += std::to_string(e.tid);
+    if (!e.category.empty()) {
+        out += ",\"cat\":\"";
+        appendJsonEscaped(out, e.category);
+        out += '"';
+    }
+    if (e.phase != 'M') {
+        out += ",\"ts\":";
+        appendNumber(out, e.tsUs);
+    }
+    if (e.phase == 'X') {
+        out += ",\"dur\":";
+        appendNumber(out, e.durUs);
+    }
+    if (e.phase == 'i')
+        out += ",\"s\":\"t\"";
+    if (!e.args.empty()) {
+        out += ",\"args\":{";
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+            if (i)
+                out += ',';
+            out += '"';
+            appendJsonEscaped(out, e.args[i].first);
+            out += "\":\"";
+            appendJsonEscaped(out, e.args[i].second);
+            out += '"';
+        }
+        out += '}';
+    }
+    out += '}';
 }
-
-} // namespace
 
 Tracer::Tracer() : anchorUs(steadyNowUs()) {}
 
@@ -123,6 +167,15 @@ Tracer::snapshot() const
 void
 Tracer::push(TraceEvent e)
 {
+    if (FlightRecorder *rec = recorder.load(std::memory_order_relaxed))
+        rec->record(e);
+    if (!on.load(std::memory_order_relaxed))
+        return;  // only the flight recorder wanted this event
+    if (StreamingTraceSink *sink =
+            streamSink.load(std::memory_order_relaxed)) {
+        sink->offer(std::move(e));
+        return;
+    }
     std::lock_guard<std::mutex> lock(mu);
     events.push_back(std::move(e));
 }
@@ -255,43 +308,7 @@ Tracer::chromeTraceJson() const
         if (!first)
             out += ',';
         first = false;
-        out += "{\"name\":\"";
-        appendJsonEscaped(out, e.name);
-        out += "\",\"ph\":\"";
-        out += e.phase;
-        out += "\",\"pid\":";
-        out += std::to_string(e.pid);
-        out += ",\"tid\":";
-        out += std::to_string(e.tid);
-        if (!e.category.empty()) {
-            out += ",\"cat\":\"";
-            appendJsonEscaped(out, e.category);
-            out += '"';
-        }
-        if (e.phase != 'M') {
-            out += ",\"ts\":";
-            appendNumber(out, e.tsUs);
-        }
-        if (e.phase == 'X') {
-            out += ",\"dur\":";
-            appendNumber(out, e.durUs);
-        }
-        if (e.phase == 'i')
-            out += ",\"s\":\"t\"";
-        if (!e.args.empty()) {
-            out += ",\"args\":{";
-            for (std::size_t i = 0; i < e.args.size(); ++i) {
-                if (i)
-                    out += ',';
-                out += '"';
-                appendJsonEscaped(out, e.args[i].first);
-                out += "\":\"";
-                appendJsonEscaped(out, e.args[i].second);
-                out += '"';
-            }
-            out += '}';
-        }
-        out += '}';
+        appendTraceEventJson(out, e);
     }
     out += "],\"displayTimeUnit\":\"ms\"}";
     return out;

@@ -63,24 +63,79 @@ struct SpanArg {
     double value;
 };
 
+/** Append `s` JSON-escaped (no surrounding quotes) to `out`. */
+void appendJsonEscaped(std::string &out, std::string_view s);
+
+/** Append one event as a Chrome trace_event JSON object. */
+void appendTraceEventJson(std::string &out, const TraceEvent &e);
+
+class StreamingTraceSink;
+class FlightRecorder;
+
 /**
  * Collects trace events from any thread. One process-wide instance
  * is available via tracer(); tests may create their own.
+ *
+ * Routing: an attached FlightRecorder receives a copy of every
+ * recorded event (its bounded ring keeps only the last N); with an
+ * attached StreamingTraceSink, events then stream to the sink's
+ * bounded ring instead of accumulating in the in-memory buffer, so
+ * snapshot()/chromeTraceJson() cover only events recorded while no
+ * sink was attached (the small-run export path).
  */
 class Tracer
 {
   public:
     Tracer();
 
-    /** True when events are being recorded. */
+    /**
+     * True when events are being recorded -- explicitly via
+     * setEnabled(true), or implicitly while a flight recorder is
+     * attached (the recorder needs the span stream even when full
+     * tracing is off; its ring bounds the cost).
+     */
     bool
     enabled() const noexcept
     {
-        return on.load(std::memory_order_relaxed);
+        return on.load(std::memory_order_relaxed) ||
+               recorder.load(std::memory_order_relaxed) != nullptr;
     }
 
     /** Turn recording on or off (off drops new events, keeps old). */
     void setEnabled(bool enable);
+
+    /**
+     * Attach a streaming sink (not owned; nullptr detaches). While
+     * attached, recorded events are handed to the sink's bounded
+     * ring (StreamingTraceSink::offer) instead of the in-memory
+     * buffer. Detach before closing/destroying the sink.
+     */
+    void setStreamSink(StreamingTraceSink *sink)
+    {
+        streamSink.store(sink, std::memory_order_relaxed);
+    }
+
+    /** The attached streaming sink, or nullptr. */
+    StreamingTraceSink *streamSinkAttached() const
+    {
+        return streamSink.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Attach a flight recorder (not owned; nullptr detaches). It
+     * receives a copy of every recorded event; attaching also turns
+     * recording on (see enabled()).
+     */
+    void attachFlightRecorder(FlightRecorder *rec)
+    {
+        recorder.store(rec, std::memory_order_relaxed);
+    }
+
+    /** The attached flight recorder, or nullptr. */
+    FlightRecorder *flightRecorderAttached() const
+    {
+        return recorder.load(std::memory_order_relaxed);
+    }
 
     /** Drop all recorded events. */
     void clear();
@@ -137,6 +192,8 @@ class Tracer
     void push(TraceEvent e);
 
     std::atomic<bool> on{false};
+    std::atomic<StreamingTraceSink *> streamSink{nullptr};
+    std::atomic<FlightRecorder *> recorder{nullptr};
     mutable std::mutex mu;
     std::vector<TraceEvent> events;
     /** steady_clock anchor for wall-clock timestamps, microseconds. */

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <string_view>
 
+#include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
+#include "obs/snapshot.hh"
 #include "obs/trace.hh"
 #include "sim/ticks.hh"
 #include "util/logging.hh"
@@ -110,6 +112,9 @@ class HarvestDriver
         const core::EpochRecord rec = trainer.runEpoch();
         ++report.epochsTrained;
         report.trainingHours += rec.simSeconds / 3600.0;
+        if (cfg.metricSeries && cfg.metricsSnapshotEvery > 0 &&
+            report.epochsTrained % cfg.metricsSnapshotEvery == 0)
+            cfg.metricSeries->snapshot(hour);
 
         if (rec.crashes > 0) {
             // The trainer already recovered (survivor re-map +
@@ -185,6 +190,9 @@ class HarvestDriver
                 lost.add();
                 warn("checkpoint lost after ", attempt + 1,
                      " failed writes");
+                obs::flightRecorder().dumpPostMortem(
+                    "checkpoint-retry-exhausted",
+                    trainer.timelineHash());
                 return;
             }
             ++report.checkpointRetries;

@@ -41,6 +41,11 @@
 #include "trace/tidal.hh"
 
 namespace socflow {
+
+namespace obs {
+class MetricSeriesWriter;
+}
+
 namespace trace {
 
 /** Policy knobs of the harvesting scheduler. */
@@ -62,6 +67,15 @@ struct HarvestConfig {
     std::size_t checkpointMaxRetries = 3;
     /** First checkpoint retry backoff, seconds (doubles per retry). */
     double checkpointBackoffS = 2.0;
+
+    /**
+     * Optional NDJSON time-series writer (not owned): when set and
+     * metricsSnapshotEvery > 0, the driver appends one snapshot of
+     * the process metrics registry every N trained epochs, stamped
+     * with the simulated hour (the --metrics-interval flag).
+     */
+    obs::MetricSeriesWriter *metricSeries = nullptr;
+    std::size_t metricsSnapshotEvery = 0;
 };
 
 /** One scheduler decision in the timeline. */

@@ -396,12 +396,26 @@ TEST(Metrics, HistogramPercentilesInterpolate)
     EXPECT_LE(h.percentile(90.0), h.percentile(99.9));
 }
 
-TEST(Metrics, PercentileOfEmptyHistogramIsZero)
+TEST(Metrics, PercentileOfEmptyHistogramIsNaN)
 {
     MetricsRegistry reg;
     Histogram &h = reg.histogram("empty");
-    EXPECT_EQ(h.percentile(50.0), 0.0);
+    EXPECT_TRUE(std::isnan(h.percentile(50.0)));
+    EXPECT_TRUE(std::isnan(h.percentile(0.0)));
+    EXPECT_TRUE(std::isnan(h.percentile(100.0)));
     EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Metrics, PercentileExtremesAreObservedMinMax)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("edges");
+    for (double v : {0.002, 0.4, 7.0, 31.0})
+        h.observe(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.002);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 31.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-5.0), 0.002);   // clamped
+    EXPECT_DOUBLE_EQ(h.percentile(250.0), 31.0);   // clamped
 }
 
 TEST(Metrics, ExponentialBoundsAreSortedAndSpanRange)

@@ -1,0 +1,872 @@
+/**
+ * @file
+ * Streaming-telemetry tests: t-digest quantile accuracy against exact
+ * order statistics (uniform, lognormal, and adversarial streams),
+ * digest merge semantics, trace rotation correctness (every segment
+ * independently valid JSON, no dropped or duplicated spans under
+ * concurrent emitters, bounded pending memory), the crash flight
+ * recorder (ring overwrite, post-mortem dump on an injected
+ * CorruptRetryExhausted), and the NDJSON metric time series.
+ *
+ * The chaos harness (run_all.sh --chaos / --chaos-nightly) re-runs
+ * this binary under sanitizers with SOCFLOW_CHAOS_SEED varying; every
+ * test must hold for any seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/socflow_trainer.hh"
+#include "data/synthetic.hh"
+#include "fault/fault.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
+#include "obs/snapshot.hh"
+#include "obs/stream_sink.hh"
+#include "obs/tdigest.hh"
+#include "obs/trace.hh"
+#include "util/rng.hh"
+
+using namespace socflow;
+using namespace socflow::obs;
+
+namespace {
+
+std::uint64_t
+chaosSeed()
+{
+    if (const char *env = std::getenv("SOCFLOW_CHAOS_SEED"))
+        return static_cast<std::uint64_t>(std::atoll(env));
+    return 20240807ULL;
+}
+
+// ------------------------------------------------------- mini parser
+//
+// Strict recursive-descent JSON grammar check (same approach as
+// test_obs.cc): proves the rotated segments and post-mortem files are
+// well-formed without interpreting values.
+
+struct JsonParser {
+    const std::string &s;
+    std::size_t i = 0;
+    bool ok = true;
+
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    void
+    ws()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t' ||
+                                s[i] == '\n' || s[i] == '\r'))
+            ++i;
+    }
+
+    bool
+    consume(char c)
+    {
+        ws();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        return ok = false;
+    }
+
+    bool
+    parseString()
+    {
+        ws();
+        if (i >= s.size() || s[i] != '"')
+            return ok = false;
+        ++i;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\') {
+                ++i;
+                if (i >= s.size())
+                    return ok = false;
+                const char e = s[i];
+                if (e == 'u') {
+                    for (int k = 0; k < 4; ++k) {
+                        ++i;
+                        if (i >= s.size() || !std::isxdigit(
+                                static_cast<unsigned char>(s[i])))
+                            return ok = false;
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return ok = false;
+                }
+            }
+            ++i;
+        }
+        if (i >= s.size())
+            return ok = false;
+        ++i;  // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber()
+    {
+        ws();
+        const std::size_t start = i;
+        if (i < s.size() && s[i] == '-')
+            ++i;
+        while (i < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                s[i] == '+' || s[i] == '-'))
+            ++i;
+        return i > start || (ok = false);
+    }
+
+    bool
+    parseValue()
+    {
+        ws();
+        if (i >= s.size())
+            return ok = false;
+        const char c = s[i];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (s.compare(i, 4, "true") == 0) {
+            i += 4;
+            return true;
+        }
+        if (s.compare(i, 5, "false") == 0) {
+            i += 5;
+            return true;
+        }
+        if (s.compare(i, 4, "null") == 0) {
+            i += 4;
+            return true;
+        }
+        return parseNumber();
+    }
+
+    bool
+    parseObject()
+    {
+        if (!consume('{'))
+            return false;
+        ws();
+        if (i < s.size() && s[i] == '}') {
+            ++i;
+            return true;
+        }
+        for (;;) {
+            if (!parseString() || !consume(':') || !parseValue())
+                return false;
+            ws();
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+    bool
+    parseArray()
+    {
+        if (!consume('['))
+            return false;
+        ws();
+        if (i < s.size() && s[i] == ']') {
+            ++i;
+            return true;
+        }
+        for (;;) {
+            if (!parseValue())
+                return false;
+            ws();
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            return consume(']');
+        }
+    }
+
+    bool
+    parseDocument()
+    {
+        const bool good = parseValue();
+        ws();
+        return good && ok && i == s.size();
+    }
+};
+
+bool
+validJson(const std::string &text)
+{
+    JsonParser p(text);
+    return p.parseDocument();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return static_cast<bool>(std::ifstream(path));
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** Count occurrences of a literal substring. */
+std::size_t
+countOccurrences(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+/** Read segments base.0.ext, base.1.ext, ... until one is missing. */
+std::vector<std::string>
+readSegments(const std::string &base)
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0;; ++i) {
+        const std::string path =
+            StreamingTraceSink::segmentPath(base, i);
+        if (!fileExists(path))
+            break;
+        out.push_back(readFile(path));
+    }
+    return out;
+}
+
+void
+removeSegments(const std::string &base)
+{
+    for (std::size_t i = 0;; ++i) {
+        const std::string path =
+            StreamingTraceSink::segmentPath(base, i);
+        if (!fileExists(path))
+            break;
+        std::remove(path.c_str());
+    }
+}
+
+/** Exact rank of `value` in sorted data: fraction of samples <= it. */
+double
+exactRank(const std::vector<double> &sorted, double value)
+{
+    const auto it =
+        std::upper_bound(sorted.begin(), sorted.end(), value);
+    return static_cast<double>(it - sorted.begin()) /
+           static_cast<double>(sorted.size());
+}
+
+/**
+ * Rank error of an estimate against the sorted data. A duplicated
+ * value occupies a rank *interval* [fraction < v, fraction <= v]; any
+ * q inside it is answered exactly, so the error is the distance from
+ * q to that interval, not to a single point.
+ */
+double
+rankError(const std::vector<double> &sorted, double est, double q)
+{
+    const auto loIt =
+        std::lower_bound(sorted.begin(), sorted.end(), est);
+    const double lower = static_cast<double>(loIt - sorted.begin()) /
+                         static_cast<double>(sorted.size());
+    const double upper = exactRank(sorted, est);
+    if (q >= lower && q <= upper)
+        return 0.0;
+    return std::min(std::abs(q - lower), std::abs(q - upper));
+}
+
+/** Max rank error of the digest at the probed quantiles. */
+double
+maxRankError(const TDigest &d, std::vector<double> sorted,
+             const std::vector<double> &qs)
+{
+    std::sort(sorted.begin(), sorted.end());
+    double worst = 0.0;
+    for (double q : qs)
+        worst = std::max(worst, rankError(sorted, d.quantile(q), q));
+    return worst;
+}
+
+const std::vector<double> kProbes = {0.5, 0.99, 0.999};
+
+} // namespace
+
+// ---------------------------------------------------------- t-digest
+
+TEST(TDigest, EmptyDigestIsNaNWithZeroCount)
+{
+    TDigest d;
+    EXPECT_TRUE(std::isnan(d.quantile(0.5)));
+    EXPECT_TRUE(std::isnan(d.percentile(99.0)));
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.totalWeight(), 0.0);
+    EXPECT_EQ(d.minSeen(), 0.0);  // Histogram convention
+    EXPECT_EQ(d.maxSeen(), 0.0);
+}
+
+TEST(TDigest, ExtremeQuantilesAreObservedMinMax)
+{
+    TDigest d;
+    Rng rng(chaosSeed());
+    double lo = 1e300, hi = -1e300;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.uniform(-5.0, 17.0);
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+        d.observe(x);
+    }
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), lo);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), hi);
+    EXPECT_DOUBLE_EQ(d.quantile(-0.3), lo);
+    EXPECT_DOUBLE_EQ(d.quantile(1.7), hi);
+    EXPECT_DOUBLE_EQ(d.minSeen(), lo);
+    EXPECT_DOUBLE_EQ(d.maxSeen(), hi);
+}
+
+TEST(TDigest, UniformStreamWithinOnePercentRank)
+{
+    TDigest d;
+    Rng rng(chaosSeed());
+    std::vector<double> data;
+    data.reserve(50000);
+    for (int i = 0; i < 50000; ++i) {
+        data.push_back(rng.uniform());
+        d.observe(data.back());
+    }
+    EXPECT_EQ(d.count(), 50000u);
+    EXPECT_LT(maxRankError(d, data, kProbes), 0.01);
+}
+
+TEST(TDigest, LognormalStreamWithinOnePercentRank)
+{
+    // Heavy right tail: the regime fixed buckets resolve poorly.
+    TDigest d;
+    Rng rng(chaosSeed() ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<double> data;
+    data.reserve(50000);
+    for (int i = 0; i < 50000; ++i) {
+        data.push_back(std::exp(rng.gaussian(0.0, 2.0)));
+        d.observe(data.back());
+    }
+    EXPECT_LT(maxRankError(d, data, kProbes), 0.01);
+}
+
+TEST(TDigest, AdversarialStreamsWithinOnePercentRank)
+{
+    // Sorted input (worst case for naive streaming summaries).
+    {
+        TDigest d;
+        std::vector<double> data;
+        for (int i = 0; i < 30000; ++i)
+            data.push_back(static_cast<double>(i));
+        for (double x : data)
+            d.observe(x);
+        EXPECT_LT(maxRankError(d, data, kProbes), 0.01);
+    }
+    // Massive duplication plus rare outliers.
+    {
+        TDigest d;
+        Rng rng(chaosSeed() + 1);
+        std::vector<double> data;
+        for (int i = 0; i < 30000; ++i) {
+            const double x =
+                rng.bernoulli(0.001) ? rng.uniform(1e3, 1e6) : 1.0;
+            data.push_back(x);
+            d.observe(x);
+        }
+        EXPECT_LT(maxRankError(d, data, kProbes), 0.01);
+    }
+}
+
+TEST(TDigest, BoundedCentroidsUnderLongStreams)
+{
+    TDigest d(100.0);
+    Rng rng(chaosSeed());
+    for (int i = 0; i < 200000; ++i)
+        d.observe(rng.uniform());
+    // The merging t-digest holds O(compression) centroids no matter
+    // how many samples arrive.
+    EXPECT_LE(d.centroidCount(), 2 * 100 + 10);
+    EXPECT_EQ(d.count(), 200000u);
+}
+
+TEST(TDigest, MergeMatchesPooledStream)
+{
+    TDigest a, b, pooled;
+    Rng rng(chaosSeed());
+    std::vector<double> data;
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.gaussian(10.0, 3.0);
+        data.push_back(x);
+        (i % 2 ? a : b).observe(x);
+        pooled.observe(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), pooled.count());
+    EXPECT_DOUBLE_EQ(a.totalWeight(), pooled.totalWeight());
+    EXPECT_NEAR(a.sum(), pooled.sum(), 1e-6 * std::abs(pooled.sum()));
+    // The merged sketch answers quantiles over the union stream
+    // within the same rank-error envelope as the pooled sketch.
+    EXPECT_LT(maxRankError(a, data, kProbes), 0.01);
+}
+
+TEST(TDigest, MergeIsAssociativeWithinTolerance)
+{
+    Rng rng(chaosSeed() + 7);
+    std::vector<std::vector<double>> parts(3);
+    std::vector<double> all;
+    for (int p = 0; p < 3; ++p) {
+        for (int i = 0; i < 8000; ++i) {
+            parts[p].push_back(rng.uniform(0.0, 100.0) +
+                               30.0 * static_cast<double>(p));
+            all.push_back(parts[p].back());
+        }
+    }
+    const auto fill = [&](TDigest &d, int p) {
+        for (double x : parts[static_cast<std::size_t>(p)])
+            d.observe(x);
+    };
+
+    TDigest left, la, lb, lc;     // (a + b) + c
+    fill(left, 0);
+    fill(lb, 1);
+    fill(lc, 2);
+    left.merge(lb);
+    left.merge(lc);
+
+    TDigest right, rb, rc;        // a + (b + c)
+    fill(rb, 1);
+    fill(rc, 2);
+    rb.merge(rc);
+    fill(right, 0);
+    right.merge(rb);
+
+    EXPECT_EQ(left.count(), right.count());
+    EXPECT_DOUBLE_EQ(left.minSeen(), right.minSeen());
+    EXPECT_DOUBLE_EQ(left.maxSeen(), right.maxSeen());
+    std::sort(all.begin(), all.end());
+    for (double q : kProbes) {
+        // Both groupings stay in the rank-error envelope of the
+        // union stream; they need not be bitwise identical.
+        const double rl = exactRank(all, left.quantile(q));
+        const double rr = exactRank(all, right.quantile(q));
+        EXPECT_NEAR(rl, q, 0.01);
+        EXPECT_NEAR(rr, q, 0.01);
+    }
+}
+
+TEST(TDigest, WeightedObservationsAndReset)
+{
+    TDigest d;
+    d.observe(1.0, 3.0);
+    d.observe(5.0, 1.0);
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_DOUBLE_EQ(d.totalWeight(), 4.0);
+    EXPECT_DOUBLE_EQ(d.sum(), 8.0);
+    // Three quarters of the weight sits at 1.0: low quantiles land
+    // exactly on it, the top lands on 5.0, and the sketch's estimate
+    // in between stays monotone and inside the observed range.
+    EXPECT_DOUBLE_EQ(d.quantile(0.1), 1.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 5.0);
+    EXPECT_LE(d.quantile(0.5), d.quantile(0.9));
+    EXPECT_GE(d.quantile(0.5), 1.0);
+    EXPECT_LE(d.quantile(0.9), 5.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_TRUE(std::isnan(d.quantile(0.5)));
+}
+
+TEST(TDigest, RegistryRegistersDumpsAndResets)
+{
+    MetricsRegistry reg;
+    TDigest &d = reg.tdigest("recovery_digest", {{"soc", "3"}});
+    for (int i = 1; i <= 100; ++i)
+        d.observe(static_cast<double>(i));
+    EXPECT_EQ(&d, &reg.tdigest("recovery_digest", {{"soc", "3"}}));
+    EXPECT_EQ(reg.seriesCount(), 1u);
+
+    const std::string dump = reg.textDump();
+    EXPECT_NE(dump.find("recovery_digest{soc=\"3\"}_count 100"),
+              std::string::npos);
+    EXPECT_NE(dump.find("quantile=\"0.999\""), std::string::npos);
+
+    const auto series = reg.snapshotValues();
+    bool sawCount = false, sawTail = false;
+    for (const auto &[key, value] : series) {
+        if (key == "recovery_digest{soc=\"3\"}_count") {
+            sawCount = true;
+            EXPECT_DOUBLE_EQ(value, 100.0);
+        }
+        if (key.find("quantile=\"0.999\"") != std::string::npos)
+            sawTail = true;
+    }
+    EXPECT_TRUE(sawCount);
+    EXPECT_TRUE(sawTail);
+
+    reg.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(reg.seriesCount(), 1u);  // instrument survives reset
+}
+
+// ------------------------------------------------------ stream sink
+
+TEST(StreamSink, SegmentPathInsertsIndexBeforeExtension)
+{
+    EXPECT_EQ(StreamingTraceSink::segmentPath("trace.json", 0),
+              "trace.0.json");
+    EXPECT_EQ(StreamingTraceSink::segmentPath("trace.json", 12),
+              "trace.12.json");
+    EXPECT_EQ(StreamingTraceSink::segmentPath("trace", 2), "trace.2");
+    EXPECT_EQ(StreamingTraceSink::segmentPath("out.d/trace", 1),
+              "out.d/trace.1");
+    EXPECT_EQ(StreamingTraceSink::segmentPath("out.d/trace.json", 1),
+              "out.d/trace.1.json");
+}
+
+TEST(StreamSink, RotationProducesIndependentlyValidSegments)
+{
+    const std::string base = tmpPath("rotate_trace.json");
+    removeSegments(base);
+    StreamSinkConfig cfg;
+    cfg.path = base;
+    cfg.rotateBytes = 1;  // clamped up to the 1 KiB floor
+    cfg.ringCapacity = 128;
+    constexpr int kEvents = 400;
+    {
+        StreamingTraceSink sink(cfg);
+        for (int i = 0; i < kEvents; ++i) {
+            TraceEvent e;
+            e.name = "ev" + std::to_string(i) + "#";
+            e.phase = 'i';
+            e.tsUs = static_cast<double>(i);
+            sink.offer(std::move(e));
+        }
+        sink.close();
+        EXPECT_GE(sink.segmentsWritten(), 2u);
+        EXPECT_EQ(sink.eventsWritten(),
+                  static_cast<std::size_t>(kEvents));
+        EXPECT_EQ(sink.eventsDropped(), 0u);
+    }
+    const std::vector<std::string> segments = readSegments(base);
+    ASSERT_GE(segments.size(), 2u);
+    std::size_t total = 0;
+    for (const std::string &seg : segments) {
+        EXPECT_TRUE(validJson(seg)) << seg.substr(0, 200);
+        EXPECT_NE(seg.find("\"traceEvents\""), std::string::npos);
+        total += countOccurrences(seg, "\"name\":\"ev");
+    }
+    // No span dropped, none written twice.
+    EXPECT_EQ(total, static_cast<std::size_t>(kEvents));
+    std::size_t unique = 0;
+    const std::string joined = [&] {
+        std::string j;
+        for (const auto &seg : segments)
+            j += seg;
+        return j;
+    }();
+    for (int i = 0; i < kEvents; ++i)
+        unique += countOccurrences(
+            joined, "\"name\":\"ev" + std::to_string(i) + "#\"");
+    EXPECT_EQ(unique, static_cast<std::size_t>(kEvents));
+    removeSegments(base);
+}
+
+TEST(StreamSink, ConcurrentEmittersLoseNothingUnderBackpressure)
+{
+    const std::string base = tmpPath("concurrent_trace.json");
+    removeSegments(base);
+    StreamSinkConfig cfg;
+    cfg.path = base;
+    cfg.rotateBytes = 4096;
+    cfg.ringCapacity = 64;  // far fewer slots than events: must block
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 500;
+    {
+        StreamingTraceSink sink(cfg);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&sink, t] {
+                for (int i = 0; i < kPerThread; ++i) {
+                    TraceEvent e;
+                    e.name = "t" + std::to_string(t) + "e" +
+                             std::to_string(i) + "#";
+                    e.phase = 'i';
+                    sink.offer(std::move(e));
+                }
+            });
+        }
+        for (auto &th : threads)
+            th.join();
+        sink.close();
+        EXPECT_EQ(sink.eventsWritten(),
+                  static_cast<std::size_t>(kThreads * kPerThread));
+        EXPECT_EQ(sink.eventsDropped(), 0u);
+        EXPECT_GE(sink.segmentsWritten(), 2u);
+    }
+    std::string joined;
+    for (const std::string &seg : readSegments(base)) {
+        EXPECT_TRUE(validJson(seg));
+        joined += seg;
+    }
+    for (int t = 0; t < kThreads; ++t)
+        for (int i = 0; i < kPerThread; ++i)
+            EXPECT_EQ(countOccurrences(joined,
+                                       "\"name\":\"t" +
+                                           std::to_string(t) + "e" +
+                                           std::to_string(i) + "#\""),
+                      1u);
+    removeSegments(base);
+}
+
+TEST(StreamSink, OffersAfterCloseAreCountedDrops)
+{
+    const std::string base = tmpPath("closed_trace.json");
+    removeSegments(base);
+    StreamSinkConfig cfg;
+    cfg.path = base;
+    StreamingTraceSink sink(cfg);
+    TraceEvent e;
+    e.name = "before";
+    sink.offer(e);
+    sink.close();
+    sink.close();  // idempotent
+    sink.offer(e);
+    EXPECT_EQ(sink.eventsWritten(), 1u);
+    EXPECT_EQ(sink.eventsDropped(), 1u);
+    removeSegments(base);
+}
+
+TEST(StreamSink, TracerRoutesToSinkInsteadOfMemory)
+{
+    const std::string base = tmpPath("routed_trace.json");
+    removeSegments(base);
+    StreamSinkConfig cfg;
+    cfg.path = base;
+    Tracer local;
+    local.setEnabled(true);
+    {
+        StreamingTraceSink sink(cfg);
+        local.setStreamSink(&sink);
+        EXPECT_EQ(local.streamSinkAttached(), &sink);
+        local.recordInstant("streamed", "test", 0, 1.0);
+        local.recordSpan("span", "test", 0, 0.0, 1.0);
+        local.setStreamSink(nullptr);
+        sink.close();
+        EXPECT_EQ(sink.eventsWritten(), 2u);
+    }
+    // Nothing accumulated in memory: the buffer-all export is empty.
+    EXPECT_EQ(local.eventCount(), 0u);
+    local.recordInstant("buffered", "test", 0, 2.0);
+    EXPECT_EQ(local.eventCount(), 1u);  // detached -> memory again
+    const std::vector<std::string> segments = readSegments(base);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_TRUE(validJson(segments[0]));
+    EXPECT_NE(segments[0].find("\"streamed\""), std::string::npos);
+    removeSegments(base);
+}
+
+// -------------------------------------------------- flight recorder
+
+TEST(FlightRecorder, RingKeepsLastNInOrder)
+{
+    FlightRecorder rec(4);
+    rec.arm(tmpPath("unused_postmortem.json"));
+    for (int i = 0; i < 10; ++i) {
+        TraceEvent e;
+        e.name = "s" + std::to_string(i);
+        rec.record(e);
+    }
+    EXPECT_EQ(rec.spanCount(), 4u);
+    const std::vector<TraceEvent> spans = rec.lastSpans();
+    ASSERT_EQ(spans.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(spans[static_cast<std::size_t>(i)].name,
+                  "s" + std::to_string(6 + i));
+}
+
+TEST(FlightRecorder, DisarmedRecorderIgnoresEverything)
+{
+    FlightRecorder rec(8);
+    TraceEvent e;
+    e.name = "dropped";
+    rec.record(e);
+    EXPECT_EQ(rec.spanCount(), 0u);
+    EXPECT_FALSE(rec.dumpPostMortem("reason", 1));
+    EXPECT_EQ(rec.dumpsWritten(), 0u);
+}
+
+TEST(FlightRecorder, PostMortemIsValidJsonWithHashAndSpans)
+{
+    const std::string path = tmpPath("postmortem_unit.json");
+    std::remove(path.c_str());
+    FlightRecorder rec(8);
+    rec.arm(path);
+    for (int i = 0; i < 3; ++i) {
+        TraceEvent e;
+        e.name = "span" + std::to_string(i);
+        e.phase = 'X';
+        e.durUs = 5.0;
+        rec.record(e);
+    }
+    ASSERT_TRUE(rec.dumpPostMortem("corrupt-retry-exhausted",
+                                   0xdeadbeefULL));
+    EXPECT_EQ(rec.dumpsWritten(), 1u);
+    const std::string doc = readFile(path);
+    EXPECT_TRUE(validJson(doc)) << doc.substr(0, 200);
+    EXPECT_NE(doc.find("\"reason\":\"corrupt-retry-exhausted\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"timeline_hash\":\"00000000deadbeef\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"span2\""), std::string::npos);
+    EXPECT_NE(doc.find("\"metrics\":{"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, AttachedRecorderSeesEventsWithTracingOff)
+{
+    Tracer local;
+    FlightRecorder rec(16);
+    rec.arm(tmpPath("unused2_postmortem.json"));
+    EXPECT_FALSE(local.enabled());
+    local.attachFlightRecorder(&rec);
+    EXPECT_TRUE(local.enabled());  // recorder needs the span stream
+    local.recordInstant("only-for-recorder", "test", 0, 1.0);
+    EXPECT_EQ(local.eventCount(), 0u);  // not buffered for export
+    EXPECT_EQ(rec.spanCount(), 1u);
+    local.attachFlightRecorder(nullptr);
+    EXPECT_FALSE(local.enabled());
+}
+
+TEST(FlightRecorder, DumpsOnInjectedCorruptRetryExhaustion)
+{
+    const std::string path = tmpPath("postmortem_injected.json");
+    std::remove(path.c_str());
+    armFlightRecorder(path);
+    const std::size_t dumpsBefore = flightRecorder().dumpsWritten();
+
+    data::SyntheticParams p;
+    p.name = "tiny";
+    p.classes = 4;
+    p.channels = 1;
+    p.height = 8;
+    p.width = 8;
+    p.trainSamples = 256;
+    p.testSamples = 96;
+    p.seed = chaosSeed();
+    data::DataBundle bundle = data::makeSynthetic(p);
+    core::SoCFlowConfig cfg;
+    cfg.modelFamily = "mlp";
+    cfg.numSocs = 8;
+    cfg.numGroups = 2;
+    cfg.groupBatch = 16;
+    core::SoCFlowTrainer trainer(cfg, bundle);
+
+    fault::FaultPlan plan;
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::GradCorrupt;
+    s.epoch = 1;
+    s.step = 0;
+    s.phase = fault::FaultPhase::LeaderRing;
+    s.count = 64;  // outlasts any retry budget
+    plan.add(s);
+    fault::FaultInjector inj(plan);
+    trainer.attachFaultInjector(&inj);
+
+    trainer.runEpoch();
+    const core::EpochRecord rec = trainer.runEpoch();
+    EXPECT_EQ(rec.syncFailures, 1u);
+
+    // The typed failure fired the flight recorder: a post-mortem with
+    // the injected fault, the recovery context, and the timeline hash.
+    EXPECT_GT(flightRecorder().dumpsWritten(), dumpsBefore);
+    const std::string doc = readFile(path);
+    ASSERT_FALSE(doc.empty());
+    EXPECT_TRUE(validJson(doc)) << doc.substr(0, 200);
+    EXPECT_NE(doc.find("\"reason\":\"corrupt-retry-exhausted\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("grad_corrupt"), std::string::npos);
+    // The dump carries the timeline hash as of the failure instant
+    // (the timeline keeps mixing afterwards, so it need not equal the
+    // end-of-epoch hash): a 16-hex-digit fingerprint must be present.
+    const std::string hashKey = "\"timeline_hash\":\"";
+    const std::size_t hashPos = doc.find(hashKey);
+    ASSERT_NE(hashPos, std::string::npos);
+    const std::string hex = doc.substr(hashPos + hashKey.size(), 16);
+    ASSERT_EQ(hex.size(), 16u);
+    for (char c : hex)
+        EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)))
+            << hex;
+
+    tracer().attachFlightRecorder(nullptr);
+    flightRecorder().disarm();
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------- snapshot series
+
+TEST(MetricSeries, WritesOneValidJsonObjectPerLine)
+{
+    const std::string path = tmpPath("series.ndjson");
+    std::remove(path.c_str());
+    MetricsRegistry reg;
+    reg.counter("epochs").add(3.0);
+    reg.gauge("alpha").set(0.25);
+    reg.histogram("lat").observe(0.5);
+    reg.tdigest("lat_digest");  // stays empty: quantiles -> null
+    {
+        MetricSeriesWriter w(path);
+        ASSERT_TRUE(w.ok());
+        for (int i = 0; i < 3; ++i) {
+            reg.counter("epochs").add(1.0);
+            EXPECT_TRUE(w.snapshot(0.5 * (i + 1), reg));
+        }
+        EXPECT_EQ(w.snapshotsWritten(), 3u);
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_TRUE(validJson(line)) << line;
+        EXPECT_NE(line.find("\"seq\":" + std::to_string(lines)),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"epochs\":"), std::string::npos);
+        // Empty digest quantiles serialize as null, keeping each
+        // line strict JSON.
+        EXPECT_NE(line.find(":null"), std::string::npos);
+        ++lines;
+    }
+    EXPECT_EQ(lines, 3u);
+    std::remove(path.c_str());
+}
