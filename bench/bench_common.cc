@@ -130,6 +130,7 @@ initBenchObservability(int &argc, char **argv)
 {
     std::string rotateMbValue;
     std::string intervalValue;
+    std::string postmortemSpansValue;
     int out = 1;
     bool any = false;
     for (int i = 1; i < argc; ++i) {
@@ -143,7 +144,8 @@ initBenchObservability(int &argc, char **argv)
               {"--metrics-out", &metricsOutPath()},
               {"--postmortem-out", &postmortemOutPath()},
               {"--trace-rotate-mb", &rotateMbValue},
-              {"--metrics-interval", &intervalValue}}) {
+              {"--metrics-interval", &intervalValue},
+              {"--postmortem-spans", &postmortemSpansValue}}) {
             const std::string prefix = std::string(flag) + "=";
             if (arg.rfind(prefix, 0) == 0) {
                 dest = path;
@@ -182,6 +184,13 @@ initBenchObservability(int &argc, char **argv)
         fatal("--trace-rotate-mb requires --trace-out");
     if (metricsIntervalEpochs() > 0 && metricsOutPath().empty())
         fatal("--metrics-interval requires --metrics-out");
+    if (!postmortemSpansValue.empty()) {
+        const std::size_t n =
+            parseCount("--postmortem-spans", postmortemSpansValue);
+        if (n == 0)
+            fatal("--postmortem-spans must be positive");
+        obs::flightRecorder().setCapacity(n);
+    }
 
     if (!postmortemOutPath().empty())
         obs::armFlightRecorder(postmortemOutPath());
@@ -228,6 +237,8 @@ parseFaultPolicyFlags(int &argc, char **argv)
         {"--sync-backoff-max", &flags.sync.backoffMaxS, nullptr},
         {"--ckpt-retries", nullptr, &flags.checkpointMaxRetries},
         {"--ckpt-backoff", &flags.checkpointBackoffS, nullptr},
+        {"--phi-threshold", &flags.phiThreshold, nullptr},
+        {"--phi-window", nullptr, &flags.phiWindow},
     };
 
     int out = 1;

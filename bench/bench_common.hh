@@ -59,6 +59,10 @@ struct Workload {
  *                             trained epochs (harvest examples)
  *   --postmortem-out=<path>   arm the crash flight recorder; typed
  *                             failures dump a post-mortem JSON here
+ *   --postmortem-spans=<n>    size the flight-recorder ring (spans
+ *                             retained for the post-mortem; default
+ *                             256, SOCFLOW_POSTMORTEM_SPANS env form
+ *                             works for un-flagged binaries)
  *
  * enables the process tracer when a trace path is given, and
  * registers an atexit hook that writes the Chrome trace_event JSON
@@ -90,6 +94,12 @@ struct FaultPolicyFlags {
     /** First checkpoint retry backoff, seconds, doubling per retry
      *  (trace::HarvestConfig::checkpointBackoffS). */
     double checkpointBackoffS = 2.0;
+    /** Phi-accrual suspicion threshold before a SoC is declared
+     *  failed (core::SoCFlowConfig::phiThreshold). */
+    double phiThreshold = 8.0;
+    /** Heartbeat inter-arrival window of the failure detector
+     *  (core::SoCFlowConfig::phiWindow). */
+    std::size_t phiWindow = 32;
 };
 
 /**
@@ -101,6 +111,10 @@ struct FaultPolicyFlags {
  *   --sync-backoff-max=<seconds>   backoff ceiling
  *   --ckpt-retries=<n>             checkpoint-write retry budget
  *   --ckpt-backoff=<seconds>       first checkpoint retry backoff
+ *   --phi-threshold=<phi>          failure-detector suspicion level
+ *                                  that declares a SoC failed
+ *   --phi-window=<n>               heartbeat history window of the
+ *                                  phi-accrual detector
  *
  * Both `--flag=value` and `--flag value` forms are accepted;
  * consumed flags are removed from argv (argc is updated). Returned

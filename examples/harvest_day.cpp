@@ -51,6 +51,8 @@ main(int argc, char **argv)
     cfg.numGroups = 8;
     cfg.groupBatch = 32;
     cfg.sync = policy.sync;
+    cfg.phiThreshold = policy.phiThreshold;
+    cfg.phiWindow = policy.phiWindow;
     core::SoCFlowTrainer trainer(cfg, bundle);
 
     // The server's day: 60 SoCs of cloud-gaming demand; training may

@@ -7,12 +7,16 @@
  * once fault-free and once against a deterministic FaultPlan that
  * crashes a SoC mid-training, kills another mid-AllReduce wave,
  * crashes a group leader, corrupts gradient chunks, degrades a board
- * NIC, slows a straggler and fails a burst of checkpoint writes. The
- * comparison shows the resilience claim end to end: the faulted day
- * finishes with accuracy within noise of the clean day, every fault
- * surfaces in the recovery counters (wave resumes, leader elections,
- * chunk retransmits), and checkpoint failures are absorbed by the
- * retry envelope.
+ * NIC, slows a straggler, fails a burst of checkpoint writes, cuts a
+ * PCB board off the switch for a few epochs (partition -> quorum
+ * fencing -> heal) and brings a crashed SoC back (rejoin + catch-up).
+ * The comparison shows the resilience claim end to end: the faulted
+ * day finishes with accuracy within noise of the clean day, every
+ * fault surfaces in the recovery counters (wave resumes, leader
+ * elections, chunk retransmits, partitions, rejoins), checkpoint
+ * failures are absorbed by the retry envelope, and any epoch where no
+ * partition side held quorum is reported as *paused* -- state
+ * preserved, training resumed on heal -- never as a failed epoch.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -27,7 +31,8 @@
  * --postmortem-out=<path> arms the crash flight recorder. The
  * sync/checkpoint retry envelopes are tunable: --sync-timeout,
  * --sync-retries, --sync-backoff-base, --sync-backoff-max,
- * --ckpt-retries, --ckpt-backoff (see bench::parseFaultPolicyFlags).
+ * --ckpt-retries, --ckpt-backoff, and the failure detector via
+ * --phi-threshold / --phi-window (see bench::parseFaultPolicyFlags).
  */
 
 #include <cstdio>
@@ -57,6 +62,8 @@ runDay(const trace::TidalTrace &tidal, fault::FaultInjector *faults,
     cfg.numGroups = 8;
     cfg.groupBatch = 32;
     cfg.sync = policy.sync;
+    cfg.phiThreshold = policy.phiThreshold;
+    cfg.phiWindow = policy.phiWindow;
     core::SoCFlowTrainer trainer(cfg, bundle);
 
     trace::HarvestConfig hcfg;
@@ -125,17 +132,35 @@ main(int argc, char **argv)
     corrupt.soc = 5;
     corrupt.count = 2;
     plan.add(corrupt);
+    // Membership churn: cut one PCB board off the switch for two
+    // epochs (its groups pause behind the generation fence, the
+    // majority trains on, the heal folds them back in), then bring
+    // the epoch-4 crash victim back for the rejoin catch-up path.
+    fault::FaultSpec partition;
+    partition.kind = fault::FaultKind::BoardPartition;
+    partition.epoch = 12;
+    partition.board = 3;
+    partition.durationEpochs = 2;
+    plan.add(partition);
+    fault::FaultSpec rejoin;
+    rejoin.kind = fault::FaultKind::SocRejoin;
+    rejoin.epoch = 16;
+    rejoin.soc = 2;
+    plan.add(rejoin);
 
     Table sched("Fault schedule");
     sched.setHeader(
         {"epoch", "step", "phase", "kind", "target", "factor", "window"});
     for (const auto &s : plan.specs()) {
-        const bool isLink = s.kind == fault::FaultKind::LinkDegrade;
+        const bool isBoard =
+            s.kind == fault::FaultKind::LinkDegrade ||
+            s.kind == fault::FaultKind::BoardPartition ||
+            s.kind == fault::FaultKind::SwitchPartition;
         sched.addRow({std::to_string(s.epoch), std::to_string(s.step),
                       fault::faultPhaseName(s.phase),
                       fault::faultKindName(s.kind),
-                      isLink ? "board " + std::to_string(s.board)
-                             : "soc " + std::to_string(s.soc),
+                      isBoard ? "board " + std::to_string(s.board)
+                              : "soc " + std::to_string(s.soc),
                       formatDouble(s.factor, 2),
                       std::to_string(s.durationEpochs)});
     }
@@ -184,6 +209,17 @@ main(int argc, char **argv)
               std::to_string(faulted.chunksRetransmitted)});
     t.addRow({"sync failures", std::to_string(clean.syncFailures),
               std::to_string(faulted.syncFailures)});
+    t.addRow({"partitions handled",
+              std::to_string(clean.partitions),
+              std::to_string(faulted.partitions)});
+    t.addRow({"SoCs rejoined", std::to_string(clean.rejoins),
+              std::to_string(faulted.rejoins)});
+    t.addRow({"stale msgs fenced",
+              std::to_string(clean.fencedStaleMsgs),
+              std::to_string(faulted.fencedStaleMsgs)});
+    t.addRow({"epochs paused (no quorum)",
+              std::to_string(clean.pausedEpochs),
+              std::to_string(faulted.pausedEpochs)});
     t.print();
 
     const double delta =
@@ -204,5 +240,18 @@ main(int argc, char **argv)
         warn("soak expected at least one mid-wave resume");
     if (faulted.leaderElections == 0)
         warn("soak expected at least one leader re-election");
+    if (faulted.partitions == 0)
+        warn("soak expected at least one partition");
+    if (faulted.rejoins == 0)
+        warn("soak expected at least one SoC rejoin");
+    if (faulted.pausedEpochs > 0) {
+        // Quorum loss pauses training; it is not a failed day. The
+        // paused epochs trained nothing, so the faulted day simply
+        // ran fewer epochs -- report it, don't count it against the
+        // resilience claim.
+        std::printf("%zu epochs paused with no quorum "
+                    "(state preserved, resumed on heal)\n",
+                    faulted.pausedEpochs);
+    }
     return 0;
 }

@@ -1,13 +1,19 @@
 #!/bin/bash
-# Usage: run_all.sh [--sanitize|--chaos|--chaos-nightly [count]]
+# Usage: run_all.sh [--sanitize|--tsan|--chaos|--chaos-nightly [count]]
 #   default     run the test suite + every bench from build/
 #   --sanitize  configure build-asan with -DSANITIZE=ON and run the
 #               test suite under AddressSanitizer + UBSan
-#   --chaos     run the fault + streaming-obs suites under ASan+UBSan
-#               with 10 fixed chaos seeds (SOCFLOW_CHAOS_SEED); fails
-#               on any sanitizer report or non-deterministic replay
-#               (the ChaosReplay tests hash each seed's fault timeline
-#               and re-run it, so same seed must give the same hash)
+#   --tsan      configure build-tsan with -DSANITIZE=thread and run
+#               the concurrency-sensitive suites (streaming obs sink
+#               flusher thread + membership/fencing) under
+#               ThreadSanitizer
+#   --chaos     run the fault + streaming-obs + membership suites
+#               under ASan+UBSan with 10 fixed chaos seeds
+#               (SOCFLOW_CHAOS_SEED); fails on any sanitizer report or
+#               non-deterministic replay (the ChaosReplay tests hash
+#               each seed's fault timeline -- including partition,
+#               heal, and rejoin events -- and re-run it, so same seed
+#               must give the same hash)
 #   --chaos-nightly [count]
 #               like --chaos but with `count` (default 10) *fresh*
 #               random seeds, each with the crash flight recorder
@@ -16,8 +22,8 @@
 #               so a failure found tonight can be replayed tomorrow
 cd /root/repo
 
-chaos_targets="test_fault test_fault_step test_obs_stream"
-chaos_regex='test_(fault($|_step)|obs_stream$)'
+chaos_targets="test_fault test_fault_step test_obs_stream test_membership"
+chaos_regex='test_(fault($|_step)|obs_stream$|membership$)'
 
 run_chaos_seed() {
     # $1 = seed, $2 = optional post-mortem dump path
@@ -69,6 +75,19 @@ if [ "$1" = "--chaos-nightly" ]; then
         echo "CHAOS_NIGHTLY_FAILED (failing seeds in chaos_failures.txt)"
     fi
     exit $status
+fi
+
+if [ "$1" = "--tsan" ]; then
+    tsan_targets="test_obs_stream test_membership"
+    cmake -B build-tsan -S . -DSANITIZE=thread || exit 1
+    cmake --build build-tsan -j --target $tsan_targets || exit 1
+    ( set -o pipefail
+      TSAN_OPTIONS=halt_on_error=1 \
+          ctest --test-dir build-tsan --output-on-failure \
+              -R 'test_(obs_stream|membership)$' 2>&1 |
+          tee /root/repo/tsan_output.txt ) || exit 1
+    echo "TSAN_RUN_COMPLETE"
+    exit 0
 fi
 
 if [ "$1" = "--sanitize" ]; then

@@ -518,5 +518,40 @@ CollectiveEngine::ringAllReduceResilient(
     return out;
 }
 
+SyncOutcome
+CollectiveEngine::ringAllReduceFenced(
+    const std::vector<sim::SocId> &ring, double bytes,
+    const std::vector<std::uint64_t> &member_gen,
+    std::uint64_t current_gen) const
+{
+    if (member_gen.size() != ring.size())
+        fatal("fenced all-reduce needs one generation stamp per ",
+              "member: ", member_gen.size(), " stamps for ",
+              ring.size(), " members");
+
+    // Fence before the ring forms: a stale-generation contribution is
+    // rejected at admission, so no partial reduction ever contains it.
+    std::vector<sim::SocId> admitted;
+    admitted.reserve(ring.size());
+    std::size_t fenced = 0;
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        if (member_gen[i] >= current_gen)
+            admitted.push_back(ring[i]);
+        else
+            ++fenced;
+    }
+    if (fenced > 0) {
+        static obs::Counter &fencedMsgs =
+            obs::metrics().counter("fenced_stale_msgs_total");
+        fencedMsgs.add(static_cast<double>(fenced));
+    }
+
+    SyncOutcome out = ringAllReduceResilient(admitted, bytes);
+    out.fencedStale = fenced;
+    if (fenced > 0)
+        out.degraded = true;
+    return out;
+}
+
 } // namespace collectives
 } // namespace socflow

@@ -33,6 +33,7 @@
 #define SOCFLOW_COLLECTIVES_ENGINE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "fault/fault.hh"
@@ -100,6 +101,12 @@ struct SyncOutcome {
     std::size_t chunksRetransmitted = 0;
     /** CRC mismatches observed (includes retransmitted ones). */
     std::size_t corruptDetected = 0;
+    /**
+     * Members fenced out for carrying a stale group generation
+     * (ringAllReduceFenced); their contributions were rejected, never
+     * folded into the reduction.
+     */
+    std::size_t fencedStale = 0;
     /** Typed failure; None when the sync completed. */
     SyncError error = SyncError::None;
 
@@ -228,6 +235,23 @@ class CollectiveEngine
     SyncOutcome ringAllReduceChecked(
         const std::vector<sim::SocId> &ring, double bytes,
         std::size_t corrupt_chunks) const;
+
+    /**
+     * Generation-fenced ring all-reduce: every member's contribution
+     * carries its group generation (`member_gen`, parallel to `ring`);
+     * members stamped older than `current_gen` are fenced -- their
+     * data is rejected before the reduction forms, counted in
+     * fencedStale and the fenced_stale_msgs_total metric, and the
+     * ring re-forms over the admitted members only. This is the
+     * split-brain guard: a healed minority replaying pre-partition
+     * traffic can never commit into the majority's aggregate. The
+     * admitted ring then runs ringAllReduceResilient, so fencing and
+     * crash tolerance compose.
+     */
+    SyncOutcome ringAllReduceFenced(
+        const std::vector<sim::SocId> &ring, double bytes,
+        const std::vector<std::uint64_t> &member_gen,
+        std::uint64_t current_gen) const;
 
   private:
     /** One synchronized ring round's flow set. */

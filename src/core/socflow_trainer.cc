@@ -43,6 +43,9 @@ struct TrainerMetrics {
     obs::Counter &waveResumes;
     obs::Counter &leaderElections;
     obs::Counter &syncFailures;
+    obs::Counter &rejoins;
+    obs::Counter &pausedEpochs;
+    obs::Gauge &suspicionMax;
     obs::Gauge &alpha;
     obs::Gauge &cpuFraction;
     obs::Gauge &activeGroups;
@@ -50,6 +53,8 @@ struct TrainerMetrics {
     obs::Histogram &stepSyncS;
     obs::Histogram &recoveryS;
     obs::TDigest &recoveryDigest;
+    obs::TDigest &rejoinDigest;
+    obs::TDigest &clusterDigest;
 
     TrainerMetrics()
         : steps(obs::metrics().counter("trainer_steps_total")),
@@ -70,6 +75,11 @@ struct TrainerMetrics {
               obs::metrics().counter("leader_elections_total")),
           syncFailures(
               obs::metrics().counter("trainer_sync_failures_total")),
+          rejoins(obs::metrics().counter("rejoin_total")),
+          pausedEpochs(
+              obs::metrics().counter("trainer_paused_epochs_total")),
+          suspicionMax(
+              obs::metrics().gauge("membership_suspicion_phi_max")),
           alpha(obs::metrics().gauge("trainer_alpha")),
           cpuFraction(obs::metrics().gauge("trainer_cpu_fraction")),
           activeGroups(obs::metrics().gauge("trainer_active_groups")),
@@ -80,7 +90,11 @@ struct TrainerMetrics {
           recoveryS(obs::metrics().histogram(
               "fault_recovery_seconds")),
           recoveryDigest(obs::metrics().tdigest(
-              "fault_recovery_seconds_digest"))
+              "fault_recovery_seconds_digest")),
+          rejoinDigest(
+              obs::metrics().tdigest("rejoin_seconds_digest")),
+          clusterDigest(obs::metrics().tdigest(
+              "collective_seconds_digest_cluster"))
     {
     }
 };
@@ -125,6 +139,11 @@ SoCFlowTrainer::SoCFlowTrainer(SoCFlowConfig config,
     if (cfg.numGroups == 0 || cfg.numGroups > cfg.numSocs)
         fatal("invalid group count ", cfg.numGroups);
     engine.setSyncPolicy(cfg.sync);
+
+    membership::PhiConfig pc;
+    pc.threshold = cfg.phiThreshold;
+    pc.windowSize = cfg.phiWindow;
+    detector = membership::PhiAccrualDetector(pc);
 
     Rng initRng(cfg.seed ^ 0xbeef);
     nn::Model proto =
@@ -332,6 +351,37 @@ SoCFlowTrainer::runEpoch()
         cachedStepSyncS = -1.0;
         cachedEpochSyncS = -1.0;
         cachedWaveS.clear();
+        // Heal sweep: partition windows that expired with the advance
+        // above release their boards; paused groups resume and
+        // isolated SoCs rejoin before any training work is scheduled.
+        healMemberships();
+    }
+
+    // Quorum rule: with no partition side holding a majority, the
+    // epoch pauses in place -- every group keeps its full state
+    // (weights AND momentum), nothing trains, nothing is lost, and
+    // training resumes the epoch the cut heals.
+    if (quorumLost) {
+        rec.paused = true;
+        rec.crashes = tally.crashes;
+        rec.recoverySeconds = tally.recoverySeconds;
+        rec.partitions = tally.partitions;
+        rec.rejoins = tally.rejoins;
+        rec.fencedStaleMsgs = fencedTotal - fencedReported;
+        fencedReported = fencedTotal;
+        rec.simSeconds = tally.recoverySeconds;
+        tally = RecoveryTally{};
+        ++epochCounter;
+        timeline.mix(std::uint64_t{0x51}); // 'Q': quorum pause
+        timeline.mix(static_cast<std::uint64_t>(epochCounter));
+        timeline.mix(gate.current());
+        m.pausedEpochs.add(1.0);
+        tr.recordInstant("epoch paused (no quorum)", "fault",
+                         obs::kTrackControl, simClockS);
+        inform("epoch ", epochCounter - 1,
+               " paused: no partition side holds quorum; state "
+               "preserved, awaiting heal");
+        return rec;
     }
 
     if (cfg.dvfsEnabled)
@@ -514,10 +564,34 @@ SoCFlowTrainer::runEpoch()
                           stepWallS * f,
                           {{"step", static_cast<double>(step)}});
         }
+        // Heartbeats: each live member's arrival lands at its own
+        // compute-rate-scaled offset into the step, so a straggler's
+        // cadence stretches (and the phi window adapts) instead of
+        // tripping a binary timeout. Peak phi is sampled just before
+        // each arrival -- the most suspicious instant of the gap.
+        heartbeatSweep(t0, stepComputeS * f);
         simClockS += stepWallS * f;
         m.steps.add(1.0);
         m.stepComputeS.observe(stepComputeS);
         m.stepSyncS.observe(stepSync);
+
+        // Per-group collective-latency sketches (the per-epoch leader
+        // fan-in merges these into the *_cluster series below).
+        if (groupDigests.size() != groups.size()) {
+            groupDigests.clear();
+            for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+                groupDigests.push_back(&obs::metrics().tdigest(
+                    "collective_seconds_digest",
+                    {{"group", std::to_string(gi)}}));
+            }
+        }
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            const std::size_t wave =
+                gi < plan.commGroup.size() ? plan.commGroup[gi] : 0;
+            groupDigests[gi]->observe(
+                wave < cachedWaveS.size() ? cachedWaveS[wave]
+                                          : stepSync);
+        }
 
         // Energy: CPU/NPU busy shares plus comm power.
         const double batch = static_cast<double>(cfg.groupBatch) *
@@ -559,10 +633,19 @@ SoCFlowTrainer::runEpoch()
     // this epoch (groups keep their local weights -- a deferred
     // consensus, never a silently corrupt one).
     if (groups.size() > 1) {
+        // Every leader-ring contribution is stamped with the group's
+        // generation; stale stamps are fenced out before the average
+        // forms (split-brain guard, membership/membership.hh). In
+        // steady state every active group is current -- the fence
+        // only fires on traffic replayed across a membership change.
         std::vector<std::vector<float>> weights;
         weights.reserve(groups.size());
-        for (auto &g : groups)
-            weights.push_back(g->fp32.flatParams());
+        for (auto &g : groups) {
+            if (gate.admit(g->generation))
+                weights.push_back(g->fp32.flatParams());
+            else
+                ++fencedTotal;
+        }
         std::vector<std::vector<float> *> ptrs;
         for (auto &w : weights)
             ptrs.push_back(&w);
@@ -570,7 +653,8 @@ SoCFlowTrainer::runEpoch()
         if (faults)
             corrupt = [this] { return faults->corruptNextChunk(); };
         const std::size_t chunkElems = std::max<std::size_t>(
-            1, weights.front().size() / groups.size());
+            1, groups.front()->fp32.flatParams().size() /
+                   groups.size());
         const collectives::VerifiedReduceOutcome vr =
             collectives::verifiedAllReduceAverage(
                 ptrs, chunkElems, corrupt,
@@ -579,10 +663,13 @@ SoCFlowTrainer::runEpoch()
         tally.chunksRetransmitted += vr.retransmitted;
         tally.recoverySeconds += static_cast<double>(vr.retransmitted) *
                                  engine.syncPolicy().backoffBaseS;
-        if (vr.applied) {
+        if (vr.applied && !weights.empty()) {
+            // Fenced groups could not contribute, but they still
+            // receive the consensus and are re-stamped current.
             for (auto &g : groups) {
                 g->fp32.setFlatParams(weights.front());
                 g->int8.setFlatParams(weights.front());
+                g->generation = gate.current();
             }
         } else {
             ++tally.syncFailures;
@@ -612,6 +699,17 @@ SoCFlowTrainer::runEpoch()
                       {{"groups", static_cast<double>(groups.size())}});
     }
     simClockS += epochSync;
+
+    // Per-group digest fan-in: each leader ships its group's
+    // collective-latency sketch with the epoch aggregation (t-digests
+    // merge losslessly), and the merged cluster-wide view exports as
+    // collective_seconds_digest_cluster. reset() first -- merge is
+    // additive and the per-group sketches are cumulative.
+    if (!groupDigests.empty()) {
+        m.clusterDigest.reset();
+        for (obs::TDigest *d : groupDigests)
+            m.clusterDigest.merge(*d);
+    }
 
     meter.accumulate(sim::PowerState::CpuTrain, cpuSocSecondsSum);
     meter.accumulate(sim::PowerState::NpuTrain, npuSocSecondsSum);
@@ -645,6 +743,10 @@ SoCFlowTrainer::runEpoch()
     rec.gradCorruptDetected = tally.gradCorruptDetected;
     rec.chunksRetransmitted = tally.chunksRetransmitted;
     rec.syncFailures = tally.syncFailures;
+    rec.partitions = tally.partitions;
+    rec.rejoins = tally.rejoins;
+    rec.fencedStaleMsgs = fencedTotal - fencedReported;
+    fencedReported = fencedTotal;
     rec.syncSeconds += tally.recoverySeconds;
     rec.simSeconds += tally.recoverySeconds;
     tally = RecoveryTally{};
@@ -659,6 +761,7 @@ SoCFlowTrainer::runEpoch()
     ++epochCounter;
     timeline.mix(static_cast<std::uint64_t>(epochCounter));
     timeline.mix(rec.simSeconds);
+    timeline.mix(gate.current());
     if (tracing) {
         tr.recordSpan("epoch", "control", obs::kTrackControl,
                       epochStartS, simClockS - epochStartS,
@@ -756,6 +859,12 @@ SoCFlowTrainer::setActiveGroups(std::size_t n)
         }
     }
     rebuildTopology();
+    // Elastic resize is a membership change like any other: bump the
+    // generation so anything a preempted group left in flight is
+    // fenced, never folded into a later aggregate.
+    gate.bump();
+    for (auto &g : groups)
+        g->generation = gate.current();
     obs::tracer().recordInstant("resize active groups", "control",
                                 obs::kTrackControl, simClockS);
 }
@@ -775,6 +884,8 @@ SoCFlowTrainer::injectCrash(sim::SocId soc)
 {
     TrainerMetrics &m = trainerMetrics();
     deadSocs.insert(soc);
+    isolatedSinceS[soc] = simClockS;
+    detector.forget(soc);
 
     // Locate the owning active group; a crash on an idle SoC only
     // blocks its future re-admission.
@@ -902,6 +1013,13 @@ SoCFlowTrainer::dispatchFired(
                 spec.phase == fault::FaultPhase::Wave2)
                 chargeCorruptedWave(spec, step);
             break;
+        case fault::FaultKind::BoardPartition:
+        case fault::FaultKind::SwitchPartition:
+            handlePartition(spec);
+            break;
+        case fault::FaultKind::SocRejoin:
+            rejoinSoc(spec.soc);
+            break;
         default:
             break; // rate windows are state, not events
         }
@@ -983,6 +1101,8 @@ SoCFlowTrainer::injectMidWaveCrash(sim::SocId soc, double progress,
 {
     TrainerMetrics &m = trainerMetrics();
     deadSocs.insert(soc);
+    isolatedSinceS[soc] = simClockS;
+    detector.forget(soc);
     const std::size_t gi = owningGroup(soc);
     if (gi == groups.size())
         return 0.0;
@@ -1050,6 +1170,8 @@ SoCFlowTrainer::injectLeaderCrash(sim::SocId soc)
 {
     TrainerMetrics &m = trainerMetrics();
     deadSocs.insert(soc);
+    isolatedSinceS[soc] = simClockS;
+    detector.forget(soc);
     const std::size_t gi = owningGroup(soc);
     if (gi == groups.size())
         return 0.0;
@@ -1131,6 +1253,13 @@ SoCFlowTrainer::groupLeader(std::size_t g) const
     return groups[g]->socs.front();
 }
 
+std::vector<sim::SocId>
+SoCFlowTrainer::groupMembers(std::size_t g) const
+{
+    SOCFLOW_ASSERT(g < groups.size(), "group out of range");
+    return groups[g]->socs;
+}
+
 void
 SoCFlowTrainer::rebuildTopology()
 {
@@ -1145,9 +1274,418 @@ SoCFlowTrainer::rebuildTopology()
     cachedWaveS.clear();
     // New groups may exist; re-emit track names on the next epoch.
     obsTracksNamed = false;
+    groupDigests.clear();
     trainerMetrics().rebuilds.add(1.0);
     trainerMetrics().activeGroups.set(
         static_cast<double>(groups.size()));
+}
+
+void
+SoCFlowTrainer::heartbeatSweep(double step_start_s,
+                               double step_compute_s)
+{
+    double maxPhi = 0.0;
+    for (const auto &g : groups) {
+        for (sim::SocId s : g->socs) {
+            if (deadSocs.count(s))
+                continue;
+            double rate = 1.0;
+            if (faults)
+                rate = std::max(faults->computeFactor(s), 1e-6);
+            const double arrival =
+                step_start_s + step_compute_s / rate;
+            maxPhi = std::max(maxPhi, detector.phi(s, arrival));
+            detector.heartbeat(s, arrival);
+        }
+    }
+    peakPhi = std::max(peakPhi, maxPhi);
+    trainerMetrics().suspicionMax.set(maxPhi);
+}
+
+void
+SoCFlowTrainer::remapLiveMembership()
+{
+    std::vector<sim::SocId> live;
+    for (const auto &g : groups)
+        for (sim::SocId s : g->socs)
+            if (!deadSocs.count(s) && (!faults || faults->socAlive(s)))
+                live.push_back(s);
+    std::sort(live.begin(), live.end());
+    live.erase(std::unique(live.begin(), live.end()), live.end());
+    SOCFLOW_ASSERT(!live.empty(), "no live SoC to re-map");
+    // A group that lost its last live member cannot be kept.
+    while (groups.size() > live.size())
+        groups.pop_back();
+
+    const Mapping remap =
+        mapGroupsOnto(live, cluster.config().socsPerBoard,
+                      groups.size(), cfg.mapping);
+    for (std::size_t g = 0; g < groups.size(); ++g)
+        groups[g]->socs = remap.members[g];
+    rebuildTopology();
+
+    gate.bump();
+    for (auto &g : groups)
+        g->generation = gate.current();
+    assertMembershipInvariants();
+}
+
+void
+SoCFlowTrainer::assertMembershipInvariants() const
+{
+    // Every live member belongs to exactly one group.
+    std::set<sim::SocId> seen;
+    for (const auto &g : groups) {
+        SOCFLOW_ASSERT(!g->socs.empty(), "empty active group");
+        for (sim::SocId s : g->socs) {
+            SOCFLOW_ASSERT(seen.insert(s).second,
+                           "SoC mapped into two groups");
+            SOCFLOW_ASSERT(!deadSocs.count(s),
+                           "dead SoC still mapped");
+        }
+    }
+    // Theorems 1/2 must survive re-mapping over the live membership:
+    // under the integrity-greedy mapping the conflict graph stays a
+    // union of chains (every split group conflicts with at most two
+    // others), so the CG schedule never needs more than two waves.
+    if (cfg.mapping == MapStrategy::IntegrityGreedy &&
+        cfg.usePlanning) {
+        const auto adj =
+            conflictGraph(mapping, cluster.config().socsPerBoard);
+        for (const auto &neighbours : adj) {
+            SOCFLOW_ASSERT(
+                neighbours.size() <= 2,
+                "conflict graph is no longer a union of chains");
+        }
+        SOCFLOW_ASSERT(plan.numCommGroups <= 2,
+                       "CG schedule needs more than two waves");
+    }
+}
+
+void
+SoCFlowTrainer::handlePartition(const fault::FaultSpec &spec)
+{
+    if (!faults)
+        return;
+    TrainerMetrics &m = trainerMetrics();
+    obs::Tracer &tr = obs::tracer();
+
+    // Split the live membership by board reachability.
+    std::vector<sim::SocId> reachable, cut;
+    for (const auto &g : groups) {
+        for (sim::SocId s : g->socs) {
+            if (deadSocs.count(s))
+                continue;
+            if (faults->boardReachable(cluster.board(s)))
+                reachable.push_back(s);
+            else
+                cut.push_back(s);
+        }
+    }
+    ++tally.partitions;
+    timeline.mix(std::uint64_t{0x50}); // 'P': partition
+    timeline.mix(static_cast<std::uint64_t>(spec.board));
+    timeline.mix(static_cast<std::uint64_t>(cut.size()));
+    tr.recordInstant(fault::faultKindName(spec.kind), "fault",
+                     obs::kTrackControl, simClockS);
+    if (cut.empty())
+        return; // the cut grazed only idle boards
+
+    // Detection is not free: the phi detector confirms each cut SoC
+    // only after its adaptive detection latency, plus one sync
+    // timeout for the in-flight collective that first hit the hole.
+    double detectS = engine.syncPolicy().timeoutS;
+    for (sim::SocId s : cut)
+        detectS = std::max(detectS, detector.detectionLatencyS(s) +
+                                        engine.syncPolicy().timeoutS);
+
+    const std::size_t totalLive = reachable.size() + cut.size();
+    sim::SocId lowest = cut.front();
+    for (sim::SocId s : reachable)
+        lowest = std::min(lowest, s);
+    for (sim::SocId s : cut)
+        lowest = std::min(lowest, s);
+
+    if (!membership::hasQuorum(reachable, totalLive, lowest)) {
+        // The reachable side is the minority: nobody may train.
+        // Groups stay exactly as they are -- state preserved -- and
+        // every epoch pauses until the cut heals.
+        quorumLost = true;
+        tally.recoverySeconds += detectS;
+        timeline.mix(std::uint64_t{0});
+        simClockS += detectS;
+        warn(fault::faultKindName(spec.kind), " cut ", cut.size(),
+             " of ", totalLive, " live SoCs and no side holds "
+             "quorum; training paused, state preserved");
+        return;
+    }
+    timeline.mix(std::uint64_t{1});
+
+    // Majority side trains on: park fully-cut groups with their state
+    // intact, strip cut members out of mixed groups, then re-map and
+    // re-plan the survivors under a new generation. The parked side's
+    // stale generation is what fences its traffic at heal time.
+    const std::uint64_t staleGen = gate.current();
+    std::size_t parked = 0, stripped = 0;
+    for (std::size_t i = groups.size(); i-- > 0;) {
+        GroupState &g = *groups[i];
+        bool anyReachable = false;
+        for (sim::SocId s : g.socs) {
+            if (!deadSocs.count(s) &&
+                faults->boardReachable(cluster.board(s))) {
+                anyReachable = true;
+                break;
+            }
+        }
+        if (!anyReachable) {
+            if (groups.size() == 1)
+                break; // never park the last group; pause instead
+            for (sim::SocId s : g.socs)
+                isolatedSinceS.emplace(s, simClockS);
+            pausedGroups.push_back(
+                {std::move(groups[i]), staleGen, simClockS});
+            groups.erase(groups.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            ++parked;
+        } else {
+            for (auto it = g.socs.begin(); it != g.socs.end();) {
+                if (!deadSocs.count(*it) &&
+                    !faults->boardReachable(cluster.board(*it))) {
+                    isolatedSocs.insert(*it);
+                    isolatedSinceS.emplace(*it, simClockS);
+                    detector.forget(*it);
+                    ++stripped;
+                    it = g.socs.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+    remapLiveMembership();
+
+    tally.recoverySeconds += detectS;
+    m.recoveryS.observe(detectS);
+    m.recoveryDigest.observe(detectS);
+    tr.recordSpan("partition fence", "fault", obs::kTrackControl,
+                  simClockS, detectS,
+                  {{"cut_socs", static_cast<double>(cut.size())},
+                   {"parked_groups", static_cast<double>(parked)},
+                   {"generation",
+                    static_cast<double>(gate.current())}});
+    simClockS += detectS;
+    inform(fault::faultKindName(spec.kind), " cut ", cut.size(),
+           " SoCs; majority of ", reachable.size(),
+           " trains on under generation ", gate.current(), " (",
+           parked, " groups parked, ", stripped, " members isolated)");
+}
+
+void
+SoCFlowTrainer::healMemberships()
+{
+    if (!faults)
+        return;
+    TrainerMetrics &m = trainerMetrics();
+    obs::Tracer &tr = obs::tracer();
+    const auto reachableNow = [this](sim::SocId s) {
+        return faults->boardReachable(cluster.board(s));
+    };
+
+    if (quorumLost) {
+        // The whole cluster paused; it resumes only on a full heal
+        // (every live member reachable again).
+        for (const auto &g : groups)
+            for (sim::SocId s : g->socs)
+                if (!deadSocs.count(s) && !reachableNow(s))
+                    return;
+        quorumLost = false;
+        gate.bump();
+        for (auto &g : groups)
+            g->generation = gate.current();
+        timeline.mix(std::uint64_t{0x48}); // 'H': heal, quorum back
+        timeline.mix(gate.current());
+        tr.recordInstant("partition healed (quorum restored)",
+                         "fault", obs::kTrackControl, simClockS);
+        inform("partition healed; training resumes under generation ",
+               gate.current());
+    }
+
+    std::size_t rejoined = 0;
+    double oldestCutS = simClockS;
+    bool changed = false;
+
+    // Resume groups parked on the minority side whose boards are back.
+    for (std::size_t i = pausedGroups.size(); i-- > 0;) {
+        PausedGroup &pg = pausedGroups[i];
+        auto &socs = pg.state->socs;
+        // Members that died while parked never come back.
+        socs.erase(std::remove_if(socs.begin(), socs.end(),
+                                  [this](sim::SocId s) {
+                                      return deadSocs.count(s) != 0 ||
+                                             !faults->socAlive(s);
+                                  }),
+                   socs.end());
+        if (socs.empty()) {
+            pausedGroups.erase(pausedGroups.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+            continue;
+        }
+        bool allReachable = true;
+        for (sim::SocId s : socs)
+            allReachable = allReachable && reachableNow(s);
+        if (!allReachable)
+            continue;
+
+        // The returning leader replays its pre-partition leader-ring
+        // traffic stamped with the stale generation; the fenced ring
+        // rejects that contribution before any reduction forms (the
+        // split-brain guard in action), and the group is restored
+        // from the majority's consensus instead.
+        if (!groups.empty()) {
+            std::vector<sim::SocId> ring;
+            std::vector<std::uint64_t> stamps;
+            for (const auto &g : groups) {
+                ring.push_back(g->socs.front());
+                stamps.push_back(g->generation);
+            }
+            ring.push_back(socs.front());
+            stamps.push_back(pg.staleGeneration);
+            const collectives::SyncOutcome fencedSync =
+                engine.ringAllReduceFenced(ring, profile.paramBytes(),
+                                           stamps, gate.current());
+            fencedTotal += fencedSync.fencedStale;
+            tally.recoverySeconds += fencedSync.stats.seconds;
+
+            const std::vector<float> consensus = globalWeights();
+            pg.state->fp32.setFlatParams(consensus);
+            pg.state->int8.setFlatParams(consensus);
+            pg.state->sgd->resetState();
+        }
+        for (sim::SocId s : socs) {
+            auto it = isolatedSinceS.find(s);
+            if (it != isolatedSinceS.end()) {
+                oldestCutS = std::min(oldestCutS, it->second);
+                m.rejoinDigest.observe(simClockS - it->second);
+                isolatedSinceS.erase(it);
+            }
+        }
+        rejoined += socs.size();
+        groups.push_back(std::move(pg.state));
+        groups.back()->generation = gate.current();
+        pausedGroups.erase(pausedGroups.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        changed = true;
+    }
+
+    // Fold members stripped from mixed groups back in.
+    for (auto it = isolatedSocs.begin(); it != isolatedSocs.end();) {
+        const sim::SocId s = *it;
+        if (deadSocs.count(s) || !faults->socAlive(s)) {
+            it = isolatedSocs.erase(it); // died while isolated
+            continue;
+        }
+        if (!reachableNow(s)) {
+            ++it;
+            continue;
+        }
+        // Weight catch-up: the rejoining SoC fetches the current
+        // group weights + generation from a leader.
+        if (!groups.empty()) {
+            tally.recoverySeconds +=
+                engine.broadcast(groups.front()->socs.front(), {s},
+                                 profile.paramBytes())
+                    .seconds;
+        }
+        auto sinceIt = isolatedSinceS.find(s);
+        if (sinceIt != isolatedSinceS.end()) {
+            oldestCutS = std::min(oldestCutS, sinceIt->second);
+            m.rejoinDigest.observe(simClockS - sinceIt->second);
+            isolatedSinceS.erase(sinceIt);
+        }
+        groups.front()->socs.push_back(s);
+        ++rejoined;
+        it = isolatedSocs.erase(it);
+        changed = true;
+    }
+
+    if (changed) {
+        remapLiveMembership();
+        tally.rejoins += rejoined;
+        m.rejoins.add(static_cast<double>(rejoined));
+        timeline.mix(std::uint64_t{0x52}); // 'R': rejoin wave
+        timeline.mix(static_cast<std::uint64_t>(rejoined));
+        timeline.mix(gate.current());
+        tr.recordSpan("membership heal", "fault", obs::kTrackControl,
+                      simClockS, simClockS - oldestCutS,
+                      {{"rejoined", static_cast<double>(rejoined)},
+                       {"generation",
+                        static_cast<double>(gate.current())}});
+        inform("membership healed: ", rejoined,
+               " SoCs rejoined; generation ", gate.current(), ", ",
+               pausedGroups.size(), " groups still parked");
+    }
+}
+
+void
+SoCFlowTrainer::rejoinSoc(sim::SocId soc)
+{
+    // Already an active member (e.g. a plan rejoin targeting a SoC
+    // that never actually died): nothing to do.
+    if (owningGroup(soc) != groups.size())
+        return;
+    if (faults && !faults->boardReachable(cluster.board(soc))) {
+        // Back up, but behind an active cut: it queues for the heal.
+        isolatedSocs.insert(soc);
+        isolatedSinceS.emplace(soc, simClockS);
+        return;
+    }
+    TrainerMetrics &m = trainerMetrics();
+    obs::Tracer &tr = obs::tracer();
+    deadSocs.erase(soc);
+    isolatedSocs.erase(soc);
+
+    // Catch-up protocol: fetch the current group weights and the
+    // current generation from a leader, then re-map the live set.
+    const double catchUpS =
+        engine.broadcast(groups.front()->socs.front(), {soc},
+                         profile.paramBytes())
+            .seconds;
+    groups.front()->socs.push_back(soc);
+    remapLiveMembership();
+
+    ++tally.rejoins;
+    m.rejoins.add(1.0);
+    tally.recoverySeconds += catchUpS;
+    double downS = catchUpS;
+    auto it = isolatedSinceS.find(soc);
+    if (it != isolatedSinceS.end()) {
+        downS = simClockS - it->second;
+        isolatedSinceS.erase(it);
+    }
+    m.rejoinDigest.observe(downS);
+    m.recoveryS.observe(catchUpS);
+    m.recoveryDigest.observe(catchUpS);
+    timeline.mix(std::uint64_t{0x4a}); // 'J': SoC rejoin
+    timeline.mix(static_cast<std::uint64_t>(soc));
+    timeline.mix(gate.current());
+    tr.recordSpan("soc rejoin", "fault", obs::kTrackControl, simClockS,
+                  catchUpS,
+                  {{"soc", static_cast<double>(soc)},
+                   {"down_seconds", downS},
+                   {"generation",
+                    static_cast<double>(gate.current())}});
+    simClockS += catchUpS;
+    inform("SoC ", soc, " rejoined after ", downS,
+           " s; caught up from its leader under generation ",
+           gate.current());
+}
+
+std::vector<float>
+SoCFlowTrainer::pausedGroupWeights(std::size_t i) const
+{
+    SOCFLOW_ASSERT(i < pausedGroups.size(),
+                   "paused group out of range");
+    return pausedGroups[i].state->fp32.flatParams();
 }
 
 std::vector<float>

@@ -27,7 +27,19 @@
  *    deterministic re-election (highest surviving SoC id in the
  *    group) and re-forms the leader ring mid-epoch. Every fired
  *    fault and recovery is folded into a deterministic timeline hash
- *    for replay checking (same seed => same hash).
+ *    for replay checking (same seed => same hash);
+ *  - partition-tolerant membership (membership/membership.hh): a
+ *    phi-accrual failure detector fed by per-step heartbeats on the
+ *    simulated clock, board/switch partitions resolved by the quorum
+ *    rule (majority side re-maps and trains on, minority groups pause
+ *    with state preserved; no quorum = the whole epoch pauses), a
+ *    monotonic group generation carried in every collective with
+ *    stale-generation fencing (a healed minority can never commit
+ *    weights -- no split-brain double-aggregation), and a rejoin
+ *    protocol that restores returning SoCs from the leaders'
+ *    consensus weights, re-runs mapGroupsOnto + CG planning on the
+ *    live membership, and asserts the Theorem 1/2 invariants still
+ *    hold.
  *
  * The *math* (SGD, quantization, averaging) is executed for real on
  * scaled models; wall-clock and energy are those the calibrated
@@ -43,6 +55,7 @@
 #ifndef SOCFLOW_CORE_SOCFLOW_TRAINER_HH
 #define SOCFLOW_CORE_SOCFLOW_TRAINER_HH
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -51,6 +64,7 @@
 
 #include "collectives/engine.hh"
 #include "fault/fault.hh"
+#include "membership/membership.hh"
 #include "core/comm_plan.hh"
 #include "core/mapping.hh"
 #include "core/mixed_precision.hh"
@@ -58,6 +72,7 @@
 #include "data/dataset.hh"
 #include "nn/sgd.hh"
 #include "nn/zoo.hh"
+#include "obs/metrics.hh"
 #include "quant/int8_trainer.hh"
 #include "sim/calibration.hh"
 #include "sim/cluster.hh"
@@ -98,6 +113,12 @@ struct SoCFlowConfig {
     /** Timeout/retry/backoff envelope for fault-aware syncs; handed
      *  to the collective engine at construction. */
     collectives::SyncPolicy sync;
+
+    /** Phi-accrual suspicion threshold for failure detection (8 =
+     *  a 10^-8 false-positive probability; see membership.hh). */
+    double phiThreshold = 8.0;
+    /** Heartbeat inter-arrival window of the failure detector. */
+    std::size_t phiWindow = 32;
 };
 
 /**
@@ -207,6 +228,44 @@ class SoCFlowTrainer : public DistTrainer
     /** Leader (first member) of active group `g`. */
     sim::SocId groupLeader(std::size_t g) const;
 
+    /** Members of active group `g` (leader first). */
+    std::vector<sim::SocId> groupMembers(std::size_t g) const;
+
+    /**
+     * Current group generation (membership/membership.hh). Bumped on
+     * every membership change -- partition handled, heal, rejoin,
+     * elastic regrow -- and stamped on every cross-group aggregation;
+     * stale-stamped contributions are fenced, never applied.
+     */
+    std::uint64_t generation() const { return gate.current(); }
+
+    /** Stale-generation messages fenced so far (split-brain guard):
+     *  gate rejections at the aggregation boundary plus engine-level
+     *  fenced ring admissions during heal/rejoin. */
+    std::size_t fencedStaleTotal() const { return fencedTotal; }
+
+    /**
+     * True while no partition side holds quorum: every group is
+     * paused in place (state preserved, nothing trains) until heal.
+     */
+    bool quorumPaused() const { return quorumLost; }
+
+    /** Groups paused on the minority side of an active partition. */
+    std::size_t pausedGroupCount() const { return pausedGroups.size(); }
+
+    /** FP32 weights of paused group `i` (state-preservation tests). */
+    std::vector<float> pausedGroupWeights(std::size_t i) const;
+
+    /** The phi-accrual failure detector fed by per-step heartbeats. */
+    const membership::PhiAccrualDetector &failureDetector() const
+    {
+        return detector;
+    }
+
+    /** Highest suspicion level any live SoC ever reached (a healthy
+     *  or merely-straggling run stays below the phi threshold). */
+    double peakSuspicion() const { return peakPhi; }
+
     /**
      * FNV-1a digest of every fired fault and recovery action so far
      * (kind, epoch/step/phase, victim, survivors, recovery cost).
@@ -252,6 +311,8 @@ class SoCFlowTrainer : public DistTrainer
         std::unique_ptr<nn::Sgd> sgd;
         nn::Model int8;
         std::unique_ptr<quant::Int8Trainer> int8Trainer;
+        /** Membership generation this group last synced under. */
+        std::uint64_t generation = 0;
 
         GroupState(std::vector<sim::SocId> socs, const nn::Model &proto,
                    const nn::SgdConfig &scfg,
@@ -282,8 +343,49 @@ class SoCFlowTrainer : public DistTrainer
         std::size_t gradCorruptDetected = 0;
         std::size_t chunksRetransmitted = 0;
         std::size_t syncFailures = 0;
+        std::size_t partitions = 0;
+        std::size_t rejoins = 0;
         double recoverySeconds = 0.0;
     };
+
+    /** A group parked on the minority side of a partition. */
+    struct PausedGroup {
+        std::unique_ptr<GroupState> state;
+        /** Generation the group last synced under (stale once the
+         *  majority bumps; its replayed traffic gets fenced). */
+        std::uint64_t staleGeneration = 0;
+        /** Sim-clock instant the partition cut it off. */
+        double pausedAtS = 0.0;
+    };
+
+    /** React to a BoardPartition/SwitchPartition spec: split the live
+     *  membership by board reachability, apply the quorum rule, park
+     *  minority groups, and re-map + re-plan the majority. */
+    void handlePartition(const fault::FaultSpec &spec);
+
+    /** Epoch-open heal sweep: resume paused groups whose boards are
+     *  reachable again, fold isolated/rejoining SoCs back in, fence
+     *  their stale replayed traffic, and re-map the live set. */
+    void healMemberships();
+
+    /** Rejoin one recovered SoC (SocRejoin or healed isolation):
+     *  weight catch-up broadcast from its leader, then membership. */
+    void rejoinSoc(sim::SocId soc);
+
+    /** Re-run mapGroupsOnto + CG planning over the live members of
+     *  the active groups and bump the generation. */
+    void remapLiveMembership();
+
+    /** Theorem 1/2 invariants on the live mapping (panics on
+     *  violation): every live member in exactly one group; with
+     *  planning on, the conflict graph stays a union of chains
+     *  (degree <= 2) and the CG schedule needs <= 2 waves. */
+    void assertMembershipInvariants() const;
+
+    /** Per-step heartbeat sweep: each live member's arrival lands at
+     *  its own compute-rate-scaled offset; peak phi is sampled just
+     *  before each arrival (the most suspicious instant). */
+    void heartbeatSweep(double step_start_s, double step_compute_s);
 
     /** Dispatch specs fired by an injector advance to the matching
      *  recovery path (`step` labels trace spans / the timeline). */
@@ -324,8 +426,30 @@ class SoCFlowTrainer : public DistTrainer
 
     /** Optional fault source (not owned). */
     fault::FaultInjector *faults = nullptr;
-    /** SoCs lost to crashes; never re-admitted. */
+    /** SoCs lost to crashes; re-admitted only via a SocRejoin. */
     std::set<sim::SocId> deadSocs;
+    /** Phi-accrual failure detector on the simulated clock. */
+    membership::PhiAccrualDetector detector;
+    /** Group generation + stale-message fencing. */
+    membership::GenerationGate gate;
+    /** Groups parked by the quorum rule, preserved for rejoin. */
+    std::vector<PausedGroup> pausedGroups;
+    /** SoCs stripped from mixed groups by a partition; they rejoin
+     *  (weight catch-up) when their board heals. */
+    std::set<sim::SocId> isolatedSocs;
+    /** When each isolated/paused SoC lost contact (rejoin latency). */
+    std::map<sim::SocId, double> isolatedSinceS;
+    /** True while no partition side holds quorum. */
+    bool quorumLost = false;
+    /** Highest phi any live SoC reached (false-positive guard). */
+    double peakPhi = 0.0;
+    /** Stale messages fenced so far (gate + engine admissions). */
+    std::size_t fencedTotal = 0;
+    /** fencedTotal already folded into earlier epoch records. */
+    std::size_t fencedReported = 0;
+    /** Cached per-group collective-latency sketches (leader fan-in);
+     *  refreshed when the group count changes. */
+    std::vector<obs::TDigest *> groupDigests;
     /** Recovery events since the last epoch record was cut. */
     RecoveryTally tally;
     /** Deterministic digest of the fault/recovery timeline. */

@@ -42,6 +42,18 @@ struct EpochRecord {
     std::size_t gradCorruptDetected = 0;//!< CRC mismatches caught
     std::size_t chunksRetransmitted = 0;//!< chunks re-requested clean
     std::size_t syncFailures = 0;       //!< typed failures (dropped)
+
+    // Membership churn (partitions, fencing, rejoin; see
+    // membership/membership.hh).
+    std::size_t partitions = 0;         //!< network cuts handled
+    std::size_t rejoins = 0;            //!< SoCs folded back in
+    std::size_t fencedStaleMsgs = 0;    //!< stale-generation rejects
+    /**
+     * True when no side of an active partition held quorum, so the
+     * epoch trained nothing and preserved all state (distinct from a
+     * failed epoch: nothing was lost, training resumes on heal).
+     */
+    bool paused = false;
 };
 
 /** A whole training run. */

@@ -24,6 +24,9 @@ injectedCounter(FaultKind k)
         obs::Counter &midWave;
         obs::Counter &gradCorrupt;
         obs::Counter &leader;
+        obs::Counter &boardPart;
+        obs::Counter &switchPart;
+        obs::Counter &rejoin;
         Counters()
             : crash(obs::metrics().counter("fault_injected_total",
                                            {{"kind", "soc_crash"}})),
@@ -39,7 +42,15 @@ injectedCounter(FaultKind k)
               gradCorrupt(obs::metrics().counter(
                   "fault_injected_total", {{"kind", "grad_corrupt"}})),
               leader(obs::metrics().counter(
-                  "fault_injected_total", {{"kind", "leader_crash"}}))
+                  "fault_injected_total", {{"kind", "leader_crash"}})),
+              boardPart(obs::metrics().counter(
+                  "fault_injected_total",
+                  {{"kind", "board_partition"}})),
+              switchPart(obs::metrics().counter(
+                  "fault_injected_total",
+                  {{"kind", "switch_partition"}})),
+              rejoin(obs::metrics().counter(
+                  "fault_injected_total", {{"kind", "soc_rejoin"}}))
         {
         }
     };
@@ -59,8 +70,33 @@ injectedCounter(FaultKind k)
         return c.gradCorrupt;
       case FaultKind::LeaderCrash:
         return c.leader;
+      case FaultKind::BoardPartition:
+        return c.boardPart;
+      case FaultKind::SwitchPartition:
+        return c.switchPart;
+      case FaultKind::SocRejoin:
+        return c.rejoin;
     }
     panic("unknown fault kind");
+}
+
+/** Partition accounting, labelled by cut scope. */
+obs::Counter &
+partitionCounter(FaultKind k)
+{
+    struct Counters {
+        obs::Counter &board;
+        obs::Counter &sw;
+        Counters()
+            : board(obs::metrics().counter("partition_total",
+                                           {{"kind", "board"}})),
+              sw(obs::metrics().counter("partition_total",
+                                        {{"kind", "switch"}}))
+        {
+        }
+    };
+    static Counters c;
+    return k == FaultKind::BoardPartition ? c.board : c.sw;
 }
 
 } // namespace
@@ -83,6 +119,12 @@ faultKindName(FaultKind k)
         return "grad-corrupt";
       case FaultKind::LeaderCrash:
         return "leader-crash";
+      case FaultKind::BoardPartition:
+        return "board-partition";
+      case FaultKind::SwitchPartition:
+        return "switch-partition";
+      case FaultKind::SocRejoin:
+        return "soc-rejoin";
     }
     panic("unknown fault kind");
 }
@@ -191,6 +233,50 @@ FaultPlan::random(const FaultPlanConfig &cfg)
         s.soc = rng.uniformInt(cfg.numSocs);
         plan.add(s);
     }
+    for (std::size_t i = 0; i < cfg.boardPartitions; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::BoardPartition;
+        s.epoch = pickEpoch();
+        s.board = rng.uniformInt(numBoards);
+        s.durationEpochs = cfg.partitionWindowEpochs;
+        plan.add(s);
+    }
+    for (std::size_t i = 0; i < cfg.switchPartitions; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::SwitchPartition;
+        s.epoch = pickEpoch();
+        const std::size_t span =
+            std::min(cfg.switchPartitionBoards, numBoards);
+        s.board = rng.uniformInt(numBoards - span + 1);
+        s.count = span;
+        s.durationEpochs = cfg.partitionWindowEpochs;
+        plan.add(s);
+    }
+    // Rejoins target SoCs the plan has already crashed (when it has
+    // any), landing strictly after the crash so the comeback is real.
+    std::vector<FaultSpec> crashes;
+    for (const FaultSpec &s : plan.specs()) {
+        if (s.kind == FaultKind::SocCrash ||
+            s.kind == FaultKind::SocCrashMidWave ||
+            s.kind == FaultKind::LeaderCrash)
+            crashes.push_back(s);
+    }
+    for (std::size_t i = 0; i < cfg.rejoins; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::SocRejoin;
+        if (!crashes.empty()) {
+            const FaultSpec &c =
+                crashes[rng.uniformInt(crashes.size())];
+            s.soc = c.soc;
+            s.epoch = std::min(c.epoch + 1 +
+                                   rng.uniformInt(cfg.windowEpochs),
+                               cfg.horizonEpochs - 1);
+        } else {
+            s.soc = rng.uniformInt(cfg.numSocs);
+            s.epoch = pickEpoch();
+        }
+        plan.add(s);
+    }
     return plan;
 }
 
@@ -239,6 +325,7 @@ FaultInjector::advanceTo(const FaultPoint &now)
     };
     expire(slow);
     expire(degraded);
+    expire(partitioned);
 
     std::vector<FaultSpec> fired;
     const auto &specs = schedule.specs();
@@ -280,6 +367,30 @@ FaultInjector::advanceTo(const FaultPoint &now)
           case FaultKind::GradCorrupt:
             gradCorruptBudget += s.count;
             break;
+          case FaultKind::BoardPartition:
+            partitioned.emplace(
+                s.board, Window{s.epoch + s.durationEpochs, 0.0});
+            partitionCounter(s.kind).add(1.0);
+            break;
+          case FaultKind::SwitchPartition:
+            // A ToR port/cable cut takes out a run of adjacent
+            // boards: [board, board + count).
+            for (std::size_t b = 0; b < std::max<std::size_t>(
+                                            s.count, 1); ++b)
+                partitioned.emplace(
+                    s.board + b,
+                    Window{s.epoch + s.durationEpochs, 0.0});
+            partitionCounter(s.kind).add(1.0);
+            break;
+          case FaultKind::SocRejoin:
+            // The SoC is back on the network; the membership layer
+            // runs the actual rejoin protocol (weight catch-up,
+            // generation bump, live re-mapping).
+            if (dead.erase(s.soc) != 0)
+                crashed.erase(std::remove(crashed.begin(),
+                                          crashed.end(), s.soc),
+                              crashed.end());
+            break;
         }
         fired.push_back(s);
     }
@@ -320,6 +431,17 @@ FaultInjector::linkFactor(sim::BoardId board) const
             f = std::min(f, it->second.factor);
     }
     return f;
+}
+
+bool
+FaultInjector::boardReachable(sim::BoardId board) const
+{
+    auto [lo, hi] = partitioned.equal_range(board);
+    for (auto it = lo; it != hi; ++it) {
+        if (it->second.untilEpoch > clock.epoch)
+            return false;
+    }
+    return true;
 }
 
 bool

@@ -56,6 +56,9 @@ enum class FaultKind {
     SocCrashMidWave, //!< ring member dies holding a partial chunk
     GradCorrupt,     //!< gradient chunks arrive bit-flipped/truncated
     LeaderCrash,     //!< group leader dies in the cross-group ring
+    BoardPartition,  //!< one board's uplink cut: 5 SoCs unreachable
+    SwitchPartition, //!< `count` adjacent boards cut (ToR port/cable)
+    SocRejoin,       //!< a crashed SoC comes back and asks to rejoin
 };
 
 /** Printable fault-kind name. */
@@ -111,13 +114,16 @@ struct FaultSpec {
     FaultPhase phase = FaultPhase::Compute;
     /** Target SoC (crash kinds, Straggler, GradCorrupt ring pick). */
     sim::SocId soc = 0;
-    /** Target board (LinkDegrade). */
+    /** Target board (LinkDegrade, BoardPartition, SwitchPartition). */
     sim::BoardId board = 0;
     /** Rate multiplier in (0, 1] (LinkDegrade, Straggler). */
     double factor = 1.0;
-    /** Window length in epochs (LinkDegrade, Straggler). */
+    /** Window length in epochs (LinkDegrade, Straggler, partitions). */
     std::size_t durationEpochs = 1;
-    /** Failed writes (CheckpointFail) / corrupt chunks (GradCorrupt). */
+    /**
+     * Failed writes (CheckpointFail) / corrupt chunks (GradCorrupt) /
+     * boards cut (SwitchPartition: [board, board + count)).
+     */
     std::size_t count = 1;
     /**
      * Fraction of the wave's ring rounds already acked when a
@@ -147,11 +153,16 @@ struct FaultPlanConfig {
     std::size_t midWaveCrashes = 0;  //!< SocCrashMidWave events
     std::size_t gradCorrupts = 0;    //!< GradCorrupt bursts
     std::size_t leaderCrashes = 0;   //!< LeaderCrash events
+    std::size_t boardPartitions = 0; //!< BoardPartition windows
+    std::size_t switchPartitions = 0; //!< SwitchPartition windows
+    std::size_t rejoins = 0;         //!< SocRejoin events
     double linkFactor = 0.25;       //!< degraded NIC bandwidth share
     double stragglerFactor = 0.5;   //!< slowed SoC compute share
     std::size_t windowEpochs = 4;   //!< degrade/straggle window
     std::size_t checkpointFailBurst = 2;  //!< failed writes per event
     std::size_t gradCorruptBurst = 1;     //!< corrupt chunks per event
+    std::size_t partitionWindowEpochs = 3; //!< partition heal horizon
+    std::size_t switchPartitionBoards = 2; //!< boards per switch cut
     std::uint64_t seed = 2024;
 };
 
@@ -197,6 +208,15 @@ class FaultModel
 
     /** Board-NIC bandwidth multiplier in (0, 1]; 1 = healthy. */
     virtual double linkFactor(sim::BoardId board) const = 0;
+
+    /**
+     * False while the board's uplink is cut by an active
+     * BoardPartition / SwitchPartition window. An unreachable board's
+     * SoCs are alive (state intact, weights preserved) but cannot be
+     * heard from -- the membership layer, not the fault layer, decides
+     * which side of the cut keeps training.
+     */
+    virtual bool boardReachable(sim::BoardId) const { return true; }
 };
 
 /**
@@ -230,6 +250,7 @@ class FaultInjector : public FaultModel
     bool socAlive(sim::SocId soc) const override;
     double computeFactor(sim::SocId soc) const override;
     double linkFactor(sim::BoardId board) const override;
+    bool boardReachable(sim::BoardId board) const override;
 
     /**
      * Consume one pending checkpoint-write failure. Returns true when
@@ -259,7 +280,10 @@ class FaultInjector : public FaultModel
     /** Corrupt chunks still queued. */
     std::size_t pendingGradCorrupt() const { return gradCorruptBudget; }
 
-    /** SoCs crashed so far (all crash kinds), in firing order. */
+    /**
+     * SoCs currently down (all crash kinds), in firing order; a
+     * SocRejoin removes its target from this list.
+     */
     const std::vector<sim::SocId> &crashedSocs() const
     {
         return crashed;
@@ -288,6 +312,7 @@ class FaultInjector : public FaultModel
     std::vector<sim::SocId> crashed;
     std::multimap<sim::SocId, Window> slow;
     std::multimap<sim::BoardId, Window> degraded;
+    std::multimap<sim::BoardId, Window> partitioned;
     std::size_t ckptFailBudget = 0;
     std::size_t gradCorruptBudget = 0;
 };

@@ -1,0 +1,125 @@
+#include "membership/membership.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hh"
+
+namespace socflow {
+namespace membership {
+
+namespace {
+
+constexpr double kLn10 = 2.302585092994046;
+
+struct MembershipMetrics {
+    obs::Counter &fencedStale;
+    obs::Gauge &generation;
+
+    static MembershipMetrics &get()
+    {
+        static MembershipMetrics m{
+            obs::metrics().counter("fenced_stale_msgs_total"),
+            obs::metrics().gauge("membership_generation"),
+        };
+        return m;
+    }
+};
+
+} // namespace
+
+PhiAccrualDetector::PhiAccrualDetector(PhiConfig cfg_) : cfg(cfg_)
+{
+    if (cfg.windowSize == 0) cfg.windowSize = 1;
+    if (cfg.minSamples == 0) cfg.minSamples = 1;
+}
+
+void PhiAccrualDetector::heartbeat(sim::SocId soc, double now_s)
+{
+    auto it = socs.find(soc);
+    if (it == socs.end()) {
+        // First arrival: anchor the clock, no interval yet.
+        State st;
+        st.lastArrivalS = now_s;
+        st.intervals.assign(cfg.windowSize, 0.0);
+        socs.emplace(soc, std::move(st));
+        return;
+    }
+    State &st = it->second;
+    const double interval = std::max(0.0, now_s - st.lastArrivalS);
+    st.lastArrivalS = now_s;
+    st.intervalSum -= st.intervals[st.next];
+    st.intervals[st.next] = interval;
+    st.intervalSum += interval;
+    st.next = (st.next + 1) % cfg.windowSize;
+    if (st.samples < cfg.windowSize) ++st.samples;
+}
+
+double PhiAccrualDetector::meanOf(const State &st) const
+{
+    if (st.samples < cfg.minSamples) return cfg.bootstrapIntervalS;
+    const double mean = st.intervalSum / static_cast<double>(st.samples);
+    // A floor keeps phi finite when heartbeats arrive back-to-back
+    // (zero intervals would make every gap infinitely suspicious).
+    return std::max(mean, 1e-9);
+}
+
+double PhiAccrualDetector::phi(sim::SocId soc, double now_s) const
+{
+    auto it = socs.find(soc);
+    if (it == socs.end()) return 0.0;
+    const State &st = it->second;
+    const double gap = std::max(0.0, now_s - st.lastArrivalS);
+    // Exponential inter-arrival model: P(gap > t) = exp(-t/mean), so
+    // phi = -log10 P = gap / (mean * ln 10).
+    return gap / (meanOf(st) * kLn10);
+}
+
+bool PhiAccrualDetector::suspect(sim::SocId soc, double now_s) const
+{
+    return phi(soc, now_s) > cfg.threshold;
+}
+
+double PhiAccrualDetector::meanIntervalS(sim::SocId soc) const
+{
+    auto it = socs.find(soc);
+    if (it == socs.end()) return cfg.bootstrapIntervalS;
+    return meanOf(it->second);
+}
+
+double PhiAccrualDetector::detectionLatencyS(sim::SocId soc) const
+{
+    return cfg.threshold * meanIntervalS(soc) * kLn10;
+}
+
+void PhiAccrualDetector::forget(sim::SocId soc) { socs.erase(soc); }
+
+std::uint64_t GenerationGate::bump()
+{
+    ++gen;
+    MembershipMetrics::get().generation.set(static_cast<double>(gen));
+    return gen;
+}
+
+bool GenerationGate::admit(std::uint64_t msg_generation)
+{
+    if (msg_generation >= gen) return true;
+    ++fenced;
+    MembershipMetrics::get().fencedStale.add(1);
+    return false;
+}
+
+bool hasQuorum(const std::vector<sim::SocId> &side,
+               std::size_t total_live, sim::SocId lowest_live)
+{
+    if (total_live == 0) return false;
+    const std::size_t n = side.size();
+    if (2 * n > total_live) return true;
+    if (2 * n == total_live)
+        return std::find(side.begin(), side.end(), lowest_live) !=
+               side.end();
+    return false;
+}
+
+} // namespace membership
+} // namespace socflow

@@ -73,6 +73,24 @@ FlightRecorder::spanCount() const
     return held;
 }
 
+std::size_t
+FlightRecorder::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return cap;
+}
+
+void
+FlightRecorder::setCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    cap = capacity ? capacity : 1;
+    ring.clear();
+    ring.resize(cap);
+    next = 0;
+    held = 0;
+}
+
 bool
 FlightRecorder::dumpPostMortem(std::string_view reason,
                                std::uint64_t timeline_hash)
@@ -137,6 +155,16 @@ flightRecorder()
     // binary without per-binary flag plumbing.
     static FlightRecorder *global = [] {
         auto *r = new FlightRecorder();
+        if (const char *spans =
+                std::getenv("SOCFLOW_POSTMORTEM_SPANS");
+            spans && *spans) {
+            const long n = std::strtol(spans, nullptr, 10);
+            if (n > 0)
+                r->setCapacity(static_cast<std::size_t>(n));
+            else
+                warn("flight recorder: ignoring invalid "
+                     "SOCFLOW_POSTMORTEM_SPANS=", spans);
+        }
         if (const char *env = std::getenv("SOCFLOW_POSTMORTEM");
             env && *env) {
             r->arm(env);

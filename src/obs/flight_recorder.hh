@@ -72,7 +72,16 @@ class FlightRecorder
     std::size_t spanCount() const;
 
     /** Ring capacity. */
-    std::size_t capacity() const { return cap; }
+    std::size_t capacity() const;
+
+    /**
+     * Resize the ring to hold `capacity` spans (clamped to >= 1).
+     * Buffered spans are dropped -- sizing happens at startup, before
+     * anything interesting was recorded. Exposed as the
+     * --postmortem-spans flag and the SOCFLOW_POSTMORTEM_SPANS
+     * environment variable.
+     */
+    void setCapacity(std::size_t capacity);
 
     /**
      * Write the post-mortem JSON to the armed path: failure reason,
@@ -91,7 +100,7 @@ class FlightRecorder
     }
 
   private:
-    const std::size_t cap;
+    std::size_t cap;
     mutable std::mutex mu;
     std::vector<TraceEvent> ring;  //!< pre-allocated, size == cap
     std::size_t next = 0;          //!< slot the next event overwrites

@@ -110,6 +110,18 @@ class HarvestDriver
 
         // Train one epoch in this slot.
         const core::EpochRecord rec = trainer.runEpoch();
+        if (rec.paused) {
+            // No partition side held quorum: nothing trained, nothing
+            // lost. Counted as paused, NOT as a trained epoch and NOT
+            // as a failure -- training resumes when the cut heals.
+            ++report.pausedEpochs;
+            report.crashRecoveries += rec.crashes;
+            report.partitions += rec.partitions;
+            report.rejoins += rec.rejoins;
+            report.fencedStaleMsgs += rec.fencedStaleMsgs;
+            report.recoverySeconds += rec.recoverySeconds;
+            return;
+        }
         ++report.epochsTrained;
         report.trainingHours += rec.simSeconds / 3600.0;
         if (cfg.metricSeries && cfg.metricsSnapshotEvery > 0 &&
@@ -132,6 +144,9 @@ class HarvestDriver
         report.gradCorruptDetected += rec.gradCorruptDetected;
         report.chunksRetransmitted += rec.chunksRetransmitted;
         report.syncFailures += rec.syncFailures;
+        report.partitions += rec.partitions;
+        report.rejoins += rec.rejoins;
+        report.fencedStaleMsgs += rec.fencedStaleMsgs;
 
         ev.kind = HarvestEvent::Kind::Train;
         ev.activeGroups = trainer.activeGroups();

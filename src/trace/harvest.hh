@@ -109,6 +109,17 @@ struct HarvestReport {
     std::size_t gradCorruptDetected = 0; //!< CRC mismatches caught
     std::size_t chunksRetransmitted = 0; //!< chunks re-requested
     std::size_t syncFailures = 0;        //!< typed failures (dropped)
+
+    // Membership churn (partitions, fencing, rejoin; see
+    // membership/membership.hh). Tidal SoC harvesting makes rejoin
+    // traffic routine, not exceptional.
+    std::size_t partitions = 0;       //!< network cuts handled
+    std::size_t rejoins = 0;          //!< SoCs folded back in
+    std::size_t fencedStaleMsgs = 0;  //!< stale-generation rejects
+    /** Epochs where no partition side held quorum: the trainer
+     *  paused and preserved state instead of training (distinct from
+     *  epochsTrained AND from a failure -- nothing was lost). */
+    std::size_t pausedEpochs = 0;
     /** Deterministic digest of the trainer's fault/recovery timeline
      *  (same seeds => same hash; replay divergence is a bug). */
     std::uint64_t timelineHash = 0;

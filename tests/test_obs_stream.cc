@@ -716,6 +716,31 @@ TEST(FlightRecorder, RingKeepsLastNInOrder)
                   "s" + std::to_string(6 + i));
 }
 
+TEST(FlightRecorder, SetCapacityResizesAndResetsTheRing)
+{
+    FlightRecorder rec(4);
+    rec.arm(tmpPath("unused_postmortem.json"));
+    for (int i = 0; i < 6; ++i) {
+        TraceEvent e;
+        e.name = "old" + std::to_string(i);
+        rec.record(e);
+    }
+    rec.setCapacity(2);  // the --postmortem-spans knob
+    EXPECT_EQ(rec.capacity(), 2u);
+    EXPECT_EQ(rec.spanCount(), 0u) << "sizing drops buffered spans";
+    for (int i = 0; i < 5; ++i) {
+        TraceEvent e;
+        e.name = "new" + std::to_string(i);
+        rec.record(e);
+    }
+    const std::vector<TraceEvent> spans = rec.lastSpans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "new3");
+    EXPECT_EQ(spans[1].name, "new4");
+    rec.setCapacity(0);  // clamped, never a zero-size ring
+    EXPECT_EQ(rec.capacity(), 1u);
+}
+
 TEST(FlightRecorder, DisarmedRecorderIgnoresEverything)
 {
     FlightRecorder rec(8);
