@@ -15,6 +15,7 @@
 #include "obs/stream_sink.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace socflow {
 namespace bench {
@@ -56,6 +57,34 @@ metricsIntervalEpochs()
 {
     static std::size_t n = 0;
     return n;
+}
+
+bool &
+smokeFlag()
+{
+    static bool smoke = false;
+    return smoke;
+}
+
+std::uint64_t &
+seedValue()
+{
+    static std::uint64_t seed = 42;
+    return seed;
+}
+
+std::string &
+benchJsonOutPath()
+{
+    static std::string p;
+    return p;
+}
+
+std::string &
+baselinePath()
+{
+    static std::string p;
+    return p;
 }
 
 /** The streaming sink, when rotation was requested (leaked; its
@@ -131,10 +160,16 @@ initBenchObservability(int &argc, char **argv)
     std::string rotateMbValue;
     std::string intervalValue;
     std::string postmortemSpansValue;
+    std::string threadsValue;
+    std::string seedStr;
     int out = 1;
     bool any = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smokeFlag() = true;
+            continue;
+        }
         std::string *dest = nullptr;
         std::string value;
         bool consumed = false;
@@ -145,7 +180,11 @@ initBenchObservability(int &argc, char **argv)
               {"--postmortem-out", &postmortemOutPath()},
               {"--trace-rotate-mb", &rotateMbValue},
               {"--metrics-interval", &intervalValue},
-              {"--postmortem-spans", &postmortemSpansValue}}) {
+              {"--postmortem-spans", &postmortemSpansValue},
+              {"--threads", &threadsValue},
+              {"--seed", &seedStr},
+              {"--bench-json", &benchJsonOutPath()},
+              {"--baseline", &baselinePath()}}) {
             const std::string prefix = std::string(flag) + "=";
             if (arg.rfind(prefix, 0) == 0) {
                 dest = path;
@@ -172,6 +211,11 @@ initBenchObservability(int &argc, char **argv)
     }
     argc = out;
     argv[argc] = nullptr;
+
+    if (!threadsValue.empty())
+        setGlobalThreads(parseCount("--threads", threadsValue));
+    if (!seedStr.empty())
+        seedValue() = parseCount("--seed", seedStr);
 
     if (!any)
         return;
@@ -219,6 +263,130 @@ obs::MetricSeriesWriter *
 metricSeries()
 {
     return seriesWriter();
+}
+
+bool
+smokeMode()
+{
+    return smokeFlag();
+}
+
+std::uint64_t
+benchSeed()
+{
+    return seedValue();
+}
+
+const std::string &
+benchJsonPath()
+{
+    return benchJsonOutPath();
+}
+
+const std::string &
+benchBaselinePath()
+{
+    return baselinePath();
+}
+
+bool
+writeBenchJson(const std::string &path, const BenchReport &report)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out.precision(17);
+    out << "{\n"
+        << "  \"bench\": \"" << report.bench << "\",\n"
+        << "  \"seed\": " << report.seed << ",\n"
+        << "  \"scale\": " << report.scale << ",\n"
+        << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < report.runs.size(); ++i) {
+        const BenchRun &r = report.runs[i];
+        out << "    {\"threads\": " << r.threads
+            << ", \"wall_seconds\": " << r.wallSeconds
+            << ", \"epochs_trained\": " << r.epochsTrained
+            << ", \"epochs_per_sec\": " << r.epochsPerSec
+            << ", \"events_per_sec\": " << r.eventsPerSec
+            << ", \"timeline_hash\": \"" << std::hex << r.timelineHash
+            << std::dec << "\"}"
+            << (i + 1 < report.runs.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+}
+
+namespace {
+
+/** Scan forward from `from` for `"key": <value token>`. */
+bool
+jsonValueAfter(const std::string &text, const std::string &key,
+               std::size_t from, std::string &token, std::size_t &at)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t k = text.find(needle, from);
+    if (k == std::string::npos)
+        return false;
+    std::size_t p = k + needle.size();
+    while (p < text.size() && (text[p] == ' ' || text[p] == '"'))
+        ++p;
+    std::size_t e = p;
+    while (e < text.size() && text[e] != ',' && text[e] != '}' &&
+           text[e] != '\n' && text[e] != '"')
+        ++e;
+    token = text.substr(p, e - p);
+    at = e;
+    return true;
+}
+
+} // namespace
+
+bool
+readBenchJson(const std::string &path, BenchReport &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    out = BenchReport{};
+    std::string tok;
+    std::size_t pos = 0;
+    if (jsonValueAfter(text, "bench", 0, tok, pos))
+        out.bench = tok;
+    if (jsonValueAfter(text, "seed", 0, tok, pos))
+        out.seed = std::strtoull(tok.c_str(), nullptr, 10);
+    if (jsonValueAfter(text, "scale", 0, tok, pos))
+        out.scale = std::atof(tok.c_str());
+
+    std::size_t cursor = text.find("\"runs\"");
+    if (cursor == std::string::npos)
+        return false;
+    for (;;) {
+        BenchRun r;
+        if (!jsonValueAfter(text, "threads", cursor, tok, cursor))
+            break;
+        r.threads = std::strtoull(tok.c_str(), nullptr, 10);
+        if (!jsonValueAfter(text, "wall_seconds", cursor, tok, cursor))
+            return false;
+        r.wallSeconds = std::atof(tok.c_str());
+        if (!jsonValueAfter(text, "epochs_trained", cursor, tok, cursor))
+            return false;
+        r.epochsTrained = std::strtoull(tok.c_str(), nullptr, 10);
+        if (!jsonValueAfter(text, "epochs_per_sec", cursor, tok, cursor))
+            return false;
+        r.epochsPerSec = std::atof(tok.c_str());
+        if (!jsonValueAfter(text, "events_per_sec", cursor, tok, cursor))
+            return false;
+        r.eventsPerSec = std::atof(tok.c_str());
+        if (!jsonValueAfter(text, "timeline_hash", cursor, tok, cursor))
+            return false;
+        r.timelineHash = std::strtoull(tok.c_str(), nullptr, 16);
+        out.runs.push_back(r);
+    }
+    return !out.runs.empty();
 }
 
 FaultPolicyFlags
@@ -281,6 +449,13 @@ parseFaultPolicyFlags(int &argc, char **argv)
 const std::vector<Workload> &
 paperWorkloads()
 {
+    // Smoke tier: one tiny workload so every bench binary finishes in
+    // seconds under ctest while still exercising its full code path.
+    static const std::vector<Workload> smoke = {
+        {"LeNet5-FMNIST", "lenet5", "fmnist", 16},
+    };
+    if (smokeFlag())
+        return smoke;
     static const std::vector<Workload> workloads = {
         {"MobileNet", "mobilenet_v1", "cifar10", 64},
         {"VGG11", "vgg11", "cifar10", 32},
@@ -304,6 +479,8 @@ transferWorkload()
 double
 benchScale()
 {
+    if (smokeFlag())
+        return 0.05;
     static const double scale = [] {
         const char *env = std::getenv("SOCFLOW_BENCH_SCALE");
         if (!env)
@@ -317,6 +494,8 @@ benchScale()
 std::size_t
 scaledEpochs(std::size_t full)
 {
+    if (smokeFlag())
+        return 1;
     const double scaled = static_cast<double>(full) * benchScale();
     return std::max<std::size_t>(3,
                                  static_cast<std::size_t>(scaled + 0.5));
@@ -331,6 +510,7 @@ oursConfig(const Workload &w, std::size_t num_socs,
     cfg.numSocs = num_socs;
     cfg.numGroups = num_groups;
     cfg.groupBatch = w.batch;
+    cfg.seed = seedValue(); // --seed, default 42: reproducible BENCH numbers
     return cfg;
 }
 
@@ -341,6 +521,7 @@ baselineConfig(const Workload &w, std::size_t num_socs)
     cfg.modelFamily = w.model;
     cfg.numSocs = num_socs;
     cfg.globalBatch = w.batch;
+    cfg.seed = seedValue(); // --seed, default 42
     return cfg;
 }
 
@@ -485,7 +666,10 @@ cachePath(const Workload &w, std::size_t socs, std::size_t epochs)
 {
     std::ostringstream oss;
     oss << ".bench_cache/" << w.key << '_' << socs << '_' << epochs
-        << '_' << benchScale() << ".txt";
+        << '_' << benchScale() << (smokeFlag() ? "_smoke" : "");
+    if (seedValue() != 42)
+        oss << "_s" << seedValue();
+    oss << ".txt";
     return oss.str();
 }
 

@@ -20,6 +20,7 @@
 #define SOCFLOW_BENCH_BENCH_COMMON_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -63,6 +64,20 @@ struct Workload {
  *                             retained for the post-mortem; default
  *                             256, SOCFLOW_POSTMORTEM_SPANS env form
  *                             works for un-flagged binaries)
+ *   --smoke                   smoke tier: one tiny workload, 1-epoch
+ *                             budgets, bench scale pinned to minimum
+ *                             (the ctest bench_smoke_* registrations)
+ *   --threads=<n>             size the process-wide thread pool
+ *                             (util::setGlobalThreads); default is
+ *                             SOCFLOW_THREADS else all cores
+ *   --seed=<n>                root seed for bench RNGs (default 42)
+ *                             so committed BENCH numbers reproduce
+ *                             run-to-run on the same machine
+ *   --bench-json=<path>       write the machine-readable throughput
+ *                             report here (see writeBenchJson)
+ *   --baseline=<path>         compare against a committed BENCH_*.json
+ *                             and fail on >10% epochs/sec regression
+ *                             (consumed by bench_e2e_throughput)
  *
  * enables the process tracer when a trace path is given, and
  * registers an atexit hook that writes the Chrome trace_event JSON
@@ -82,6 +97,45 @@ std::size_t metricsInterval();
  * trace::HarvestConfig::metricSeries.
  */
 obs::MetricSeriesWriter *metricSeries();
+
+/** True when --smoke was given (ctest smoke tier). */
+bool smokeMode();
+
+/** --seed flag value (default 42): root seed for bench RNGs. */
+std::uint64_t benchSeed();
+
+/** --bench-json flag value (empty = not requested). */
+const std::string &benchJsonPath();
+
+/** --baseline flag value (empty = no regression comparison). */
+const std::string &benchBaselinePath();
+
+/** One measured thread configuration of a throughput bench. */
+struct BenchRun {
+    std::size_t threads = 1;
+    double wallSeconds = 0.0;
+    std::size_t epochsTrained = 0;
+    double epochsPerSec = 0.0;  //!< simulated epochs per wall second
+    double eventsPerSec = 0.0;  //!< trainer step events per wall second
+    std::uint64_t timelineHash = 0;  //!< must match across rows
+};
+
+/**
+ * Machine-readable throughput report: the committed BENCH_*.json
+ * trajectory every later PR proves its speedup against.
+ */
+struct BenchReport {
+    std::string bench;       //!< emitting binary, e.g. "bench_e2e_throughput"
+    std::uint64_t seed = 42; //!< benchSeed() used for the run
+    double scale = 1.0;      //!< benchScale() used for the run
+    std::vector<BenchRun> runs;
+};
+
+/** Write a report as pretty-printed JSON. Returns false on I/O error. */
+bool writeBenchJson(const std::string &path, const BenchReport &report);
+
+/** Parse a report written by writeBenchJson. */
+bool readBenchJson(const std::string &path, BenchReport &out);
 
 /** Fault-handling knobs parsed from the command line. */
 struct FaultPolicyFlags {

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * End-to-end simulator throughput on a fixed-seed harvest day.
+ *
+ * Runs the same 24-hour co-location scenario (tidal trace, group
+ * preemption, checkpoint/resume) at 1/2/4/8 worker threads and
+ * reports simulated-epochs/sec, trainer-step events/sec, and
+ * wall-clock per configuration. The timeline hash must be identical
+ * across all thread counts -- the bench exits non-zero if the
+ * parallel core ever diverges from serial.
+ *
+ * Flags (besides the shared observability set):
+ *   --seed=<n>        root seed (default 42); committed BENCH_*.json
+ *                     numbers are reproducible for a fixed seed
+ *   --bench-json=<p>  write the machine-readable report here
+ *   --baseline=<p>    compare against a committed BENCH_*.json and
+ *                     exit non-zero if epochs/sec at the anchor
+ *                     thread count regressed by more than 10%
+ *   --smoke           tiny scenario + {1,2} threads for ctest
+ *
+ * Workflow (see README "Performance baseline"):
+ *   ./build/bench/bench_e2e_throughput --bench-json=BENCH_new.json \
+ *       --baseline=BENCH_baseline.json
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/socflow_trainer.hh"
+#include "data/synthetic.hh"
+#include "obs/metrics.hh"
+#include "trace/harvest.hh"
+#include "trace/tidal.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+
+using namespace socflow;
+
+namespace {
+
+/** The fixed harvest-day scenario, scaled down under --smoke. */
+struct Scenario {
+    const char *model;
+    const char *dataset;
+    std::size_t numSocs;
+    std::size_t numGroups;
+    std::size_t groupBatch;
+    double slotMinutes;
+};
+
+Scenario
+scenario()
+{
+    if (bench::smokeMode())
+        return {"lenet5", "fmnist", 16, 4, 16, 120.0};
+    return {"lenet5", "emnist", 60, 12, 32, 30.0};
+}
+
+bench::BenchRun
+runOnce(std::size_t threads)
+{
+    setGlobalThreads(threads);
+    const Scenario sc = scenario();
+
+    data::DataBundle bundle = data::makeDatasetByName(sc.dataset);
+    core::SoCFlowConfig cfg;
+    cfg.modelFamily = sc.model;
+    cfg.numSocs = sc.numSocs;
+    cfg.numGroups = sc.numGroups;
+    cfg.groupBatch = sc.groupBatch;
+    cfg.seed = bench::benchSeed();
+    core::SoCFlowTrainer trainer(cfg, bundle);
+
+    trace::TidalConfig tcfg;
+    tcfg.numSocs = sc.numSocs;
+    tcfg.slotMinutes = sc.slotMinutes;
+    tcfg.seed = bench::benchSeed() + 57;
+    trace::TidalTrace tidal(tcfg);
+
+    trace::HarvestConfig hcfg;
+    hcfg.socsPerGroup = sc.numSocs / sc.numGroups;
+
+    const double steps0 =
+        obs::metrics().counter("trainer_steps_total").value();
+    const auto t0 = std::chrono::steady_clock::now();
+    const trace::HarvestReport report =
+        trace::runHarvestDay(trainer, cfg, tidal, hcfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double steps1 =
+        obs::metrics().counter("trainer_steps_total").value();
+
+    bench::BenchRun run;
+    run.threads = threads;
+    run.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    run.epochsTrained = report.epochsTrained;
+    run.epochsPerSec = run.wallSeconds > 0.0
+                           ? report.epochsTrained / run.wallSeconds
+                           : 0.0;
+    run.eventsPerSec = run.wallSeconds > 0.0
+                           ? (steps1 - steps0) / run.wallSeconds
+                           : 0.0;
+    run.timelineHash = report.timelineHash;
+    return run;
+}
+
+/** Prefer the 4-thread row as the speedup anchor, else the fastest. */
+const bench::BenchRun *
+anchorRun(const bench::BenchReport &r, std::size_t want)
+{
+    const bench::BenchRun *best = nullptr;
+    for (const auto &run : r.runs) {
+        if (run.threads == want)
+            return &run;
+        if (!best || run.epochsPerSec > best->epochsPerSec)
+            best = &run;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogLevel(LogLevel::Warn);
+    bench::initBenchObservability(argc, argv);
+
+    const std::vector<std::size_t> sweep =
+        bench::smokeMode() ? std::vector<std::size_t>{1, 2}
+                           : std::vector<std::size_t>{1, 2, 4, 8};
+
+    bench::BenchReport report;
+    report.bench = "bench_e2e_throughput";
+    report.seed = bench::benchSeed();
+    report.scale = bench::benchScale();
+    for (std::size_t t : sweep)
+        report.runs.push_back(runOnce(t));
+
+    Table table("E2E throughput, fixed-seed harvest day (seed " +
+                std::to_string(report.seed) + ")");
+    table.setHeader({"threads", "wall-s", "epochs", "epochs/s",
+                     "events/s", "speedup"});
+    const double base = report.runs.front().epochsPerSec;
+    for (const auto &r : report.runs) {
+        table.addRow({std::to_string(r.threads),
+                      formatDouble(r.wallSeconds, 2),
+                      std::to_string(r.epochsTrained),
+                      formatDouble(r.epochsPerSec, 3),
+                      formatDouble(r.eventsPerSec, 0),
+                      formatDouble(base > 0.0 ? r.epochsPerSec / base
+                                              : 0.0,
+                                   2)});
+    }
+    table.print();
+
+    // Determinism cross-check: the parallel core must be bit-exact.
+    for (const auto &r : report.runs) {
+        if (r.timelineHash != report.runs.front().timelineHash) {
+            std::fprintf(stderr,
+                         "FAIL: timeline hash diverged at %zu threads "
+                         "(%016llx vs %016llx)\n",
+                         r.threads,
+                         static_cast<unsigned long long>(r.timelineHash),
+                         static_cast<unsigned long long>(
+                             report.runs.front().timelineHash));
+            return 1;
+        }
+    }
+
+    if (!bench::benchJsonPath().empty()) {
+        if (!bench::writeBenchJson(bench::benchJsonPath(), report)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         bench::benchJsonPath().c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "bench report written to %s\n",
+                     bench::benchJsonPath().c_str());
+    }
+
+    if (!bench::benchBaselinePath().empty()) {
+        bench::BenchReport baseline;
+        if (!bench::readBenchJson(bench::benchBaselinePath(),
+                                  baseline)) {
+            std::fprintf(stderr, "failed to read baseline %s\n",
+                         bench::benchBaselinePath().c_str());
+            return 1;
+        }
+        const bench::BenchRun *cur = anchorRun(report, 4);
+        const bench::BenchRun *ref = anchorRun(baseline, 4);
+        if (!cur || !ref || ref->epochsPerSec <= 0.0) {
+            std::fprintf(stderr, "baseline has no usable runs\n");
+            return 1;
+        }
+        const double ratio = cur->epochsPerSec / ref->epochsPerSec;
+        std::fprintf(stderr,
+                     "baseline compare (threads=%zu): %.3f vs %.3f "
+                     "epochs/s (%.0f%% of baseline)\n",
+                     cur->threads, cur->epochsPerSec,
+                     ref->epochsPerSec, 100.0 * ratio);
+        if (ratio < 0.9) {
+            std::fprintf(stderr,
+                         "FAIL: epochs/sec regressed >10%% vs %s\n",
+                         bench::benchBaselinePath().c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

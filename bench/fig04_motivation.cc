@@ -29,11 +29,13 @@ partA_and_C()
     Table c("Figure 4(c): single-SoC convergence accuracy");
     c.setHeader({"model", "CPU-FP32-acc%", "NPU-INT8-acc%", "gap"});
 
-    for (const char *key : {"VGG11", "ResNet18"}) {
-        const Workload *w = nullptr;
-        for (const auto &cand : paperWorkloads())
-            if (cand.key == key)
-                w = &cand;
+    std::vector<const Workload *> picks;
+    for (const auto &cand : paperWorkloads())
+        if (smokeMode() || cand.key == "VGG11" ||
+            cand.key == "ResNet18")
+            picks.push_back(&cand);
+    for (const Workload *w : picks) {
+        const std::string &key = w->key;
         data::DataBundle bundle = data::makeDatasetByName(w->dataset);
 
         baselines::LocalTrainer cpu(baselineConfig(*w, 1), bundle,

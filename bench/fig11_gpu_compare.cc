@@ -28,11 +28,18 @@ compare(sim::Device gpu, double soc_speedup, const char *title)
     Table energy(std::string("Figure 11 (energy): ") + title);
     energy.setHeader({"model", "Ours-kJ", "GPU-kJ", "saving"});
 
-    for (const char *key : figModels) {
-        const Workload *w = nullptr;
-        for (const auto &cand : paperWorkloads())
+    std::vector<const Workload *> picks;
+    for (const auto &cand : paperWorkloads()) {
+        if (smokeMode()) {
+            picks.push_back(&cand);
+            continue;
+        }
+        for (const char *key : figModels)
             if (cand.key == key)
-                w = &cand;
+                picks.push_back(&cand);
+    }
+    for (const Workload *w : picks) {
+        const std::string &key = w->key;
         data::DataBundle bundle = data::makeDatasetByName(w->dataset);
         const std::size_t epochs = scaledEpochs(7);
 

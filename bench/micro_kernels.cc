@@ -5,6 +5,8 @@
  * and full model steps.
  */
 
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hh"
@@ -128,8 +130,17 @@ int
 main(int argc, char **argv)
 {
     bench::initBenchObservability(argc, argv);
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    // The smoke tier translates --smoke into a near-zero measurement
+    // budget so every benchmark still registers, builds its fixtures,
+    // and runs at least one iteration under ctest.
+    std::vector<char *> args(argv, argv + argc);
+    static char smokeMinTime[] = "--benchmark_min_time=0.001";
+    if (bench::smokeMode())
+        args.push_back(smokeMinTime);
+    args.push_back(nullptr);
+    int benchArgc = static_cast<int>(args.size()) - 1;
+    benchmark::Initialize(&benchArgc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(benchArgc, args.data()))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

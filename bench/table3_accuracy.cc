@@ -70,7 +70,9 @@ main(int argc, char **argv)
 
     // Transfer learning: pre-train ResNet-50 on the CINIC analog
     // (same class structure, more data), then fine-tune on CIFAR.
-    {
+    // Skipped in the smoke tier (ResNet-50 pre-training dwarfs the
+    // tiny-workload budget).
+    if (!smokeMode()) {
         const Workload &w = transferWorkload();
         data::DataBundle pre = data::makeDatasetByName("cinic10");
         baselines::LocalTrainer pretrainer(

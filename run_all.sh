@@ -1,13 +1,21 @@
 #!/bin/bash
-# Usage: run_all.sh [--sanitize|--tsan|--chaos|--chaos-nightly [count]]
+# Usage: run_all.sh [--sanitize|--tsan|--chaos|--chaos-nightly [count]|--bench [tag]]
 #   default     run the test suite + every bench from build/
 #   --sanitize  configure build-asan with -DSANITIZE=ON and run the
 #               test suite under AddressSanitizer + UBSan
 #   --tsan      configure build-tsan with -DSANITIZE=thread and run
 #               the concurrency-sensitive suites (streaming obs sink
-#               flusher thread + membership/fencing) under
+#               flusher thread, membership/fencing, thread pool, and
+#               the parallel determinism harness) under
 #               ThreadSanitizer
-#   --chaos     run the fault + streaming-obs + membership suites
+#   --bench [tag]
+#               build Release into build-rel, run bench_e2e_throughput
+#               and fig10_scalability, write BENCH_<tag>.json (tag
+#               defaults to the current commit's short hash), and fail
+#               if epochs/sec regresses more than 10% against the
+#               committed BENCH_baseline.json
+#   --chaos     run the fault + streaming-obs + membership + parallel
+#               determinism suites
 #               under ASan+UBSan with 10 fixed chaos seeds
 #               (SOCFLOW_CHAOS_SEED); fails on any sanitizer report or
 #               non-deterministic replay (the ChaosReplay tests hash
@@ -22,8 +30,8 @@
 #               so a failure found tonight can be replayed tomorrow
 cd /root/repo
 
-chaos_targets="test_fault test_fault_step test_obs_stream test_membership"
-chaos_regex='test_(fault($|_step)|obs_stream$|membership$)'
+chaos_targets="test_fault test_fault_step test_obs_stream test_membership test_parallel_determinism"
+chaos_regex='test_(fault($|_step)|obs_stream$|membership$|parallel_determinism$)'
 
 run_chaos_seed() {
     # $1 = seed, $2 = optional post-mortem dump path
@@ -78,15 +86,34 @@ if [ "$1" = "--chaos-nightly" ]; then
 fi
 
 if [ "$1" = "--tsan" ]; then
-    tsan_targets="test_obs_stream test_membership"
+    tsan_targets="test_obs_stream test_membership test_thread_pool test_parallel_determinism"
     cmake -B build-tsan -S . -DSANITIZE=thread || exit 1
     cmake --build build-tsan -j --target $tsan_targets || exit 1
     ( set -o pipefail
       TSAN_OPTIONS=halt_on_error=1 \
           ctest --test-dir build-tsan --output-on-failure \
-              -R 'test_(obs_stream|membership)$' 2>&1 |
+              -R 'test_(obs_stream|membership|thread_pool|parallel_determinism)$' 2>&1 |
           tee /root/repo/tsan_output.txt ) || exit 1
     echo "TSAN_RUN_COMPLETE"
+    exit 0
+fi
+
+if [ "$1" = "--bench" ]; then
+    tag=${2:-$(git -C /root/repo rev-parse --short HEAD 2>/dev/null || echo local)}
+    cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release || exit 1
+    cmake --build build-rel -j \
+        --target bench_e2e_throughput fig10_scalability || exit 1
+    out=/root/repo/BENCH_${tag}.json
+    baseline=/root/repo/BENCH_baseline.json
+    baseline_arg=""
+    [ -f "$baseline" ] && baseline_arg="--baseline=$baseline"
+    if ! ./build-rel/bench/bench_e2e_throughput \
+            --bench-json="$out" $baseline_arg; then
+        echo "BENCH_RUN_FAILED (regression vs $baseline or divergence)"
+        exit 1
+    fi
+    ./build-rel/bench/fig10_scalability || exit 1
+    echo "BENCH_RUN_COMPLETE (wrote $out)"
     exit 0
 fi
 

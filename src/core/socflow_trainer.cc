@@ -10,6 +10,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace socflow {
 namespace core {
@@ -437,82 +438,109 @@ SoCFlowTrainer::runEpoch()
         const double stepSync = stepSyncSeconds();
         const double t0 = simClockS;
         double stepComputeS = 0.0;
-        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-            GroupState &g = *groups[gi];
-            const auto &shard = shards[gi];
-            if (shard.empty())
-                continue;
 
-            // Assemble this group's batch from its shard.
-            std::vector<std::size_t> batchIdx;
-            batchIdx.reserve(cfg.groupBatch);
-            for (std::size_t i = 0;
-                 i < cfg.groupBatch && cursor[gi] < shard.size();
-                 ++i, ++cursor[gi]) {
-                batchIdx.push_back(shard[cursor[gi]]);
-            }
-            if (batchIdx.empty())
-                continue;
-            auto [x, y] = bundle.train.batch(batchIdx);
-
-            // Split CPU/NPU portions of the batch.
-            std::size_t nCpu = static_cast<std::size_t>(
-                std::lround(fCpu * static_cast<double>(batchIdx.size())));
-            if (cfg.npuOnly)
-                nCpu = 0;
-            else if (!cfg.useMixedPrecision)
-                nCpu = batchIdx.size();
-            else
-                nCpu = std::clamp<std::size_t>(nCpu, 1,
-                                               batchIdx.size() - 1);
-
+        // Per-group training steps are independent until the wave
+        // sync: each worker touches only its own GroupState, its own
+        // cursor slot, and its own result slot. All cross-group
+        // accumulation (loss/acc/samples, the compute-time max, trace
+        // spans) happens in the serial fold below, in ascending group
+        // order -- the exact accumulation order of the old serial
+        // loop, so the timeline stays bit-exact at any thread count
+        // (DESIGN.md ch. 9).
+        struct GroupStepOut {
             nn::StepResult rCpu{}, rNpu{};
-            if (nCpu > 0) {
-                std::vector<std::size_t> front(batchIdx.begin(),
-                                               batchIdx.begin() + nCpu);
-                auto [xc, yc] = bundle.train.batch(front);
-                g.fp32.zeroGrad();
-                rCpu = g.fp32.trainStep(xc, yc);
-                g.sgd->step();
-            }
-            if (nCpu < batchIdx.size()) {
-                std::vector<std::size_t> back(batchIdx.begin() + nCpu,
-                                              batchIdx.end());
-                auto [xn, yn] = bundle.train.batch(back);
-                rNpu = g.int8Trainer->trainStep(xn, yn);
-            }
+            double gSec = 0.0;
+            bool ran = false;
+        };
+        std::vector<GroupStepOut> outs(groups.size());
+        globalThreadPool().parallelFor(
+            groups.size(), [&](std::size_t gi) {
+                GroupState &g = *groups[gi];
+                const auto &shard = shards[gi];
+                if (shard.empty())
+                    return;
 
-            // On-chip aggregation (Eq. 5), then intra-group sync
-            // (implicit: the group replica is the synced state).
-            if (nCpu > 0 && nCpu < batchIdx.size()) {
-                std::vector<float> merged;
-                mpc.mergeWeights(g.fp32.flatParams(),
-                                 g.int8.flatParams(), merged);
-                g.fp32.setFlatParams(merged);
-                g.int8.setFlatParams(merged);
-            } else if (nCpu == 0) {
-                g.fp32.setFlatParams(g.int8.flatParams());
-            } else {
-                g.int8.setFlatParams(g.fp32.flatParams());
-            }
+                // Assemble this group's batch from its shard.
+                std::vector<std::size_t> batchIdx;
+                batchIdx.reserve(cfg.groupBatch);
+                for (std::size_t i = 0;
+                     i < cfg.groupBatch && cursor[gi] < shard.size();
+                     ++i, ++cursor[gi]) {
+                    batchIdx.push_back(shard[cursor[gi]]);
+                }
+                if (batchIdx.empty())
+                    return;
 
-            lossSum += rCpu.loss * static_cast<double>(rCpu.samples) +
-                       rNpu.loss * static_cast<double>(rNpu.samples);
+                // Split CPU/NPU portions of the batch.
+                std::size_t nCpu = static_cast<std::size_t>(
+                    std::lround(fCpu *
+                                static_cast<double>(batchIdx.size())));
+                if (cfg.npuOnly)
+                    nCpu = 0;
+                else if (!cfg.useMixedPrecision)
+                    nCpu = batchIdx.size();
+                else
+                    nCpu = std::clamp<std::size_t>(
+                        nCpu, 1, batchIdx.size() - 1);
+
+                nn::StepResult rCpu{}, rNpu{};
+                if (nCpu > 0) {
+                    std::vector<std::size_t> front(
+                        batchIdx.begin(), batchIdx.begin() + nCpu);
+                    auto [xc, yc] = bundle.train.batch(front);
+                    g.fp32.zeroGrad();
+                    rCpu = g.fp32.trainStep(xc, yc);
+                    g.sgd->step();
+                }
+                if (nCpu < batchIdx.size()) {
+                    std::vector<std::size_t> back(
+                        batchIdx.begin() + nCpu, batchIdx.end());
+                    auto [xn, yn] = bundle.train.batch(back);
+                    rNpu = g.int8Trainer->trainStep(xn, yn);
+                }
+
+                // On-chip aggregation (Eq. 5), then intra-group sync
+                // (implicit: the group replica is the synced state).
+                if (nCpu > 0 && nCpu < batchIdx.size()) {
+                    std::vector<float> merged;
+                    mpc.mergeWeights(g.fp32.flatParams(),
+                                     g.int8.flatParams(), merged);
+                    g.fp32.setFlatParams(merged);
+                    g.int8.setFlatParams(merged);
+                } else if (nCpu == 0) {
+                    g.fp32.setFlatParams(g.int8.flatParams());
+                } else {
+                    g.int8.setFlatParams(g.fp32.flatParams());
+                }
+
+                GroupStepOut &o = outs[gi];
+                o.rCpu = rCpu;
+                o.rNpu = rNpu;
+                o.gSec = groupComputeSeconds(g, fCpu);
+                o.ran = true;
+            });
+
+        // Serial fold, ascending group order (bit-exact vs serial).
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            const GroupStepOut &o = outs[gi];
+            if (!o.ran)
+                continue;
+            lossSum +=
+                o.rCpu.loss * static_cast<double>(o.rCpu.samples) +
+                o.rNpu.loss * static_cast<double>(o.rNpu.samples);
             accSum +=
-                rCpu.accuracy * static_cast<double>(rCpu.samples) +
-                rNpu.accuracy * static_cast<double>(rNpu.samples);
-            sampleSum += rCpu.samples + rNpu.samples;
-
-            const double gSec = groupComputeSeconds(g, fCpu);
+                o.rCpu.accuracy * static_cast<double>(o.rCpu.samples) +
+                o.rNpu.accuracy * static_cast<double>(o.rNpu.samples);
+            sampleSum += o.rCpu.samples + o.rNpu.samples;
             if (tracing) {
                 tr.recordSpan(
                     "compute", "compute",
                     obs::kTrackGroupBase + static_cast<int>(gi), t0,
-                    gSec * f,
+                    o.gSec * f,
                     {{"group", static_cast<double>(gi)},
                      {"cpu_fraction", fCpu}});
             }
-            stepComputeS = std::max(stepComputeS, gSec);
+            stepComputeS = std::max(stepComputeS, o.gSec);
         }
 
         // This step's communication waves: mid-wave crashes and

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace socflow {
 namespace sim {
@@ -75,44 +76,115 @@ FlowNetwork::maxMinRates(const std::vector<const FlowSpec *> &active) const
         }
     }
 
+    // Parallel thresholds: progressive filling is the inner hot loop
+    // at fleet scale, but the fan-out only pays off once the scans
+    // are wide; below these sizes the serial path is faster and the
+    // parallel one adds nothing but dispatch overhead.
+    constexpr std::size_t kParResourceMin = 128;
+    constexpr std::size_t kParFlowMin = 256;
+    ThreadPool &pool = globalThreadPool();
+
+    // Each resource's fair share is a pure function of (residual[r],
+    // usersOnResource[r]) -- identical FP ops at any thread count.
+    const auto shareOf = [&](ResourceId r) {
+        const double users = static_cast<double>(usersOnResource[r]);
+        // Fan-in congestion: aggregate goodput degrades as
+        // users^-gamma (gamma = 0: ideal fair sharing).
+        return residual[r] * std::pow(users, -congestionExp) / users;
+    };
+
     while (remaining > 0) {
         // Find the bottleneck resource: minimal residual / users.
+        // The serial scan keeps the first strictly smaller share,
+        // i.e. the lexicographic (share, resourceId) minimum -- an
+        // associative reduction, so per-chunk minima folded in
+        // ascending chunk order reproduce it bit-exactly.
         double best_share = std::numeric_limits<double>::infinity();
         ResourceId best = 0;
         bool found = false;
-        for (ResourceId r = 0; r < capacities.size(); ++r) {
-            if (usersOnResource[r] <= 0)
-                continue;
-            const double users =
-                static_cast<double>(usersOnResource[r]);
-            // Fan-in congestion: aggregate goodput degrades as
-            // users^-gamma (gamma = 0: ideal fair sharing).
-            const double share = residual[r] *
-                                 std::pow(users, -congestionExp) /
-                                 users;
-            if (share < best_share) {
-                best_share = share;
-                best = r;
-                found = true;
+        if (capacities.size() >= kParResourceMin && pool.size() > 1 &&
+            !ThreadPool::inWorkerThread()) {
+            const std::size_t chunks = pool.size();
+            const std::size_t per =
+                (capacities.size() + chunks - 1) / chunks;
+            std::vector<double> chunkShare(
+                chunks, std::numeric_limits<double>::infinity());
+            std::vector<ResourceId> chunkBest(chunks, 0);
+            std::vector<char> chunkFound(chunks, 0);
+            pool.parallelFor(chunks, [&](std::size_t c) {
+                const ResourceId lo = c * per;
+                const ResourceId hi = std::min<std::size_t>(
+                    capacities.size(), lo + per);
+                for (ResourceId r = lo; r < hi; ++r) {
+                    if (usersOnResource[r] <= 0)
+                        continue;
+                    const double share = shareOf(r);
+                    if (share < chunkShare[c]) {
+                        chunkShare[c] = share;
+                        chunkBest[c] = r;
+                        chunkFound[c] = 1;
+                    }
+                }
+            });
+            for (std::size_t c = 0; c < chunks; ++c) {
+                if (chunkFound[c] && chunkShare[c] < best_share) {
+                    best_share = chunkShare[c];
+                    best = chunkBest[c];
+                    found = true;
+                }
+            }
+        } else {
+            for (ResourceId r = 0; r < capacities.size(); ++r) {
+                if (usersOnResource[r] <= 0)
+                    continue;
+                const double share = shareOf(r);
+                if (share < best_share) {
+                    best_share = share;
+                    best = r;
+                    found = true;
+                }
             }
         }
         SOCFLOW_ASSERT(found, "unfrozen flows but no used resource");
 
-        // Freeze every unfrozen flow crossing the bottleneck.
-        for (std::size_t f = 0; f < n; ++f) {
-            if (frozen[f])
-                continue;
-            const auto &path = active[f]->path;
-            if (std::find(path.begin(), path.end(), best) == path.end())
-                continue;
+        // Freeze every unfrozen flow crossing the bottleneck. The
+        // candidate set depends only on frozen[] as of entry to this
+        // pass, so identification parallelizes; the freeze itself
+        // (residual subtraction) is applied serially in ascending
+        // flow order to preserve the serial FP accumulation order.
+        const auto freezeFlow = [&](std::size_t f) {
             frozen[f] = true;
             rates[f] = best_share;
             --remaining;
-            for (ResourceId r : path) {
+            for (ResourceId r : active[f]->path) {
                 residual[r] -= best_share;
                 if (residual[r] < 0.0)
                     residual[r] = 0.0;
                 --usersOnResource[r];
+            }
+        };
+        const auto crossesBottleneck = [&](std::size_t f) {
+            const auto &path = active[f]->path;
+            return std::find(path.begin(), path.end(), best) !=
+                   path.end();
+        };
+        if (n >= kParFlowMin && pool.size() > 1 &&
+            !ThreadPool::inWorkerThread()) {
+            std::vector<char> hit(n, 0);
+            pool.parallelFor(n, [&](std::size_t f) {
+                if (!frozen[f] && crossesBottleneck(f))
+                    hit[f] = 1;
+            });
+            for (std::size_t f = 0; f < n; ++f)
+                if (hit[f])
+                    freezeFlow(f);
+        } else {
+            for (std::size_t f = 0; f < n; ++f) {
+                if (frozen[f])
+                    continue;
+                if (!crossesBottleneck(f))
+                    continue;
+                freezeFlow(f);
             }
         }
     }

@@ -4,6 +4,16 @@
 
 #include "tensor/ops.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace {
+
+// Per-item work (in multiply-accumulates) below which the thread
+// fan-out costs more than it saves; the serial path also avoids the
+// per-worker scratch allocations the parallel path needs.
+constexpr std::size_t kParConvWorkMin = std::size_t{1} << 20;
+
+} // namespace
 
 namespace socflow {
 namespace tensor {
@@ -113,9 +123,30 @@ conv2dForward(const Tensor &x, const Tensor &weight, const ConvGeom &g,
     Tensor wmat = Tensor::fromValues(
         {g.outChannels, krows},
         std::vector<float>(weight.data(), weight.data() + weight.numel()));
+
+    // Samples are independent and write disjoint output slices, so
+    // the batch fans out bit-exactly; each worker carries its own
+    // im2col scratch. Nested use (a pool worker already running the
+    // per-group trainer step) stays serial via the inline guard.
+    const std::size_t perSample = g.outChannels * krows * cols;
+    ThreadPool &pool = globalThreadPool();
+    if (n > 1 && perSample >= kParConvWorkMin && pool.size() > 1 &&
+        !ThreadPool::inWorkerThread()) {
+        pool.parallelFor(n, [&](std::size_t s) {
+            Tensor colsMat({krows, cols});
+            Tensor outMat({g.outChannels, cols});
+            im2col(x.data() + s * c * h * w, c, h, w, g,
+                   colsMat.data());
+            gemm(wmat, false, colsMat, false, outMat);
+            std::memcpy(out.data() + s * g.outChannels * cols,
+                        outMat.data(),
+                        sizeof(float) * g.outChannels * cols);
+        });
+        return;
+    }
+
     Tensor colsMat({krows, cols});
     Tensor outMat({g.outChannels, cols});
-
     for (std::size_t s = 0; s < n; ++s) {
         im2col(x.data() + s * c * h * w, c, h, w, g, colsMat.data());
         gemm(wmat, false, colsMat, false, outMat);
@@ -153,6 +184,11 @@ conv2dBackward(const Tensor &x, const Tensor &weight, const ConvGeom &g,
     if (grad_x)
         grad_x->zero();
 
+    // The sample loop must stay serial: grad_w accumulates across
+    // samples in ascending-s order, and splitting that sum would
+    // change the float addition order. Parallelism comes from inside
+    // the two gemm calls instead, whose row fan-out preserves each
+    // output element's accumulation order exactly.
     for (std::size_t s = 0; s < n; ++s) {
         im2col(x.data() + s * c * h * w, c, h, w, g, colsMat.data());
         std::memcpy(goMat.data(),
@@ -187,8 +223,14 @@ depthwiseConv2dForward(const Tensor &x, const Tensor &weight,
                    "depthwise weight size mismatch");
 
     out.zero();
-    for (std::size_t s = 0; s < n; ++s) {
-        for (std::size_t ch = 0; ch < c; ++ch) {
+    // One task per (sample, channel) plane: planes neither share
+    // inputs nor outputs, so the fan-out is bit-exact.
+    const std::size_t planes = n * c;
+    const std::size_t perPlane = ho * wo * g.kernel * g.kernel;
+    const auto planeTask = [&](std::size_t t) {
+        const std::size_t s = t / c;
+        const std::size_t ch = t % c;
+        {
             const float *plane = x.data() + (s * c + ch) * h * w;
             const float *filt =
                 weight.data() + ch * g.kernel * g.kernel;
@@ -220,6 +262,14 @@ depthwiseConv2dForward(const Tensor &x, const Tensor &weight,
                 }
             }
         }
+    };
+    ThreadPool &pool = globalThreadPool();
+    if (planes > 1 && planes * perPlane >= kParConvWorkMin &&
+        pool.size() > 1 && !ThreadPool::inWorkerThread()) {
+        pool.parallelFor(planes, planeTask);
+    } else {
+        for (std::size_t t = 0; t < planes; ++t)
+            planeTask(t);
     }
 }
 
@@ -235,8 +285,15 @@ depthwiseConv2dBackward(const Tensor &x, const Tensor &weight,
 
     if (grad_x)
         grad_x->zero();
-    for (std::size_t s = 0; s < n; ++s) {
-        for (std::size_t ch = 0; ch < c; ++ch) {
+    // Parallel over channels: each channel owns its filter-gradient
+    // slice outright and walks its samples in ascending order, so
+    // the per-element accumulation order matches the serial loop at
+    // any thread count (loop interchange from the old s-outer form
+    // is exact too -- distinct channels never share an accumulator).
+    const std::size_t perChannel =
+        n * ho * wo * g.kernel * g.kernel;
+    const auto channelTask = [&](std::size_t ch) {
+        for (std::size_t s = 0; s < n; ++s) {
             const float *plane = x.data() + (s * c + ch) * h * w;
             const float *filt =
                 weight.data() + ch * g.kernel * g.kernel;
@@ -277,6 +334,14 @@ depthwiseConv2dBackward(const Tensor &x, const Tensor &weight,
                 }
             }
         }
+    };
+    ThreadPool &pool = globalThreadPool();
+    if (c > 1 && c * perChannel >= kParConvWorkMin &&
+        pool.size() > 1 && !ThreadPool::inWorkerThread()) {
+        pool.parallelFor(c, channelTask);
+    } else {
+        for (std::size_t ch = 0; ch < c; ++ch)
+            channelTask(ch);
     }
 }
 

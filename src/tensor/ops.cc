@@ -4,19 +4,28 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace socflow {
 namespace tensor {
 
 namespace {
 
-/** Inner kernel: C[m,n] += A[m,k] * B[k,n], contiguous row-major. */
+/**
+ * Inner kernel: C[m,n] += A[m,k] * B[k,n], contiguous row-major.
+ *
+ * Row blocks of C are disjoint, and each output element accumulates
+ * its k terms in the same (p-block, p) order no matter which thread
+ * owns its row block, so fanning the row blocks across the pool is
+ * bit-exact with the serial schedule at any thread count.
+ */
 void
 gemmNoTrans(const float *a, const float *b, float *c, std::size_t m,
             std::size_t n, std::size_t k)
 {
     constexpr std::size_t block = 64;
-    for (std::size_t i0 = 0; i0 < m; i0 += block) {
+    const auto rowBlock = [&](std::size_t bi) {
+        const std::size_t i0 = bi * block;
         const std::size_t i1 = std::min(m, i0 + block);
         for (std::size_t p0 = 0; p0 < k; p0 += block) {
             const std::size_t p1 = std::min(k, p0 + block);
@@ -32,6 +41,18 @@ gemmNoTrans(const float *a, const float *b, float *c, std::size_t m,
                 }
             }
         }
+    };
+    const std::size_t iBlocks = (m + block - 1) / block;
+    // Fan out only when the product is large enough to amortize the
+    // dispatch; tiny GEMMs dominate the call count but not the time.
+    constexpr std::size_t kParFlopMin = std::size_t{1} << 20;
+    ThreadPool &pool = globalThreadPool();
+    if (iBlocks > 1 && m * n * k >= kParFlopMin && pool.size() > 1 &&
+        !ThreadPool::inWorkerThread()) {
+        pool.parallelFor(iBlocks, rowBlock);
+    } else {
+        for (std::size_t bi = 0; bi < iBlocks; ++bi)
+            rowBlock(bi);
     }
 }
 

@@ -1,15 +1,28 @@
 #include "util/thread_pool.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace socflow {
 
+namespace {
+
+// Set while a thread is executing inside any pool's workerLoop; the
+// nested-use guard in parallelFor keys off it.
+thread_local bool tlsPoolWorker = false;
+
+std::size_t
+hardwareThreads()
+{
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+} // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads)
 {
-    if (num_threads == 0) {
-        num_threads = std::max<std::size_t>(
-            1, std::thread::hardware_concurrency());
-    }
+    if (num_threads == 0)
+        num_threads = hardwareThreads();
     workers.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i)
         workers.emplace_back([this] { workerLoop(); });
@@ -40,8 +53,15 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex);
-    allDone.wait(lock, [this] { return inFlight == 0; });
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        allDone.wait(lock, [this] { return inFlight == 0; });
+        err = firstError;
+        firstError = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 void
@@ -50,6 +70,14 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
+    // Inline fast path: trivial sizes, a serial pool, or a nested
+    // call from inside a worker (dispatching from a worker would
+    // deadlock wait() against our own queue slot).
+    if (n == 1 || workers.size() <= 1 || tlsPoolWorker) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
     const std::size_t chunks = std::min(n, workers.size());
     const std::size_t per = (n + chunks - 1) / chunks;
     for (std::size_t c = 0; c < chunks; ++c) {
@@ -65,9 +93,16 @@ ThreadPool::parallelFor(std::size_t n,
     wait();
 }
 
+bool
+ThreadPool::inWorkerThread()
+{
+    return tlsPoolWorker;
+}
+
 void
 ThreadPool::workerLoop()
 {
+    tlsPoolWorker = true;
     for (;;) {
         std::function<void()> task;
         {
@@ -82,7 +117,13 @@ ThreadPool::workerLoop()
             task = std::move(tasks.front());
             tasks.pop();
         }
-        task();
+        try {
+            task();
+        } catch (...) {
+            std::unique_lock<std::mutex> lock(mutex);
+            if (!firstError)
+                firstError = std::current_exception();
+        }
         {
             std::unique_lock<std::mutex> lock(mutex);
             if (--inFlight == 0)
@@ -91,11 +132,58 @@ ThreadPool::workerLoop()
     }
 }
 
+namespace {
+
+std::mutex gPoolMutex;
+// Intentionally leaked: an atexit destructor would join() the
+// workers, and in a fork()ed child (gtest fast-style death tests,
+// crash handlers) those threads no longer exist -- the join blocks
+// forever on a phantom tid. Process exit reclaims everything anyway;
+// setGlobalThreads() still deletes explicitly, where the workers are
+// real and joinable.
+ThreadPool *gPool = nullptr;
+std::size_t gPoolThreads = 0; // 0 = unset -> env -> hardware
+
+std::size_t
+configuredThreads()
+{
+    if (gPoolThreads != 0)
+        return gPoolThreads;
+    if (const char *env = std::getenv("SOCFLOW_THREADS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    return hardwareThreads();
+}
+
+} // namespace
+
 ThreadPool &
 globalThreadPool()
 {
-    static ThreadPool pool;
-    return pool;
+    std::lock_guard<std::mutex> lock(gPoolMutex);
+    if (!gPool)
+        gPool = new ThreadPool(configuredThreads());
+    return *gPool;
+}
+
+void
+setGlobalThreads(std::size_t n)
+{
+    std::lock_guard<std::mutex> lock(gPoolMutex);
+    gPoolThreads = n;
+    delete gPool; // joins old workers; recreated lazily
+    gPool = nullptr;
+}
+
+std::size_t
+globalThreads()
+{
+    std::lock_guard<std::mutex> lock(gPoolMutex);
+    if (gPool)
+        return gPool->size();
+    return configuredThreads();
 }
 
 } // namespace socflow

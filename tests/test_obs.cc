@@ -23,6 +23,7 @@
 #include "data/synthetic.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "util/thread_pool.hh"
 
 using namespace socflow;
 using namespace socflow::obs;
@@ -323,6 +324,45 @@ TEST(Metrics, CounterAccumulatesAndResets)
     EXPECT_EQ(c.value(), 0.0);
     c.add(1.0);
     EXPECT_EQ(c.value(), 1.0);
+}
+
+TEST(Metrics, CounterConcurrentAddsLoseNothing)
+{
+    // Regression for the parallel core: Counter::add is a CAS loop
+    // on an atomic<double> and registry lookup takes a lock, so
+    // hammering both from pool workers must neither lose increments
+    // nor mint duplicate series. Integer-valued doubles sum exactly,
+    // so any lost CAS shows up as a shortfall, not rounding noise.
+    MetricsRegistry reg;
+    Counter &hot = reg.counter("hot_total");
+    ThreadPool pool(8);
+    constexpr std::size_t kTasks = 64;
+    constexpr int kAddsPerTask = 1000;
+    pool.parallelFor(kTasks, [&](std::size_t t) {
+        // Half the tasks re-resolve the series concurrently with the
+        // adds; lookup must hand back the same instrument.
+        Counter &viaLookup = reg.counter("hot_total");
+        Counter &target = (t % 2 == 0) ? hot : viaLookup;
+        for (int i = 0; i < kAddsPerTask; ++i)
+            target.add(1.0);
+    });
+    EXPECT_EQ(hot.value(),
+              static_cast<double>(kTasks) * kAddsPerTask);
+    EXPECT_EQ(reg.seriesCount(), 1u);
+
+    // Concurrent first-touch of distinct labeled series must create
+    // each exactly once.
+    pool.parallelFor(kTasks, [&](std::size_t t) {
+        reg.counter("sharded", {{"shard", std::to_string(t % 4)}})
+            .add(1.0);
+    });
+    EXPECT_EQ(reg.seriesCount(), 5u);
+    for (int shard = 0; shard < 4; ++shard) {
+        EXPECT_EQ(reg.counter("sharded",
+                              {{"shard", std::to_string(shard)}})
+                      .value(),
+                  static_cast<double>(kTasks) / 4);
+    }
 }
 
 TEST(Metrics, LabeledSeriesAreDistinct)

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Serial-vs-parallel bit-exactness of the simulation core.
+ *
+ * Determinism is the load-bearing invariant of this repo: replay
+ * checking, the chaos suite, and every timeline hash depend on a
+ * seeded run producing identical results no matter how many worker
+ * threads execute it. These tests run the same seeded scenario at
+ * 1/2/5/8 threads (util::setGlobalThreads) and require the timeline
+ * hash, the final consensus weights (exact float equality -- not
+ * approximate), and the full HarvestReport to be identical to the
+ * serial run:
+ *
+ *  - a clean multi-epoch run;
+ *  - one scenario per fault kind (crash, link degrade, straggler,
+ *    checkpoint failure, mid-wave crash, grad corruption, leader
+ *    crash, board partition, switch partition, rejoin);
+ *  - seeded partition/heal/rejoin churn (FaultPlan::random with the
+ *    chaos seed, so run_all.sh --chaos varies it);
+ *  - a faulted harvest day, comparing every HarvestReport counter.
+ *
+ * The chaos harness (run_all.sh --chaos) re-runs this binary with
+ * SOCFLOW_CHAOS_SEED varying; run_all.sh --tsan runs it under
+ * -DSANITIZE=thread. Every test must hold for any seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/socflow_trainer.hh"
+#include "data/synthetic.hh"
+#include "fault/fault.hh"
+#include "trace/harvest.hh"
+#include "trace/tidal.hh"
+#include "util/thread_pool.hh"
+
+using namespace socflow;
+using namespace socflow::fault;
+
+namespace {
+
+/** Thread counts the serial reference is compared against. */
+const std::size_t kThreadSweep[] = {2, 5, 8};
+
+data::DataBundle
+tinyBundle(std::uint64_t seed = 77)
+{
+    data::SyntheticParams p;
+    p.name = "tiny";
+    p.classes = 4;
+    p.channels = 1;
+    p.height = 8;
+    p.width = 8;
+    p.trainSamples = 256;
+    p.testSamples = 96;
+    p.noise = 0.3;
+    p.seed = seed;
+    return data::makeSynthetic(p);
+}
+
+core::SoCFlowConfig
+tinyConfig(std::size_t socs = 10, std::size_t groups = 5)
+{
+    core::SoCFlowConfig cfg;
+    cfg.modelFamily = "mlp";
+    cfg.numSocs = socs;
+    cfg.numGroups = groups;
+    cfg.groupBatch = 16;
+    cfg.sgd.learningRate = 0.05;
+    return cfg;
+}
+
+/** Chaos-harness seed (SOCFLOW_CHAOS_SEED), or a fixed default. */
+std::uint64_t
+chaosSeed()
+{
+    const char *env = std::getenv("SOCFLOW_CHAOS_SEED");
+    return env ? std::strtoull(env, nullptr, 10) : 2024ULL;
+}
+
+/** Everything a scenario must reproduce bit-exactly. */
+struct RunResult {
+    std::uint64_t timelineHash = 0;
+    std::vector<float> weights;
+    std::size_t epochsDone = 0;
+};
+
+/** Train `epochs` epochs with an optional attached fault plan. */
+RunResult
+runTrainer(const FaultPlan *plan, int epochs)
+{
+    data::DataBundle bundle = tinyBundle();
+    core::SoCFlowTrainer trainer(tinyConfig(), bundle);
+    FaultInjector inj(plan ? *plan : FaultPlan{});
+    if (plan)
+        trainer.attachFaultInjector(&inj);
+    for (int e = 0; e < epochs; ++e)
+        trainer.runEpoch();
+    RunResult r;
+    r.timelineHash = trainer.timelineHash();
+    r.weights = trainer.globalWeights();
+    r.epochsDone = trainer.epochsDone();
+    return r;
+}
+
+/**
+ * Run the scenario serially, then at each sweep thread count, and
+ * require bit-exact equality. Float comparison is ==, deliberately:
+ * the parallel core must preserve the exact accumulation order.
+ */
+template <typename Fn>
+void
+expectBitExactAcrossThreads(Fn &&scenario, const char *label)
+{
+    setGlobalThreads(1);
+    const RunResult ref = scenario();
+    EXPECT_NE(ref.timelineHash, 0u) << label;
+    for (std::size_t t : kThreadSweep) {
+        setGlobalThreads(t);
+        const RunResult got = scenario();
+        EXPECT_EQ(got.timelineHash, ref.timelineHash)
+            << label << ": timeline hash diverged at " << t
+            << " threads";
+        EXPECT_EQ(got.epochsDone, ref.epochsDone)
+            << label << " at " << t << " threads";
+        ASSERT_EQ(got.weights.size(), ref.weights.size())
+            << label << " at " << t << " threads";
+        for (std::size_t i = 0; i < ref.weights.size(); ++i) {
+            ASSERT_EQ(got.weights[i], ref.weights[i])
+                << label << ": weight " << i << " diverged at " << t
+                << " threads";
+        }
+    }
+    setGlobalThreads(0);
+}
+
+} // namespace
+
+// ------------------------------------------------------ clean runs
+
+TEST(ParallelDeterminism, CleanRunBitExact)
+{
+    expectBitExactAcrossThreads([] { return runTrainer(nullptr, 4); },
+                                "clean");
+}
+
+TEST(ParallelDeterminism, SingleGroupDegeneratesCleanly)
+{
+    // One group: the parallel loop has nothing to fan out; must still
+    // match the serial timeline.
+    expectBitExactAcrossThreads(
+        [] {
+            data::DataBundle bundle = tinyBundle();
+            core::SoCFlowTrainer trainer(tinyConfig(10, 1), bundle);
+            for (int e = 0; e < 3; ++e)
+                trainer.runEpoch();
+            RunResult r;
+            r.timelineHash = trainer.timelineHash();
+            r.weights = trainer.globalWeights();
+            r.epochsDone = trainer.epochsDone();
+            return r;
+        },
+        "single-group");
+}
+
+// ------------------------------------------------- every fault kind
+
+namespace {
+
+/** One targeted spec of the given kind, firing early. */
+FaultPlan
+planForKind(FaultKind kind)
+{
+    FaultSpec s;
+    s.kind = kind;
+    s.epoch = 1;
+    s.step = 1;
+    s.soc = 3;
+    s.board = 0;
+    s.factor = 0.4;
+    s.durationEpochs = 2;
+    s.count = kind == FaultKind::SwitchPartition ? 1 : 2;
+    s.progress = 0.5;
+    switch (kind) {
+    case FaultKind::LeaderCrash:
+        s.phase = FaultPhase::LeaderRing;
+        break;
+    case FaultKind::SocCrashMidWave:
+    case FaultKind::GradCorrupt:
+        s.phase = FaultPhase::Wave1;
+        break;
+    case FaultKind::CheckpointFail:
+        s.phase = FaultPhase::Checkpoint;
+        break;
+    default:
+        s.phase = FaultPhase::Compute;
+        break;
+    }
+    FaultPlan plan;
+    plan.add(s);
+    return plan;
+}
+
+} // namespace
+
+class ParallelDeterminismFaultKinds
+    : public ::testing::TestWithParam<FaultKind>
+{
+};
+
+TEST_P(ParallelDeterminismFaultKinds, FaultedRunBitExact)
+{
+    const FaultPlan plan = planForKind(GetParam());
+    expectBitExactAcrossThreads(
+        [&plan] { return runTrainer(&plan, 5); },
+        faultKindName(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ParallelDeterminismFaultKinds,
+    ::testing::Values(FaultKind::SocCrash, FaultKind::LinkDegrade,
+                      FaultKind::Straggler, FaultKind::CheckpointFail,
+                      FaultKind::SocCrashMidWave,
+                      FaultKind::GradCorrupt, FaultKind::LeaderCrash,
+                      FaultKind::BoardPartition,
+                      FaultKind::SwitchPartition,
+                      FaultKind::SocRejoin),
+    [](const ::testing::TestParamInfo<FaultKind> &info) {
+        std::string name = faultKindName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+// ------------------------------------- partition/heal/rejoin churn
+
+TEST(ParallelDeterminism, SeededChurnBitExact)
+{
+    FaultPlanConfig fcfg;
+    fcfg.horizonEpochs = 5;
+    fcfg.stepsPerEpoch = 8;
+    fcfg.numSocs = 10;
+    fcfg.crashes = 1;
+    fcfg.linkDegrades = 1;
+    fcfg.stragglers = 1;
+    fcfg.checkpointFailures = 0;
+    fcfg.midWaveCrashes = 1;
+    fcfg.gradCorrupts = 1;
+    fcfg.leaderCrashes = 1;
+    fcfg.boardPartitions = 1;
+    fcfg.switchPartitions = 1;
+    fcfg.rejoins = 1;
+    fcfg.partitionWindowEpochs = 2;
+    fcfg.seed = chaosSeed();
+    const FaultPlan plan = FaultPlan::random(fcfg);
+    expectBitExactAcrossThreads(
+        [&plan] { return runTrainer(&plan, 6); }, "seeded-churn");
+}
+
+// ------------------------------------------- harvest-day reports
+
+TEST(ParallelDeterminism, HarvestReportBitExact)
+{
+    FaultPlanConfig fcfg;
+    fcfg.horizonEpochs = 24;
+    fcfg.numSocs = 10;
+    fcfg.crashes = 1;
+    fcfg.linkDegrades = 1;
+    fcfg.stragglers = 1;
+    fcfg.checkpointFailures = 1;
+    fcfg.boardPartitions = 1;
+    fcfg.rejoins = 1;
+    fcfg.seed = chaosSeed();
+
+    auto runDay = [&fcfg] {
+        data::DataBundle bundle = tinyBundle();
+        core::SoCFlowConfig cfg = tinyConfig();
+        core::SoCFlowTrainer trainer(cfg, bundle);
+        FaultInjector inj(FaultPlan::random(fcfg));
+        trace::TidalConfig tcfg;
+        tcfg.numSocs = 10;
+        tcfg.slotMinutes = 60.0;
+        trace::TidalTrace tidal(tcfg);
+        trace::HarvestConfig hcfg;
+        hcfg.socsPerGroup = 2;
+        hcfg.faults = &inj;
+        return trace::runHarvestDay(trainer, cfg, tidal, hcfg);
+    };
+
+    setGlobalThreads(1);
+    const trace::HarvestReport ref = runDay();
+    EXPECT_NE(ref.timelineHash, 0u);
+    for (std::size_t t : kThreadSweep) {
+        setGlobalThreads(t);
+        const trace::HarvestReport got = runDay();
+        EXPECT_EQ(got.timelineHash, ref.timelineHash) << t;
+        EXPECT_EQ(got.epochsTrained, ref.epochsTrained) << t;
+        EXPECT_EQ(got.preemptions, ref.preemptions) << t;
+        EXPECT_EQ(got.suspensions, ref.suspensions) << t;
+        EXPECT_EQ(got.checkpointsTaken, ref.checkpointsTaken) << t;
+        EXPECT_EQ(got.finalTestAcc, ref.finalTestAcc) << t;
+        EXPECT_EQ(got.trainingHours, ref.trainingHours) << t;
+        EXPECT_EQ(got.crashRecoveries, ref.crashRecoveries) << t;
+        EXPECT_EQ(got.checkpointRetries, ref.checkpointRetries) << t;
+        EXPECT_EQ(got.checkpointsLost, ref.checkpointsLost) << t;
+        EXPECT_EQ(got.recoverySeconds, ref.recoverySeconds) << t;
+        EXPECT_EQ(got.waveResumes, ref.waveResumes) << t;
+        EXPECT_EQ(got.leaderElections, ref.leaderElections) << t;
+        EXPECT_EQ(got.gradCorruptDetected, ref.gradCorruptDetected)
+            << t;
+        EXPECT_EQ(got.chunksRetransmitted, ref.chunksRetransmitted)
+            << t;
+        EXPECT_EQ(got.syncFailures, ref.syncFailures) << t;
+        EXPECT_EQ(got.partitions, ref.partitions) << t;
+        EXPECT_EQ(got.rejoins, ref.rejoins) << t;
+        EXPECT_EQ(got.fencedStaleMsgs, ref.fencedStaleMsgs) << t;
+        EXPECT_EQ(got.pausedEpochs, ref.pausedEpochs) << t;
+        EXPECT_EQ(got.timeline.size(), ref.timeline.size()) << t;
+    }
+    setGlobalThreads(0);
+}
+
+// -------------------------------------------- pool reconfiguration
+
+TEST(ParallelDeterminism, RepeatedResizeIsStable)
+{
+    // Back-to-back resizes between runs must not leak state between
+    // configurations (the global pool is recreated on demand).
+    setGlobalThreads(1);
+    const RunResult a = runTrainer(nullptr, 2);
+    setGlobalThreads(8);
+    setGlobalThreads(2);
+    const RunResult b = runTrainer(nullptr, 2);
+    EXPECT_EQ(a.timelineHash, b.timelineHash);
+    setGlobalThreads(0);
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Direct unit coverage for util::ThreadPool: parallelFor boundary
+ * cases, exception propagation out of submitted tasks, the nested-use
+ * deadlock guard, global-pool resizing, and a contention stress test
+ * sized so TSan has real interleavings to chew on.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hh"
+
+namespace socflow {
+namespace {
+
+TEST(ThreadPool, ParallelForZeroIterationsIsNoop)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(0, [](std::size_t) { FAIL() << "fn called for n=0"; });
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanThreads)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelFor(3, [&](std::size_t i) { ++hits[i]; });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForManyMoreItemsThanThreads)
+{
+    ThreadPool pool(2);
+    constexpr std::size_t n = 10000;
+    std::vector<std::uint8_t> hits(n, 0);
+    // Disjoint writes per index: each i touched exactly once.
+    pool.parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), std::size_t{0}), n);
+}
+
+TEST(ThreadPool, ParallelForSingleItemRunsInline)
+{
+    ThreadPool pool(4);
+    std::thread::id ran_on;
+    pool.parallelFor(1, [&](std::size_t) { ran_on = std::this_thread::get_id(); });
+    EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, SubmitExceptionPropagatesFromWait)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed: a later clean batch waits cleanly.
+    std::atomic<int> ok{0};
+    pool.submit([&] { ++ok; });
+    pool.wait();
+    EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForExceptionPropagates)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [](std::size_t i) {
+                                      if (i == 17)
+                                          throw std::runtime_error("item 17");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, FirstExceptionWinsOthersSwallowed)
+{
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(32, [](std::size_t i) {
+            throw std::invalid_argument(std::to_string(i));
+        });
+        FAIL() << "expected throw";
+    } catch (const std::invalid_argument &) {
+        // Exactly one of the 32 exceptions surfaces; pool stays usable.
+    }
+    std::atomic<int> ok{0};
+    pool.parallelFor(8, [&](std::size_t) { ++ok; });
+    EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineNoDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<int> inner_total{0};
+    std::atomic<int> inner_on_worker{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        EXPECT_TRUE(ThreadPool::inWorkerThread());
+        // Without the guard this re-entrant dispatch deadlocks: the
+        // worker would block in wait() on its own queue slot.
+        pool.parallelFor(8, [&](std::size_t) {
+            ++inner_total;
+            if (ThreadPool::inWorkerThread())
+                ++inner_on_worker;
+        });
+    });
+    EXPECT_EQ(inner_total.load(), 32);
+    EXPECT_EQ(inner_on_worker.load(), 32); // inline on the same worker
+}
+
+TEST(ThreadPool, InWorkerThreadFalseOnCaller)
+{
+    EXPECT_FALSE(ThreadPool::inWorkerThread());
+}
+
+TEST(ThreadPool, GlobalPoolResize)
+{
+    setGlobalThreads(3);
+    EXPECT_EQ(globalThreads(), 3u);
+    EXPECT_EQ(globalThreadPool().size(), 3u);
+    setGlobalThreads(1);
+    EXPECT_EQ(globalThreadPool().size(), 1u);
+    setGlobalThreads(0); // back to default
+    EXPECT_GE(globalThreads(), 1u);
+}
+
+TEST(ThreadPool, StressContendedCountersAndQueues)
+{
+    // Many small batches with shared atomics: exercises the queue
+    // mutex, condvars, and the inFlight counter under contention so
+    // -DSANITIZE=thread sees real interleavings.
+    ThreadPool pool(8);
+    std::atomic<std::uint64_t> sum{0};
+    for (int round = 0; round < 50; ++round) {
+        pool.parallelFor(64, [&](std::size_t i) {
+            sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+        for (int s = 0; s < 16; ++s)
+            pool.submit([&] { sum.fetch_add(1, std::memory_order_relaxed); });
+        pool.wait();
+    }
+    // 50 * (sum 1..64 = 2080) + 50 * 16
+    EXPECT_EQ(sum.load(), 50u * 2080u + 50u * 16u);
+}
+
+} // namespace
+} // namespace socflow
