@@ -73,6 +73,27 @@ seedValue()
     return seed;
 }
 
+std::size_t &
+racksValue()
+{
+    static std::size_t racks = 1;
+    return racks;
+}
+
+double &
+coreGbpsValue()
+{
+    static double gbps = 100.0;
+    return gbps;
+}
+
+double &
+oversubValue()
+{
+    static double factor = 1.0;
+    return factor;
+}
+
 std::string &
 benchJsonOutPath()
 {
@@ -152,6 +173,17 @@ parseCount(const std::string &flag, const std::string &value)
     return static_cast<std::size_t>(parsed);
 }
 
+/** Parse a positive real flag value (fatal on junk). */
+double
+parseReal(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (value.empty() || end == nullptr || *end != '\0' || parsed <= 0.0)
+        fatal("bad value for ", flag, ": '", value, "'");
+    return parsed;
+}
+
 } // namespace
 
 void
@@ -162,6 +194,9 @@ initBenchObservability(int &argc, char **argv)
     std::string postmortemSpansValue;
     std::string threadsValue;
     std::string seedStr;
+    std::string racksStr;
+    std::string coreGbpsStr;
+    std::string oversubStr;
     int out = 1;
     bool any = false;
     for (int i = 1; i < argc; ++i) {
@@ -183,6 +218,9 @@ initBenchObservability(int &argc, char **argv)
               {"--postmortem-spans", &postmortemSpansValue},
               {"--threads", &threadsValue},
               {"--seed", &seedStr},
+              {"--racks", &racksStr},
+              {"--core-gbps", &coreGbpsStr},
+              {"--oversub", &oversubStr},
               {"--bench-json", &benchJsonOutPath()},
               {"--baseline", &baselinePath()}}) {
             const std::string prefix = std::string(flag) + "=";
@@ -216,6 +254,18 @@ initBenchObservability(int &argc, char **argv)
         setGlobalThreads(parseCount("--threads", threadsValue));
     if (!seedStr.empty())
         seedValue() = parseCount("--seed", seedStr);
+    if (!racksStr.empty()) {
+        racksValue() = parseCount("--racks", racksStr);
+        if (racksValue() == 0)
+            fatal("--racks must be at least 1");
+    }
+    if (!coreGbpsStr.empty())
+        coreGbpsValue() = parseReal("--core-gbps", coreGbpsStr);
+    if (!oversubStr.empty()) {
+        oversubValue() = parseReal("--oversub", oversubStr);
+        if (oversubValue() < 1.0)
+            fatal("--oversub must be >= 1 (1 = non-blocking core)");
+    }
 
     if (!any)
         return;
@@ -277,6 +327,40 @@ benchSeed()
     return seedValue();
 }
 
+std::size_t
+benchRacks()
+{
+    return racksValue();
+}
+
+double
+benchCoreGbps()
+{
+    return coreGbpsValue();
+}
+
+double
+benchOversub()
+{
+    return oversubValue();
+}
+
+void
+applyFleetFlags(sim::ClusterConfig &cluster, std::size_t num_socs)
+{
+    const std::size_t racks = racksValue();
+    if (racks <= 1)
+        return;
+    cluster.numRacks = racks;
+    // Spread the boards evenly: the smallest rack width that hosts
+    // every board of the requested SoC count.
+    const std::size_t numBoards =
+        (num_socs + cluster.socsPerBoard - 1) / cluster.socsPerBoard;
+    cluster.boardsPerRack = (numBoards + racks - 1) / racks;
+    cluster.coreBps = coreGbpsValue() * 1e9;
+    cluster.coreOversub = oversubValue();
+}
+
 const std::string &
 benchJsonPath()
 {
@@ -309,8 +393,10 @@ writeBenchJson(const std::string &path, const BenchReport &report)
             << ", \"epochs_per_sec\": " << r.epochsPerSec
             << ", \"events_per_sec\": " << r.eventsPerSec
             << ", \"timeline_hash\": \"" << std::hex << r.timelineHash
-            << std::dec << "\"}"
-            << (i + 1 < report.runs.size() ? "," : "") << '\n';
+            << std::dec << "\"";
+        if (!r.label.empty())
+            out << ", \"label\": \"" << r.label << "\"";
+        out << "}" << (i + 1 < report.runs.size() ? "," : "") << '\n';
     }
     out << "  ]\n}\n";
     return static_cast<bool>(out);
@@ -384,6 +470,16 @@ readBenchJson(const std::string &path, BenchReport &out)
         if (!jsonValueAfter(text, "timeline_hash", cursor, tok, cursor))
             return false;
         r.timelineHash = std::strtoull(tok.c_str(), nullptr, 16);
+        // Optional per-run label (fleet rows): consume it only when
+        // it belongs to this row, i.e. precedes the next "threads".
+        std::string ltok, ntok;
+        std::size_t lat = 0, nat = 0;
+        if (jsonValueAfter(text, "label", cursor, ltok, lat) &&
+            (!jsonValueAfter(text, "threads", cursor, ntok, nat) ||
+             lat < nat)) {
+            r.label = ltok;
+            cursor = lat;
+        }
         out.runs.push_back(r);
     }
     return !out.runs.empty();
@@ -511,6 +607,7 @@ oursConfig(const Workload &w, std::size_t num_socs,
     cfg.numGroups = num_groups;
     cfg.groupBatch = w.batch;
     cfg.seed = seedValue(); // --seed, default 42: reproducible BENCH numbers
+    applyFleetFlags(cfg.clusterTemplate, num_socs); // --racks et al.
     return cfg;
 }
 

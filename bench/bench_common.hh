@@ -73,6 +73,15 @@ struct Workload {
  *   --seed=<n>                root seed for bench RNGs (default 42)
  *                             so committed BENCH numbers reproduce
  *                             run-to-run on the same machine
+ *   --racks=<n>               fleet width: spread the SoCs across n
+ *                             racks behind an inter-rack core
+ *                             (default 1 = the paper's single-rack
+ *                             server, bit-exact pre-fleet timing)
+ *   --core-gbps=<gbps>        inter-rack core bandwidth (default
+ *                             100); only meaningful with --racks > 1
+ *   --oversub=<factor>        fat-tree core oversubscription: every
+ *                             rack uplink runs at switch-bandwidth /
+ *                             factor (default 1 = non-blocking core)
  *   --bench-json=<path>       write the machine-readable throughput
  *                             report here (see writeBenchJson)
  *   --baseline=<path>         compare against a committed BENCH_*.json
@@ -104,6 +113,24 @@ bool smokeMode();
 /** --seed flag value (default 42): root seed for bench RNGs. */
 std::uint64_t benchSeed();
 
+/** --racks flag value (default 1 = single-rack server). */
+std::size_t benchRacks();
+
+/** --core-gbps flag value (default 100). */
+double benchCoreGbps();
+
+/** --oversub flag value (default 1 = non-blocking core). */
+double benchOversub();
+
+/**
+ * Apply the fleet flags to a cluster template: with --racks > 1 the
+ * boards of `num_socs` SoCs are spread evenly across the racks and
+ * the core bandwidth/oversubscription knobs are installed. A no-op
+ * at the default single-rack setting, so oursConfig (which calls
+ * this) keeps its pre-fleet configs bit-identical.
+ */
+void applyFleetFlags(sim::ClusterConfig &cluster, std::size_t num_socs);
+
 /** --bench-json flag value (empty = not requested). */
 const std::string &benchJsonPath();
 
@@ -117,7 +144,12 @@ struct BenchRun {
     std::size_t epochsTrained = 0;
     double epochsPerSec = 0.0;  //!< simulated epochs per wall second
     double eventsPerSec = 0.0;  //!< trainer step events per wall second
-    std::uint64_t timelineHash = 0;  //!< must match across rows
+    std::uint64_t timelineHash = 0;  //!< must match across same-label rows
+    /** Scenario tag ("" = the default single-rack scenario; fleet
+     *  rows carry e.g. "fleet-4rack"). Hash equality is only required
+     *  within one label, and the regression anchor ignores labeled
+     *  rows so pre-fleet baselines stay comparable. */
+    std::string label;
 };
 
 /**

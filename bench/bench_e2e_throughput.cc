@@ -5,9 +5,12 @@
  * Runs the same 24-hour co-location scenario (tidal trace, group
  * preemption, checkpoint/resume) at 1/2/4/8 worker threads and
  * reports simulated-epochs/sec, trainer-step events/sec, and
- * wall-clock per configuration. The timeline hash must be identical
- * across all thread counts -- the bench exits non-zero if the
- * parallel core ever diverges from serial.
+ * wall-clock per configuration, then repeats at a 4-rack / 240-SoC
+ * fleet configuration (rows labeled "fleet-4rack") so the committed
+ * perf trajectory covers the multi-rack path too. The timeline hash
+ * must be identical across all thread counts of one scenario -- the
+ * bench exits non-zero if the parallel core ever diverges from
+ * serial.
  *
  * Flags (besides the shared observability set):
  *   --seed=<n>        root seed (default 42); committed BENCH_*.json
@@ -41,7 +44,7 @@ using namespace socflow;
 
 namespace {
 
-/** The fixed harvest-day scenario, scaled down under --smoke. */
+/** One fixed harvest-day scenario, scaled down under --smoke. */
 struct Scenario {
     const char *model;
     const char *dataset;
@@ -49,6 +52,13 @@ struct Scenario {
     std::size_t numGroups;
     std::size_t groupBatch;
     double slotMinutes;
+    /** Fleet shape: racks > 1 spreads the SoCs across racks behind
+     *  the inter-rack core (--core-gbps / --oversub apply). */
+    std::size_t racks = 1;
+    std::size_t boardsPerRack = 12;
+    std::size_t socsPerBoard = 5;
+    /** BenchRun label ("" = the default single-rack scenario). */
+    const char *label = "";
 };
 
 Scenario
@@ -59,11 +69,21 @@ scenario()
     return {"lenet5", "emnist", 60, 12, 32, 30.0};
 }
 
+/** The multi-rack configuration the perf trajectory also covers. */
+Scenario
+fleetScenario()
+{
+    if (bench::smokeMode())
+        return {"lenet5", "fmnist", 8, 2, 16, 120.0,
+                2, 2, 2, "fleet-2rack"};
+    return {"lenet5", "emnist", 240, 24, 32, 30.0,
+            4, 12, 5, "fleet-4rack"};
+}
+
 bench::BenchRun
-runOnce(std::size_t threads)
+runOnce(std::size_t threads, const Scenario &sc)
 {
     setGlobalThreads(threads);
-    const Scenario sc = scenario();
 
     data::DataBundle bundle = data::makeDatasetByName(sc.dataset);
     core::SoCFlowConfig cfg;
@@ -72,6 +92,13 @@ runOnce(std::size_t threads)
     cfg.numGroups = sc.numGroups;
     cfg.groupBatch = sc.groupBatch;
     cfg.seed = bench::benchSeed();
+    if (sc.racks > 1) {
+        sim::FleetTopology topo{sc.racks, sc.boardsPerRack,
+                                sc.socsPerBoard};
+        cfg.clusterTemplate = sim::fleetClusterConfig(topo);
+        cfg.clusterTemplate.coreBps = bench::benchCoreGbps() * 1e9;
+        cfg.clusterTemplate.coreOversub = bench::benchOversub();
+    }
     core::SoCFlowTrainer trainer(cfg, bundle);
 
     trace::TidalConfig tcfg;
@@ -104,15 +131,22 @@ runOnce(std::size_t threads)
                            ? (steps1 - steps0) / run.wallSeconds
                            : 0.0;
     run.timelineHash = report.timelineHash;
+    run.label = sc.label;
     return run;
 }
 
-/** Prefer the 4-thread row as the speedup anchor, else the fastest. */
+/**
+ * Prefer the 4-thread row as the speedup anchor, else the fastest.
+ * Labeled (fleet) rows are skipped so comparisons against pre-fleet
+ * baseline JSONs stay apples to apples.
+ */
 const bench::BenchRun *
 anchorRun(const bench::BenchReport &r, std::size_t want)
 {
     const bench::BenchRun *best = nullptr;
     for (const auto &run : r.runs) {
+        if (!run.label.empty())
+            continue;
         if (run.threads == want)
             return &run;
         if (!best || run.epochsPerSec > best->epochsPerSec)
@@ -133,20 +167,27 @@ main(int argc, char **argv)
         bench::smokeMode() ? std::vector<std::size_t>{1, 2}
                            : std::vector<std::size_t>{1, 2, 4, 8};
 
+    const std::vector<std::size_t> fleetSweep =
+        bench::smokeMode() ? std::vector<std::size_t>{1, 2}
+                           : std::vector<std::size_t>{1, 2, 8};
+
     bench::BenchReport report;
     report.bench = "bench_e2e_throughput";
     report.seed = bench::benchSeed();
     report.scale = bench::benchScale();
     for (std::size_t t : sweep)
-        report.runs.push_back(runOnce(t));
+        report.runs.push_back(runOnce(t, scenario()));
+    for (std::size_t t : fleetSweep)
+        report.runs.push_back(runOnce(t, fleetScenario()));
 
     Table table("E2E throughput, fixed-seed harvest day (seed " +
                 std::to_string(report.seed) + ")");
-    table.setHeader({"threads", "wall-s", "epochs", "epochs/s",
-                     "events/s", "speedup"});
+    table.setHeader({"scenario", "threads", "wall-s", "epochs",
+                     "epochs/s", "events/s", "speedup"});
     const double base = report.runs.front().epochsPerSec;
     for (const auto &r : report.runs) {
-        table.addRow({std::to_string(r.threads),
+        table.addRow({r.label.empty() ? "single-rack" : r.label,
+                      std::to_string(r.threads),
                       formatDouble(r.wallSeconds, 2),
                       std::to_string(r.epochsTrained),
                       formatDouble(r.epochsPerSec, 3),
@@ -157,16 +198,26 @@ main(int argc, char **argv)
     }
     table.print();
 
-    // Determinism cross-check: the parallel core must be bit-exact.
+    // Determinism cross-check: within each scenario (label), the
+    // parallel core must be bit-exact across thread counts.
     for (const auto &r : report.runs) {
-        if (r.timelineHash != report.runs.front().timelineHash) {
+        const bench::BenchRun *first = nullptr;
+        for (const auto &f : report.runs) {
+            if (f.label == r.label) {
+                first = &f;
+                break;
+            }
+        }
+        if (r.timelineHash != first->timelineHash) {
             std::fprintf(stderr,
                          "FAIL: timeline hash diverged at %zu threads "
-                         "(%016llx vs %016llx)\n",
+                         "(%s scenario, %016llx vs %016llx)\n",
                          r.threads,
+                         r.label.empty() ? "single-rack"
+                                         : r.label.c_str(),
                          static_cast<unsigned long long>(r.timelineHash),
                          static_cast<unsigned long long>(
-                             report.runs.front().timelineHash));
+                             first->timelineHash));
             return 1;
         }
     }

@@ -9,14 +9,24 @@
  * and reused (shard-size effects on the math are second-order);
  * SoCFlow re-runs its math at every scale because the group count
  * changes with the SoC count.
+ *
+ * Fleet extension (EXPERIMENTS.md): a second sweep continues the
+ * SoCFlow curve past the single rack -- 60 (1 rack), 240 (4 racks),
+ * and 1020 (17 racks) SoCs behind the inter-rack core, using the
+ * three-tier hierarchical aggregation. Per-epoch time should grow
+ * gently (the cluster ring only carries one representative per rack)
+ * until the oversubscribed core starts to dominate; tune with
+ * --core-gbps / --oversub.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hh"
 
 #include "baselines/exact_sync.hh"
 #include "baselines/fedavg.hh"
+#include "sim/cluster.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -107,6 +117,60 @@ sweepWorkload(const Workload &w)
     std::fprintf(stderr, "[fig10] finished %s\n", w.key.c_str());
 }
 
+/**
+ * Fleet continuation of the scalability curve: SoCFlow only (the
+ * baselines have no multi-rack story), one rack up to 17 racks /
+ * 1020 SoCs. Smoke tier shrinks the fleet to 2x2x2 so ctest stays
+ * fast while still crossing a rack boundary.
+ */
+void
+sweepFleet(const Workload &w)
+{
+    data::DataBundle bundle = data::makeDatasetByName(w.dataset);
+    const std::size_t epochs = smokeMode() ? 1 : scaledEpochs(5);
+    std::vector<sim::FleetTopology> points;
+    if (smokeMode()) {
+        points = {{1, 2, 2}, {2, 2, 2}};
+    } else {
+        points = {{1, 12, 5}, {4, 12, 5}, {17, 12, 5}};
+    }
+
+    Table t("Figure 10 (extended): SoCFlow fleet scaling (" + w.key +
+            ", core " + formatDouble(benchCoreGbps(), 0) +
+            " Gbps, oversub " + formatDouble(benchOversub(), 1) + ")");
+    t.setHeader({"racks", "SoCs", "groups", "epoch-sim-s",
+                 "epoch-sync-s", "wall-s"});
+    for (const sim::FleetTopology &topo : points) {
+        const std::size_t socs = topo.numSocs();
+        const std::size_t groups =
+            std::max<std::size_t>(1, socs / (smokeMode() ? 2 : 10));
+        core::SoCFlowConfig cfg = oursConfig(w, socs, groups);
+        cfg.clusterTemplate = sim::fleetClusterConfig(topo);
+        cfg.clusterTemplate.coreBps = benchCoreGbps() * 1e9;
+        cfg.clusterTemplate.coreOversub = benchOversub();
+
+        const auto start = std::chrono::steady_clock::now();
+        core::SoCFlowTrainer ours(cfg, bundle);
+        const core::TrainResult result =
+            core::runTraining(ours, epochs);
+        const double wallS =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+
+        const core::EpochRecord &first = result.epochs.front();
+        t.addRow({std::to_string(topo.racks), std::to_string(socs),
+                  std::to_string(groups),
+                  formatDouble(first.simSeconds, 1),
+                  formatDouble(first.syncSeconds, 1),
+                  formatDouble(wallS, 1)});
+        std::fprintf(stderr, "[fig10] fleet %zu racks / %zu SoCs done\n",
+                     topo.racks, socs);
+    }
+    t.print();
+    std::printf("\n");
+}
+
 } // namespace
 
 int
@@ -116,6 +180,9 @@ main(int argc, char **argv)
     setLogLevel(LogLevel::Warn);
     for (const auto &w : paperWorkloads())
         sweepWorkload(w);
+    // The fleet continuation is one workload deep: the per-rack
+    // timing is model-size dominated, so one curve tells the story.
+    sweepFleet(paperWorkloads().front());
     std::printf("(paper: SoCFlow's advantage grows with scale -- "
                 "474x vs PS and 49x vs RING at 32 SoCs, ~2.6x larger "
                 "than at 8 SoCs)\n");

@@ -33,6 +33,12 @@
  * --sync-retries, --sync-backoff-base, --sync-backoff-max,
  * --ckpt-retries, --ckpt-backoff, and the failure detector via
  * --phi-threshold / --phi-window (see bench::parseFaultPolicyFlags).
+ *
+ * Fleet soaks: --racks=<n> spreads the same 32 SoCs across n racks
+ * behind an inter-rack core (--core-gbps / --oversub shape it), and
+ * the fault plan gains a rack cut -- rack 0 loses its uplink for two
+ * epochs, the fleet-scale partition analogue (DESIGN.md ch. 10) --
+ * exercising quorum, parking, and heal at rack granularity.
  */
 
 #include <cstdio>
@@ -41,6 +47,7 @@
 #include "core/socflow_trainer.hh"
 #include "data/synthetic.hh"
 #include "fault/fault.hh"
+#include "sim/cluster.hh"
 #include "trace/harvest.hh"
 #include "trace/tidal.hh"
 #include "util/logging.hh"
@@ -64,6 +71,9 @@ runDay(const trace::TidalTrace &tidal, fault::FaultInjector *faults,
     cfg.sync = policy.sync;
     cfg.phiThreshold = policy.phiThreshold;
     cfg.phiWindow = policy.phiWindow;
+    // --racks / --core-gbps / --oversub spread the same SoCs across
+    // a fleet; the single-rack default is bit-identical to before.
+    bench::applyFleetFlags(cfg.clusterTemplate, cfg.numSocs);
     core::SoCFlowTrainer trainer(cfg, bundle);
 
     trace::HarvestConfig hcfg;
@@ -147,6 +157,15 @@ main(int argc, char **argv)
     rejoin.epoch = 16;
     rejoin.soc = 2;
     plan.add(rejoin);
+    // On a fleet, also cut a whole rack's uplink into the core --
+    // the rack-granular analogue of the board partition above, same
+    // quorum/park/heal path (DESIGN.md ch. 10). Rack 0 is always
+    // fully populated, so the cut span never names a missing board.
+    if (bench::benchRacks() > 1) {
+        sim::ClusterConfig fleet;
+        bench::applyFleetFlags(fleet, tcfg.numSocs);
+        plan.add(fault::rackCut(0, fleet.boardsPerRack, 18, 2));
+    }
 
     Table sched("Fault schedule");
     sched.setHeader(

@@ -1,5 +1,5 @@
 #!/bin/bash
-# Usage: run_all.sh [--sanitize|--tsan|--chaos|--chaos-nightly [count]|--bench [tag]]
+# Usage: run_all.sh [--sanitize|--tsan|--chaos|--chaos-nightly [count]|--bench [tag]|--docs-check]
 #   default     run the test suite + every bench from build/
 #   --sanitize  configure build-asan with -DSANITIZE=ON and run the
 #               test suite under AddressSanitizer + UBSan
@@ -15,23 +15,33 @@
 #               if epochs/sec regresses more than 10% against the
 #               committed BENCH_baseline.json
 #   --chaos     run the fault + streaming-obs + membership + parallel
-#               determinism suites
+#               determinism + fleet topology suites
 #               under ASan+UBSan with 10 fixed chaos seeds
 #               (SOCFLOW_CHAOS_SEED); fails on any sanitizer report or
 #               non-deterministic replay (the ChaosReplay tests hash
 #               each seed's fault timeline -- including partition,
 #               heal, and rejoin events -- and re-run it, so same seed
-#               must give the same hash)
+#               must give the same hash).  Each seed also drives the
+#               multi-rack batch: SeededFleetChurnBitExact draws a
+#               seeded fault plan with a rack cut, a crash, and a
+#               rejoin on a 4-rack fleet and replays it at 1/2/5/8
+#               threads, and test_fleet_topology replays a rack-cut ->
+#               park -> heal round trip, so rack-granular faults get
+#               the same per-seed determinism gate as board faults
 #   --chaos-nightly [count]
 #               like --chaos but with `count` (default 10) *fresh*
 #               random seeds, each with the crash flight recorder
 #               armed (SOCFLOW_POSTMORTEM); failing seeds and their
 #               post-mortem dump paths append to chaos_failures.txt
 #               so a failure found tonight can be replayed tomorrow
+#   --docs-check
+#               fail if any user-facing "--flag" handled by
+#               bench/bench_common.cc is documented in neither
+#               README.md nor DESIGN.md
 cd /root/repo
 
-chaos_targets="test_fault test_fault_step test_obs_stream test_membership test_parallel_determinism"
-chaos_regex='test_(fault($|_step)|obs_stream$|membership$|parallel_determinism$)'
+chaos_targets="test_fault test_fault_step test_obs_stream test_membership test_parallel_determinism test_fleet_topology"
+chaos_regex='test_(fault($|_step)|obs_stream$|membership$|parallel_determinism$|fleet_topology$)'
 
 run_chaos_seed() {
     # $1 = seed, $2 = optional post-mortem dump path
@@ -115,6 +125,26 @@ if [ "$1" = "--bench" ]; then
     ./build-rel/bench/fig10_scalability || exit 1
     echo "BENCH_RUN_COMPLETE (wrote $out)"
     exit 0
+fi
+
+if [ "$1" = "--docs-check" ]; then
+    # Every user-facing flag the bench harness parses must appear in
+    # README.md or DESIGN.md, so the docs can never silently trail
+    # the CLI surface.
+    status=0
+    for flag in $(grep -oE '"--[a-z0-9-]+"' bench/bench_common.cc |
+                      tr -d '"' | sort -u); do
+        if ! grep -qF -e "$flag" README.md DESIGN.md; then
+            echo "DOCS_CHECK_UNDOCUMENTED_FLAG $flag"
+            status=1
+        fi
+    done
+    if [ $status -eq 0 ]; then
+        echo "DOCS_CHECK_COMPLETE"
+    else
+        echo "DOCS_CHECK_FAILED (flags above missing from README.md and DESIGN.md)"
+    fi
+    exit $status
 fi
 
 if [ "$1" = "--sanitize" ]; then

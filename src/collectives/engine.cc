@@ -37,7 +37,8 @@ recordCollective(const char *op, const CommStats &stats)
         }
     };
     static OpMetrics ring("ring"), ps("param_server"), tree("tree"),
-        bcast("broadcast"), concurrent("concurrent_rings");
+        bcast("broadcast"), concurrent("concurrent_rings"),
+        hier("hierarchical");
     OpMetrics *m = nullptr;
     switch (op[0]) {
       case 'r':
@@ -51,6 +52,9 @@ recordCollective(const char *op, const CommStats &stats)
         break;
       case 'b':
         m = &bcast;
+        break;
+      case 'h':
+        m = &hier;
         break;
       default:
         m = &concurrent;
@@ -314,6 +318,63 @@ CollectiveEngine::concurrentRings(
         ++stats.rounds;
     }
     recordCollective("concurrent_rings", stats);
+    return stats;
+}
+
+CommStats
+CollectiveEngine::hierarchicalAllReduce(
+    const std::vector<sim::SocId> &members, double bytes) const
+{
+    CommStats stats;
+    if (members.size() <= 1 || bytes <= 0.0)
+        return stats;
+
+    // Bucket the members by rack in ascending id order, so the rack
+    // representative (front of each bucket) is the lowest member id
+    // regardless of the caller's ordering.
+    std::vector<sim::SocId> sorted(members);
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<std::vector<sim::SocId>> byRack(clusterRef.numRacks());
+    for (sim::SocId m : sorted)
+        byRack[clusterRef.rack(m)].push_back(m);
+    std::size_t racksTouched = 0;
+    for (const auto &r : byRack)
+        if (!r.empty())
+            ++racksTouched;
+    if (racksTouched <= 1)
+        return ringAllReduce(sorted, bytes);
+
+    // Phase 1: every rack with >= 2 members reduces locally; the
+    // rings run concurrently but touch disjoint rack fabric.
+    std::vector<std::vector<sim::SocId>> rings;
+    for (const auto &r : byRack)
+        if (r.size() > 1)
+            rings.push_back(r);
+    if (!rings.empty())
+        stats += concurrentRings(rings, bytes);
+
+    // Phase 2: one representative per touched rack crosses the core.
+    std::vector<sim::SocId> reps;
+    for (const auto &r : byRack)
+        if (!r.empty())
+            reps.push_back(r.front());
+    stats += ringAllReduce(reps, bytes);
+
+    // Phase 3: representatives fan the fleet result back out inside
+    // their racks. The broadcasts use disjoint fabric, so wall clock
+    // is the slowest rack's; bytes accumulate across all of them.
+    CommStats fanout;
+    for (const auto &r : byRack) {
+        if (r.size() <= 1)
+            continue;
+        const std::vector<sim::SocId> dests(r.begin() + 1, r.end());
+        const CommStats b = broadcast(r.front(), dests, bytes);
+        fanout.seconds = std::max(fanout.seconds, b.seconds);
+        fanout.rounds = std::max(fanout.rounds, b.rounds);
+        fanout.wireBytes += b.wireBytes;
+    }
+    stats += fanout;
+    recordCollective("hierarchical", stats);
     return stats;
 }
 

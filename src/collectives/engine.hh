@@ -181,6 +181,22 @@ class CollectiveEngine
         double bytes) const;
 
     /**
+     * Rack-hierarchical all-reduce over `members` (DESIGN.md ch. 10).
+     * On a single-rack cluster -- or when every member shares one
+     * rack -- this is exactly ringAllReduce over the members, so the
+     * pre-fleet timing is preserved bit for bit. Otherwise it runs
+     * three phases: (1) concurrent per-rack rings over each rack's
+     * members reduce locally, (2) a cluster ring over one
+     * representative per rack (the lowest member id in the rack)
+     * crosses the core, and (3) each representative broadcasts the
+     * fleet result back inside its rack; phase 3 charges the slowest
+     * rack's broadcast since the racks fan out concurrently on
+     * disjoint fabric.
+     */
+    CommStats hierarchicalAllReduce(
+        const std::vector<sim::SocId> &members, double bytes) const;
+
+    /**
      * Fault-aware ring all-reduce. With every member alive this is
      * exactly ringAllReduce. A ring containing dead members (per the
      * attached fault model, plus the optional `extra_dead` hint from

@@ -287,5 +287,29 @@ conflictGraph(const Mapping &mapping, std::size_t socs_per_board)
     return adj;
 }
 
+// A rack is a coarser board: with contiguous SoC ids, rack(soc) =
+// soc / socs_per_rack, so the board-level machinery applies verbatim
+// at the coarser divisor.
+
+bool
+isRackSplitGroup(const Mapping &mapping, std::size_t group,
+                 std::size_t socs_per_rack)
+{
+    return isSplitGroup(mapping, group, socs_per_rack);
+}
+
+std::size_t
+rackConflictC(const Mapping &mapping, std::size_t socs_per_rack,
+              std::size_t num_racks)
+{
+    return conflictC(mapping, socs_per_rack, num_racks);
+}
+
+std::vector<std::vector<std::size_t>>
+rackConflictGraph(const Mapping &mapping, std::size_t socs_per_rack)
+{
+    return conflictGraph(mapping, socs_per_rack);
+}
+
 } // namespace core
 } // namespace socflow

@@ -90,6 +90,47 @@ std::size_t conflictC(const Mapping &mapping,
 std::vector<std::vector<std::size_t>> conflictGraph(
     const Mapping &mapping, std::size_t socs_per_board);
 
+/**
+ * Rack-granular restatements of the placement invariants (DESIGN.md
+ * ch. 10). With SoC ids contiguous per rack, a rack is just a coarser
+ * "board" of `socs_per_rack` = boardsPerRack x socsPerBoard slots, so
+ * Theorems 1 and 2 re-derive verbatim at rack granularity:
+ *
+ *  - Theorem 1 (rack form): the integrity-greedy mapping minimizes
+ *    the rack conflict metric C_rack -- the maximum, over racks, of
+ *    the number of rack-split groups touching that rack -- because
+ *    its placement is contiguous in the 1-D slot order and every
+ *    rack boundary is therefore straddled by the fewest groups any
+ *    placement of the same group sizes can achieve. Groups prefer
+ *    rack-local placement: a group spans racks only when no rack has
+ *    enough free slots left to hold it whole.
+ *  - Theorem 2 (rack form): each rack-split group shares a rack with
+ *    at most two other rack-split groups (one per adjacent rack
+ *    boundary), so the rack conflict graph is a union of chains --
+ *    degree <= 2 -- and the CG planner 2-colors the cluster ring's
+ *    cross-rack waves just as it 2-colors board-level waves.
+ */
+
+/** True when group g spans more than one rack. */
+bool isRackSplitGroup(const Mapping &mapping, std::size_t group,
+                      std::size_t socs_per_rack);
+
+/**
+ * Rack conflict metric C_rack: max over racks of the number of
+ * rack-split groups with at least one SoC in that rack.
+ */
+std::size_t rackConflictC(const Mapping &mapping,
+                          std::size_t socs_per_rack,
+                          std::size_t num_racks);
+
+/**
+ * Conflict graph at rack granularity: an edge connects two
+ * *rack-split* groups that share a rack (they contend for its core
+ * uplink). Rack-local groups never appear in any edge.
+ */
+std::vector<std::vector<std::size_t>> rackConflictGraph(
+    const Mapping &mapping, std::size_t socs_per_rack);
+
 } // namespace core
 } // namespace socflow
 

@@ -246,11 +246,7 @@ SoCFlowTrainer::epochSyncSeconds() const
         std::vector<sim::SocId> leaders;
         for (const auto &g : groups)
             leaders.push_back(g->socs.front());
-        // Order the leader ring by SoC id so neighbouring leaders
-        // share boards where possible (fewer NIC crossings).
-        std::sort(leaders.begin(), leaders.end());
-        total += engine.ringAllReduce(leaders, profile.paramBytes())
-                     .seconds;
+        total += leaderAggregateSeconds(std::move(leaders));
         // Leaders broadcast the averaged weights inside their groups
         // (groups run concurrently; charge the slowest).
         double worstBcast = 0.0;
@@ -277,6 +273,24 @@ SoCFlowTrainer::epochSyncSeconds() const
              cluster.config().messageLatencyS;
     cachedEpochSyncS = total;
     return total;
+}
+
+double
+SoCFlowTrainer::leaderAggregateSeconds(
+    std::vector<sim::SocId> leaders) const
+{
+    // Order the ring by SoC id so neighbouring leaders share boards
+    // (and racks) where possible -- fewer NIC and uplink crossings.
+    std::sort(leaders.begin(), leaders.end());
+    if (cluster.numRacks() > 1) {
+        // Third aggregation tier (DESIGN.md ch. 10): per-rack leader
+        // rings reduce locally, then a cluster ring over one
+        // representative per rack crosses the core.
+        return engine
+            .hierarchicalAllReduce(leaders, profile.paramBytes())
+            .seconds;
+    }
+    return engine.ringAllReduce(leaders, profile.paramBytes()).seconds;
 }
 
 void
@@ -1240,9 +1254,7 @@ SoCFlowTrainer::injectLeaderCrash(sim::SocId soc)
         std::vector<sim::SocId> leaders;
         for (const auto &grp : groups)
             leaders.push_back(grp->socs.front());
-        std::sort(leaders.begin(), leaders.end());
-        recoveryS +=
-            engine.ringAllReduce(leaders, profile.paramBytes()).seconds;
+        recoveryS += leaderAggregateSeconds(std::move(leaders));
     }
     rebuildTopology();
 
@@ -1387,6 +1399,22 @@ SoCFlowTrainer::assertMembershipInvariants() const
         }
         SOCFLOW_ASSERT(plan.numCommGroups <= 2,
                        "CG schedule needs more than two waves");
+        // On a fleet the same invariants re-derive at rack
+        // granularity (mapping.hh): rack-split groups chain with at
+        // most two neighbours, so the cross-rack waves of the cluster
+        // ring 2-color exactly like board-level waves.
+        if (cluster.numRacks() > 1) {
+            const auto rackAdj = rackConflictGraph(
+                mapping, cluster.config().socsPerRack());
+            for (const auto &neighbours : rackAdj) {
+                SOCFLOW_ASSERT(neighbours.size() <= 2,
+                               "rack conflict graph is no longer a "
+                               "union of chains");
+            }
+            SOCFLOW_ASSERT(
+                planCommGroups(rackAdj).numCommGroups <= 2,
+                "rack-level CG schedule needs more than two waves");
+        }
     }
 }
 

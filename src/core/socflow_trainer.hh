@@ -329,6 +329,12 @@ class SoCFlowTrainer : public DistTrainer
     /** Cross-group (per-epoch) aggregation seconds. */
     double epochSyncSeconds() const;
 
+    /** Leader-ring aggregation seconds over the given leaders: a flat
+     *  ring on a single rack (the pre-fleet path, bit for bit), the
+     *  three-tier hierarchy -- per-rack leader rings into a cluster
+     *  ring over rack representatives -- on a multi-rack fleet. */
+    double leaderAggregateSeconds(std::vector<sim::SocId> leaders) const;
+
     /** Profile alpha on the validation slice. */
     void profileAlpha();
 

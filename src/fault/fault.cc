@@ -252,6 +252,16 @@ FaultPlan::random(const FaultPlanConfig &cfg)
         s.durationEpochs = cfg.partitionWindowEpochs;
         plan.add(s);
     }
+    // Rack cuts: SwitchPartitions aligned to rack boundaries so one
+    // whole rack of the fleet drops off the core at a time. Needs at
+    // least two full racks -- cutting the only rack cuts everyone and
+    // leaves no majority to keep training.
+    const std::size_t numRacks =
+        cfg.boardsPerRack > 0 ? numBoards / cfg.boardsPerRack : 0;
+    for (std::size_t i = 0; numRacks > 1 && i < cfg.rackCuts; ++i) {
+        plan.add(rackCut(rng.uniformInt(numRacks), cfg.boardsPerRack,
+                         pickEpoch(), cfg.partitionWindowEpochs));
+    }
     // Rejoins target SoCs the plan has already crashed (when it has
     // any), landing strictly after the crash so the comeback is real.
     std::vector<FaultSpec> crashes;
@@ -278,6 +288,21 @@ FaultPlan::random(const FaultPlanConfig &cfg)
         plan.add(s);
     }
     return plan;
+}
+
+FaultSpec
+rackCut(sim::RackId rack, std::size_t boards_per_rack,
+        std::size_t epoch, std::size_t duration_epochs)
+{
+    if (boards_per_rack == 0)
+        fatal("rack cut requires a positive rack width");
+    FaultSpec s;
+    s.kind = FaultKind::SwitchPartition;
+    s.epoch = epoch;
+    s.board = rack * boards_per_rack;
+    s.count = boards_per_rack;
+    s.durationEpochs = duration_epochs;
+    return s;
 }
 
 void

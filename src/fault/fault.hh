@@ -140,6 +140,17 @@ struct FaultSpec {
     }
 };
 
+/**
+ * A rack cut: the SwitchPartition that severs one whole rack of a
+ * fleet (DESIGN.md ch. 10) -- boards [rack * boards_per_rack,
+ * (rack + 1) * boards_per_rack) lose their uplink for
+ * `duration_epochs`. Handled by the ordinary quorum/park/heal path:
+ * the cut rack's groups park, the majority re-maps, and the heal
+ * sweep folds the rack back in with its stale traffic fenced.
+ */
+FaultSpec rackCut(sim::RackId rack, std::size_t boards_per_rack,
+                  std::size_t epoch, std::size_t duration_epochs);
+
 /** Knobs for the seed-driven plan generator. */
 struct FaultPlanConfig {
     std::size_t horizonEpochs = 48;  //!< faults land in [1, horizon)
@@ -163,6 +174,8 @@ struct FaultPlanConfig {
     std::size_t gradCorruptBurst = 1;     //!< corrupt chunks per event
     std::size_t partitionWindowEpochs = 3; //!< partition heal horizon
     std::size_t switchPartitionBoards = 2; //!< boards per switch cut
+    std::size_t rackCuts = 0;       //!< whole-rack cuts (fleet only)
+    std::size_t boardsPerRack = 12; //!< rack width used by rackCuts
     std::uint64_t seed = 2024;
 };
 

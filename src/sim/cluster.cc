@@ -7,11 +7,33 @@
 namespace socflow {
 namespace sim {
 
+ClusterConfig
+fleetClusterConfig(const FleetTopology &topo)
+{
+    ClusterConfig cfg;
+    cfg.numSocs = topo.numSocs();
+    cfg.socsPerBoard = topo.socsPerBoard;
+    cfg.numRacks = topo.racks;
+    cfg.boardsPerRack = topo.boardsPerRack;
+    return cfg;
+}
+
 Cluster::Cluster(const ClusterConfig &config)
     : cfg(config), net(config.congestionExponent)
 {
     if (cfg.numSocs == 0 || cfg.socsPerBoard == 0)
         fatal("cluster requires at least one SoC and one SoC per board");
+    if (cfg.numRacks == 0 || cfg.boardsPerRack == 0)
+        fatal("cluster requires at least one rack and one board per "
+              "rack");
+    if (cfg.numRacks > 1 &&
+        cfg.numBoards() > cfg.numRacks * cfg.boardsPerRack) {
+        fatal("fleet of ", cfg.numRacks, " racks x ", cfg.boardsPerRack,
+              " boards cannot host ", cfg.numBoards(), " boards");
+    }
+    if (cfg.numRacks > 1 && cfg.coreOversub < 1.0)
+        fatal("core oversubscription must be >= 1, got ",
+              cfg.coreOversub);
 
     const double socBytes = cfg.socLinkBps / 8.0;
     const double nicBytes = cfg.boardNicBps / 8.0;
@@ -32,7 +54,22 @@ Cluster::Cluster(const ClusterConfig &config)
             net.addResource(nicBytes,
                             "nic" + std::to_string(b) + ".down"));
     }
-    switchFabric = net.addResource(switchBytes, "switch");
+    if (cfg.numRacks == 1) {
+        // The pre-fleet resource set, bit for bit: one switch, no
+        // uplinks, no core. Single-rack timing is unchanged.
+        rackSwitch.push_back(net.addResource(switchBytes, "switch"));
+        return;
+    }
+    const double uplinkBytes = cfg.rackUplinkBps() / 8.0;
+    for (RackId r = 0; r < cfg.numRacks; ++r) {
+        rackSwitch.push_back(net.addResource(
+            switchBytes, "rack" + std::to_string(r) + ".switch"));
+        rackUp.push_back(net.addResource(
+            uplinkBytes, "rack" + std::to_string(r) + ".up"));
+        rackDown.push_back(net.addResource(
+            uplinkBytes, "rack" + std::to_string(r) + ".down"));
+    }
+    core = net.addResource(cfg.coreBps / 8.0, "core");
 }
 
 BoardId
@@ -42,10 +79,31 @@ Cluster::board(SocId soc) const
     return soc / cfg.socsPerBoard;
 }
 
+RackId
+Cluster::rack(SocId soc) const
+{
+    return rackOfBoard(board(soc));
+}
+
+RackId
+Cluster::rackOfBoard(BoardId b) const
+{
+    SOCFLOW_ASSERT(b < cfg.numBoards(), "board id out of range: ", b);
+    if (cfg.numRacks == 1)
+        return 0;
+    return b / cfg.boardsPerRack;
+}
+
 bool
 Cluster::sameBoard(SocId a, SocId b) const
 {
     return board(a) == board(b);
+}
+
+bool
+Cluster::sameRack(SocId a, SocId b) const
+{
+    return rack(a) == rack(b);
 }
 
 std::vector<ResourceId>
@@ -54,8 +112,17 @@ Cluster::path(SocId src, SocId dst) const
     SOCFLOW_ASSERT(src != dst, "self-transfer has no network path");
     if (sameBoard(src, dst))
         return {socUp[src], socDown[dst]};
-    return {socUp[src], nicUp[board(src)], switchFabric,
-            nicDown[board(dst)], socDown[dst]};
+    const RackId rs = rack(src);
+    const RackId rd = rack(dst);
+    if (rs == rd) {
+        return {socUp[src], nicUp[board(src)], rackSwitch[rs],
+                nicDown[board(dst)], socDown[dst]};
+    }
+    // Cross-rack: climb the source rack (NIC, switch, oversubscribed
+    // uplink), cross the shared core, descend the destination rack.
+    return {socUp[src],       nicUp[board(src)], rackSwitch[rs],
+            rackUp[rs],       core,              rackDown[rd],
+            rackSwitch[rd],   nicDown[board(dst)], socDown[dst]};
 }
 
 FlowSpec

@@ -1,6 +1,6 @@
 /**
  * @file
- * SoC-Cluster topology model.
+ * SoC-Cluster topology model, generalized to a multi-rack fleet.
  *
  * Mirrors the commercial server described in the paper (Fig. 2): M
  * SoCs on K PCB boards (5 per board in the reference machine). Each
@@ -10,6 +10,22 @@
  * transfers additionally cross both boards' shared NICs and the
  * switch fabric, which is where the contention the paper measures
  * comes from.
+ *
+ * Fleet generalization (DESIGN.md ch. 10): the single rack becomes
+ * one of `numRacks` identical racks, each with its own switch, behind
+ * an inter-rack core. Two core models are expressible with the same
+ * resources:
+ *  - a uniform-bandwidth core switch (`coreBps`, oversubscription 1):
+ *    every rack uplink runs at the full rack-switch rate and only the
+ *    core itself can saturate;
+ *  - a fat-tree-style oversubscribed core (`coreOversub` > 1): each
+ *    rack's uplink/downlink pair is provisioned at switchBps /
+ *    coreOversub, the classic host-to-core bandwidth taper.
+ * Both are ordinary FlowNetwork capacity resources, so progressive
+ * filling prices cross-rack contention exactly like it prices the
+ * board NICs and the intra-rack switch. A single-rack configuration
+ * builds the identical resource set (and therefore identical timing)
+ * as the pre-fleet model.
  */
 
 #ifndef SOCFLOW_SIM_CLUSTER_HH
@@ -29,18 +45,61 @@ using SocId = std::size_t;
 /** Identifies one PCB board. */
 using BoardId = std::size_t;
 
-/** Static description of a SoC-Cluster server. */
+/** Identifies one rack of the fleet. */
+using RackId = std::size_t;
+
+/**
+ * Fleet shape: how many racks, boards per rack, SoCs per board. The
+ * reference machine is one rack of 12 boards x 5 SoCs = 60 SoCs.
+ */
+struct FleetTopology {
+    std::size_t racks = 1;
+    std::size_t boardsPerRack = 12;
+    std::size_t socsPerBoard = 5;
+
+    /** Total SoCs across the fleet. */
+    std::size_t
+    numSocs() const
+    {
+        return racks * boardsPerRack * socsPerBoard;
+    }
+
+    /** SoCs hosted by one full rack. */
+    std::size_t
+    socsPerRack() const
+    {
+        return boardsPerRack * socsPerBoard;
+    }
+};
+
+/** Static description of a SoC-Cluster server (or fleet of them). */
 struct ClusterConfig {
     /** Total SoCs installed. Reference machine: 60. */
     std::size_t numSocs = 60;
     /** SoCs per PCB board. Reference machine: 5. */
     std::size_t socsPerBoard = 5;
+    /**
+     * Racks in the fleet. 1 (the default) reproduces the paper's
+     * single-server topology bit-exactly: no rack uplinks and no core
+     * resource are built, and every path matches the pre-fleet model.
+     */
+    std::size_t numRacks = 1;
+    /** Boards per rack; only consulted when numRacks > 1. */
+    std::size_t boardsPerRack = 12;
     /** Per-SoC port bandwidth, bits per second (1 Gbps). */
     double socLinkBps = 1e9;
     /** Shared per-board NIC uplink bandwidth (1 Gbps). */
     double boardNicBps = 1e9;
-    /** Central switch fabric bandwidth (20 Gbps). */
+    /** Per-rack switch fabric bandwidth (20 Gbps). */
     double switchBps = 20e9;
+    /** Inter-rack core bandwidth (only built when numRacks > 1). */
+    double coreBps = 100e9;
+    /**
+     * Fat-tree oversubscription of the rack-to-core uplinks: each
+     * rack's uplink/downlink pair is provisioned at switchBps /
+     * coreOversub. 1.0 models a non-blocking (uniform) core.
+     */
+    double coreOversub = 1.0;
     /**
      * Per-transfer software/protocol latency, seconds. Calibrated so
      * that a 5-SoC ring all-reduce of ResNet-18 gradients costs the
@@ -70,7 +129,24 @@ struct ClusterConfig {
     {
         return (numSocs + socsPerBoard - 1) / socsPerBoard;
     }
+
+    /** SoCs hosted by one full rack (board capacity x boards). */
+    std::size_t
+    socsPerRack() const
+    {
+        return boardsPerRack * socsPerBoard;
+    }
+
+    /** Rack uplink/downlink capacity after oversubscription, bps. */
+    double
+    rackUplinkBps() const
+    {
+        return switchBps / (coreOversub > 0.0 ? coreOversub : 1.0);
+    }
 };
+
+/** ClusterConfig for a fleet shape (other knobs keep defaults). */
+ClusterConfig fleetClusterConfig(const FleetTopology &topo);
 
 /**
  * A SoC-Cluster instance: builds the flow-network resources for the
@@ -90,13 +166,27 @@ class Cluster
     /** Board hosting a SoC. */
     BoardId board(SocId soc) const;
 
+    /** Rack hosting a SoC (always 0 on a single-rack cluster). */
+    RackId rack(SocId soc) const;
+
+    /** Rack hosting a board. */
+    RackId rackOfBoard(BoardId board) const;
+
     /** True when two SoCs share a PCB board. */
     bool sameBoard(SocId a, SocId b) const;
+
+    /** True when two SoCs share a rack. */
+    bool sameRack(SocId a, SocId b) const;
+
+    /** Racks in the fleet (>= 1). */
+    std::size_t numRacks() const { return cfg.numRacks; }
 
     /**
      * Resource path for a transfer from `src` to `dst`. Intra-board:
      * {src port out, dst port in}. Inter-board adds both board NICs
-     * and the switch fabric.
+     * and the rack switch. Inter-rack additionally climbs the source
+     * rack's oversubscribed uplink, crosses the shared core, and
+     * descends the destination rack's downlink.
      */
     std::vector<ResourceId> path(SocId src, SocId dst) const;
 
@@ -117,7 +207,11 @@ class Cluster
     std::vector<ResourceId> socDown;  //!< SoC port, receive side
     std::vector<ResourceId> nicUp;    //!< board NIC toward the switch
     std::vector<ResourceId> nicDown;  //!< board NIC from the switch
-    ResourceId switchFabric;
+    std::vector<ResourceId> rackSwitch;  //!< per-rack switch fabric
+    std::vector<ResourceId> rackUp;   //!< rack uplink toward the core
+    std::vector<ResourceId> rackDown; //!< rack downlink from the core
+    /** Inter-rack core; only valid when numRacks > 1. */
+    ResourceId core = 0;
 };
 
 } // namespace sim

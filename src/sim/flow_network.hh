@@ -6,10 +6,14 @@
  * NICs, incast at a parameter server, ring neighbours crossing PCB
  * boundaries) is what bottlenecks distributed training in the paper.
  * We model each physical link (SoC port, board NIC uplink/downlink,
- * switch fabric) as a capacity resource and every transfer as a fluid
- * flow over an ordered set of resources. At any instant, active flows
- * receive their max-min fair rates (progressive filling); the
- * simulation advances between flow arrival/completion events.
+ * per-rack switch fabric, and -- on a multi-rack fleet -- the
+ * oversubscribed rack uplinks and the inter-rack core) as a capacity
+ * resource and every transfer as a fluid flow over an ordered set of
+ * resources. At any instant, active flows receive their max-min fair
+ * rates (progressive filling); the simulation advances between flow
+ * arrival/completion events. Because the fleet's cross-rack links are
+ * ordinary resources, cross-rack contention is priced by the same
+ * progressive-filling pass that prices the board NICs.
  *
  * This reproduces the paper's measured phenomena: ring latency scaling
  * linearly with node count, 2.31-9.81x inter-PCB penalty, and

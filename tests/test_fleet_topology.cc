@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Fleet topology, hierarchical aggregation, and rack-granular
+ * invariants (DESIGN.md ch. 10).
+ *
+ *  - resource construction: per-rack switches, oversubscribed
+ *    uplinks, the shared core, and the 9-hop cross-rack path; a
+ *    single-rack config must build the pre-fleet resource set;
+ *  - Theorem 1 at rack granularity: integrity-greedy matches the
+ *    brute-force optimum of the rack conflict metric C_rack on every
+ *    fleet small enough to enumerate, and prefers rack-local
+ *    placement whenever whole groups fit;
+ *  - Theorem 2 at rack granularity: the rack conflict graph stays a
+ *    union of chains (degree <= 2) and the cluster ring's CG plan
+ *    never needs more than two waves;
+ *  - hierarchicalAllReduce degenerates to the flat leader ring on a
+ *    single rack (bit-exact pre-fleet timing);
+ *  - rack-cut -> quorum park -> heal runs bit-exactly (round-trip
+ *    reproducibility) and actually restores the full membership;
+ *  - acceptance: the 4-rack / 240-SoC fleet trains clean and faulted
+ *    with one timeline hash across 1/2/8 threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "collectives/engine.hh"
+#include "core/comm_plan.hh"
+#include "core/mapping.hh"
+#include "core/socflow_trainer.hh"
+#include "data/synthetic.hh"
+#include "fault/fault.hh"
+#include "sim/cluster.hh"
+#include "util/thread_pool.hh"
+
+using namespace socflow;
+using namespace socflow::core;
+using namespace socflow::fault;
+
+namespace {
+
+sim::ClusterConfig
+fleetConfig(std::size_t racks, std::size_t boards_per_rack,
+            std::size_t socs_per_board)
+{
+    sim::FleetTopology topo{racks, boards_per_rack, socs_per_board};
+    return sim::fleetClusterConfig(topo);
+}
+
+data::DataBundle
+tinyBundle()
+{
+    data::SyntheticParams p;
+    p.name = "tiny";
+    p.classes = 4;
+    p.channels = 1;
+    p.height = 8;
+    p.width = 8;
+    p.trainSamples = 256;
+    p.testSamples = 96;
+    p.noise = 0.3;
+    p.seed = 77;
+    return data::makeSynthetic(p);
+}
+
+core::SoCFlowConfig
+fleetTrainerConfig(const sim::FleetTopology &topo, std::size_t groups)
+{
+    core::SoCFlowConfig cfg;
+    cfg.modelFamily = "mlp";
+    cfg.numSocs = topo.numSocs();
+    cfg.numGroups = groups;
+    cfg.groupBatch = 16;
+    cfg.sgd.learningRate = 0.05;
+    cfg.clusterTemplate = sim::fleetClusterConfig(topo);
+    return cfg;
+}
+
+} // namespace
+
+// --------------------------------------------- topology parameters
+
+TEST(FleetTopology, CountsAndDerivedConfig)
+{
+    const sim::FleetTopology topo{4, 12, 5};
+    EXPECT_EQ(topo.numSocs(), 240u);
+    EXPECT_EQ(topo.socsPerRack(), 60u);
+
+    const sim::ClusterConfig cfg = sim::fleetClusterConfig(topo);
+    EXPECT_EQ(cfg.numSocs, 240u);
+    EXPECT_EQ(cfg.numRacks, 4u);
+    EXPECT_EQ(cfg.boardsPerRack, 12u);
+    EXPECT_EQ(cfg.numBoards(), 48u);
+    EXPECT_EQ(cfg.socsPerRack(), 60u);
+}
+
+TEST(FleetTopology, OversubscriptionTapersUplinks)
+{
+    sim::ClusterConfig cfg = fleetConfig(2, 2, 2);
+    cfg.coreOversub = 4.0;
+    EXPECT_DOUBLE_EQ(cfg.rackUplinkBps(), cfg.switchBps / 4.0);
+
+    const sim::Cluster cluster(cfg);
+    const sim::FlowNetwork &net = cluster.network();
+    // Resources: 8 SoCs x2, 4 boards x2, then per-rack
+    // switch/up/down pairs and the core.
+    bool sawUplink = false, sawCore = false;
+    for (sim::ResourceId r = 0; r < net.numResources(); ++r) {
+        if (net.name(r) == "rack0.up") {
+            sawUplink = true;
+            EXPECT_DOUBLE_EQ(net.capacity(r),
+                             cfg.switchBps / 4.0 / 8.0);
+        }
+        if (net.name(r) == "core") {
+            sawCore = true;
+            EXPECT_DOUBLE_EQ(net.capacity(r), cfg.coreBps / 8.0);
+        }
+    }
+    EXPECT_TRUE(sawUplink);
+    EXPECT_TRUE(sawCore);
+}
+
+TEST(FleetTopology, PathShapesAcrossTiers)
+{
+    const sim::Cluster cluster(fleetConfig(2, 2, 2));
+    // SoCs 0..3 in rack 0 (boards 0,1), 4..7 in rack 1 (boards 2,3).
+    EXPECT_EQ(cluster.rack(0), 0u);
+    EXPECT_EQ(cluster.rack(7), 1u);
+    EXPECT_TRUE(cluster.sameRack(0, 3));
+    EXPECT_FALSE(cluster.sameRack(3, 4));
+    EXPECT_EQ(cluster.path(0, 1).size(), 2u);  // same board
+    EXPECT_EQ(cluster.path(0, 2).size(), 5u);  // same rack
+    EXPECT_EQ(cluster.path(0, 6).size(), 9u);  // cross rack
+}
+
+TEST(FleetTopology, SingleRackBuildsPreFleetResources)
+{
+    // A 1-rack fleet must build the identical resource set as the
+    // pre-fleet model: same count, same names, same capacities --
+    // that is what keeps committed timelines bit-exact.
+    sim::ClusterConfig preFleet;  // all defaults (numRacks = 1)
+    const sim::Cluster a(preFleet);
+    const sim::Cluster b(fleetConfig(1, 12, 5));
+    const sim::FlowNetwork &na = a.network();
+    const sim::FlowNetwork &nb = b.network();
+    ASSERT_EQ(na.numResources(), nb.numResources());
+    for (sim::ResourceId r = 0; r < na.numResources(); ++r) {
+        EXPECT_EQ(na.name(r), nb.name(r));
+        EXPECT_DOUBLE_EQ(na.capacity(r), nb.capacity(r));
+    }
+    EXPECT_EQ(na.name(na.numResources() - 1), "switch");
+}
+
+TEST(FleetTopology, OverfilledFleetIsFatal)
+{
+    sim::ClusterConfig cfg = fleetConfig(2, 2, 2);
+    cfg.numSocs = 10;  // needs 5 boards; 2 racks x 2 hold only 4
+    EXPECT_DEATH({ sim::Cluster c(cfg); }, "cannot host");
+}
+
+// --------------------------------- Theorem 1 at rack granularity
+
+namespace {
+
+/**
+ * Exhaustive minimum of C_rack over all partitions into equal-size
+ * unordered groups (same enumeration as test_mapping_properties, at
+ * the rack divisor).
+ */
+std::size_t
+bruteForceMinRackC(std::size_t socs, std::size_t socs_per_rack,
+                   std::size_t num_groups)
+{
+    const std::size_t gsize = socs / num_groups;
+    const std::size_t racks =
+        (socs + socs_per_rack - 1) / socs_per_rack;
+    std::vector<std::vector<sim::SocId>> partial;
+    std::vector<bool> used(socs, false);
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+
+    std::function<void()> nextGroup = [&]() {
+        std::size_t first = 0;
+        while (first < socs && used[first])
+            ++first;
+        if (first == socs) {
+            Mapping m;
+            m.members = partial;
+            best = std::min(best,
+                            rackConflictC(m, socs_per_rack, racks));
+            return;
+        }
+        used[first] = true;
+        std::vector<sim::SocId> cur{first};
+        std::function<void(std::size_t)> pickMates =
+            [&](std::size_t start) {
+                if (cur.size() == gsize) {
+                    partial.push_back(cur);
+                    nextGroup();
+                    partial.pop_back();
+                    return;
+                }
+                for (std::size_t s = start; s < socs; ++s) {
+                    if (used[s])
+                        continue;
+                    used[s] = true;
+                    cur.push_back(s);
+                    pickMates(s + 1);
+                    cur.pop_back();
+                    used[s] = false;
+                }
+            };
+        pickMates(first + 1);
+        used[first] = false;
+    };
+    nextGroup();
+    return best;
+}
+
+void
+expectRackGreedyOptimal(std::size_t racks, std::size_t boards_per_rack,
+                        std::size_t socs_per_board,
+                        std::size_t num_groups)
+{
+    SCOPED_TRACE(::testing::Message()
+                 << racks << " racks x " << boards_per_rack << " x "
+                 << socs_per_board << ", " << num_groups << " groups");
+    const sim::FleetTopology topo{racks, boards_per_rack,
+                                  socs_per_board};
+    const std::size_t socs = topo.numSocs();
+    const std::size_t perRack = topo.socsPerRack();
+    const Mapping greedy = mapGroups(socs, socs_per_board, num_groups,
+                                     MapStrategy::IntegrityGreedy);
+    EXPECT_EQ(rackConflictC(greedy, perRack, racks),
+              bruteForceMinRackC(socs, perRack, num_groups));
+}
+
+} // namespace
+
+TEST(RackTheorem1, GreedyMatchesBruteForceOnSmallFleets)
+{
+    expectRackGreedyOptimal(2, 2, 2, 2);  // 8 SoCs, rack-sized groups
+    expectRackGreedyOptimal(2, 2, 2, 4);  // board-sized groups
+    expectRackGreedyOptimal(3, 1, 3, 3);  // groups == racks
+    expectRackGreedyOptimal(2, 3, 2, 4);  // size-3 groups, 6/rack
+    expectRackGreedyOptimal(2, 2, 3, 6);  // size-2 groups
+}
+
+TEST(RackTheorem1, RackLocalPlacementWhenGroupsFit)
+{
+    // Whenever a rack can host whole groups, integrity-greedy must
+    // keep every group rack-local: zero rack conflicts.
+    for (std::size_t racks : {2, 3, 4}) {
+        const sim::FleetTopology topo{racks, 2, 5};
+        const std::size_t socs = topo.numSocs();
+        const Mapping m = mapGroups(socs, topo.socsPerBoard, socs / 5,
+                                    MapStrategy::IntegrityGreedy);
+        EXPECT_EQ(rackConflictC(m, topo.socsPerRack(), racks), 0u)
+            << racks << " racks";
+        for (std::size_t g = 0; g < m.numGroups(); ++g)
+            EXPECT_FALSE(isRackSplitGroup(m, g, topo.socsPerRack()));
+    }
+}
+
+// --------------------------------- Theorem 2 at rack granularity
+
+TEST(RackTheorem2, ConflictGraphStaysChainsAndTwoWaves)
+{
+    // Across fleet shapes and group counts, every rack-split group
+    // chains with at most two others and the CG plan 2-colors.
+    const sim::FleetTopology shapes[] = {
+        {2, 2, 2}, {3, 2, 2}, {4, 2, 2}, {2, 3, 5}, {4, 12, 5},
+    };
+    for (const auto &topo : shapes) {
+        const std::size_t socs = topo.numSocs();
+        for (std::size_t groups : {2u, 4u}) {
+            if (socs % groups != 0)
+                continue;
+            const Mapping m =
+                mapGroups(socs, topo.socsPerBoard, groups,
+                          MapStrategy::IntegrityGreedy);
+            const auto adj =
+                rackConflictGraph(m, topo.socsPerRack());
+            for (const auto &neighbours : adj)
+                EXPECT_LE(neighbours.size(), 2u);
+            EXPECT_LE(planCommGroups(adj).numCommGroups, 2u)
+                << topo.racks << " racks, " << groups << " groups";
+        }
+    }
+}
+
+// ----------------------------------- hierarchical all-reduce tiers
+
+TEST(HierarchicalAllReduce, SingleRackDegeneratesToFlatRing)
+{
+    const sim::Cluster cluster((sim::ClusterConfig()));
+    const collectives::CollectiveEngine engine(cluster);
+    const std::vector<sim::SocId> members = {0, 5, 10, 15, 20};
+    const auto flat = engine.ringAllReduce(members, 1e6);
+    const auto hier = engine.hierarchicalAllReduce(members, 1e6);
+    EXPECT_DOUBLE_EQ(hier.seconds, flat.seconds);
+    EXPECT_DOUBLE_EQ(hier.wireBytes, flat.wireBytes);
+    EXPECT_EQ(hier.rounds, flat.rounds);
+}
+
+TEST(HierarchicalAllReduce, MultiRackRunsAllThreePhases)
+{
+    const sim::Cluster cluster(fleetConfig(2, 2, 2));
+    const collectives::CollectiveEngine engine(cluster);
+    // Two members per rack: per-rack rings (2 rounds), cluster ring
+    // over the two representatives (2 rounds), broadcast back (1).
+    const std::vector<sim::SocId> members = {0, 2, 4, 6};
+    const auto hier = engine.hierarchicalAllReduce(members, 1e6);
+    EXPECT_GT(hier.seconds, 0.0);
+    EXPECT_EQ(hier.rounds, 5u);
+    // Only the representative pair crosses the core, so the wire
+    // carries less cross-rack traffic than a flat 4-ring all-reduce
+    // would push through it; total bytes still cover all phases.
+    EXPECT_GT(hier.wireBytes, 0.0);
+}
+
+TEST(HierarchicalAllReduce, MembersInOneRackOfAFleet)
+{
+    const sim::Cluster cluster(fleetConfig(2, 2, 2));
+    const collectives::CollectiveEngine engine(cluster);
+    // All members in rack 0: no cross-rack phase, plain ring cost.
+    const std::vector<sim::SocId> members = {0, 1, 2, 3};
+    const auto flat = engine.ringAllReduce(members, 1e6);
+    const auto hier = engine.hierarchicalAllReduce(members, 1e6);
+    EXPECT_DOUBLE_EQ(hier.seconds, flat.seconds);
+    EXPECT_EQ(hier.rounds, flat.rounds);
+}
+
+// -------------------------------------- rack cut -> park -> heal
+
+TEST(FleetFaults, RackCutParksAndHealsRoundTrip)
+{
+    // One whole rack cut for two epochs: the majority keeps
+    // training, the cut rack's groups park, and the heal sweep folds
+    // everyone back in. The full scenario must be reproducible bit
+    // for bit, and membership must return to the full fleet.
+    const sim::FleetTopology topo{4, 2, 2};
+    FaultPlan plan;
+    plan.add(rackCut(2, topo.boardsPerRack, 1, 2));
+
+    auto runScenario = [&]() {
+        data::DataBundle bundle = tinyBundle();
+        core::SoCFlowTrainer trainer(fleetTrainerConfig(topo, 4),
+                                     bundle);
+        FaultInjector inj(plan);
+        trainer.attachFaultInjector(&inj);
+        std::size_t partitions = 0, rejoins = 0;
+        for (int e = 0; e < 5; ++e) {
+            const core::EpochRecord rec = trainer.runEpoch();
+            partitions += rec.partitions;
+            rejoins += rec.rejoins;
+        }
+        std::size_t live = 0;
+        for (std::size_t g = 0; g < trainer.activeGroups(); ++g)
+            live += trainer.groupMembers(g).size();
+        struct {
+            std::uint64_t hash;
+            std::vector<float> weights;
+            std::size_t partitions, rejoins, live;
+        } r{trainer.timelineHash(), trainer.globalWeights(),
+            partitions, rejoins, live};
+        return r;
+    };
+
+    const auto a = runScenario();
+    EXPECT_GE(a.partitions, 1u);   // the cut was handled
+    EXPECT_GE(a.rejoins, 1u);      // the rack came back
+    EXPECT_EQ(a.live, topo.numSocs());  // full membership restored
+
+    const auto b = runScenario();
+    EXPECT_EQ(b.hash, a.hash);
+    ASSERT_EQ(b.weights.size(), a.weights.size());
+    for (std::size_t i = 0; i < a.weights.size(); ++i)
+        ASSERT_EQ(b.weights[i], a.weights[i]) << "weight " << i;
+}
+
+// ------------------------------------ acceptance: 4-rack / 240-SoC
+
+TEST(FleetAcceptance, FourRack240SocBitExactAcrossThreads)
+{
+    // The ISSUE acceptance configuration: 4 racks x 12 boards x 5
+    // SoCs = 240 SoCs in 24 groups, clean and with a rack cut, one
+    // timeline hash across 1/2/8 threads.
+    const sim::FleetTopology topo{4, 12, 5};
+    FaultPlan cutPlan;
+    cutPlan.add(rackCut(3, topo.boardsPerRack, 1, 1));
+
+    auto runOnce = [&](const FaultPlan *plan) {
+        data::DataBundle bundle = tinyBundle();
+        core::SoCFlowTrainer trainer(fleetTrainerConfig(topo, 24),
+                                     bundle);
+        FaultInjector inj(plan ? *plan : FaultPlan{});
+        if (plan)
+            trainer.attachFaultInjector(&inj);
+        for (int e = 0; e < 2; ++e)
+            trainer.runEpoch();
+        return trainer.timelineHash();
+    };
+
+    const FaultPlan *scenarios[] = {nullptr, &cutPlan};
+    for (const FaultPlan *plan : scenarios) {
+        setGlobalThreads(1);
+        const std::uint64_t ref = runOnce(plan);
+        EXPECT_NE(ref, 0u);
+        for (std::size_t t : {2u, 8u}) {
+            setGlobalThreads(t);
+            EXPECT_EQ(runOnce(plan), ref)
+                << (plan ? "faulted" : "clean") << " run diverged at "
+                << t << " threads";
+        }
+    }
+    setGlobalThreads(0);
+}

@@ -105,6 +105,27 @@ runTrainer(const FaultPlan *plan, int epochs)
     return r;
 }
 
+/** Fleet variant: same scenario shape on a multi-rack topology. */
+RunResult
+runFleetTrainer(const sim::FleetTopology &topo, std::size_t groups,
+                const FaultPlan *plan, int epochs)
+{
+    data::DataBundle bundle = tinyBundle();
+    core::SoCFlowConfig cfg = tinyConfig(topo.numSocs(), groups);
+    cfg.clusterTemplate = sim::fleetClusterConfig(topo);
+    core::SoCFlowTrainer trainer(cfg, bundle);
+    FaultInjector inj(plan ? *plan : FaultPlan{});
+    if (plan)
+        trainer.attachFaultInjector(&inj);
+    for (int e = 0; e < epochs; ++e)
+        trainer.runEpoch();
+    RunResult r;
+    r.timelineHash = trainer.timelineHash();
+    r.weights = trainer.globalWeights();
+    r.epochsDone = trainer.epochsDone();
+    return r;
+}
+
 /**
  * Run the scenario serially, then at each sweep thread count, and
  * require bit-exact equality. Float comparison is ==, deliberately:
@@ -321,6 +342,43 @@ TEST(ParallelDeterminism, HarvestReportBitExact)
         EXPECT_EQ(got.timeline.size(), ref.timeline.size()) << t;
     }
     setGlobalThreads(0);
+}
+
+// ------------------------------------------------- fleet topologies
+
+TEST(ParallelDeterminism, FourRackFleetBitExact)
+{
+    // 4 racks x 2 boards x 2 SoCs: the three-tier hierarchy plus a
+    // rack cut (whole rack parked, healed two epochs later) must
+    // replay bit-exactly under threading.
+    const sim::FleetTopology topo{4, 2, 2};
+    FaultPlan plan;
+    plan.add(rackCut(1, topo.boardsPerRack, 1, 2));
+    expectBitExactAcrossThreads(
+        [&] { return runFleetTrainer(topo, 4, &plan, 5); },
+        "four-rack-fleet");
+}
+
+TEST(ParallelDeterminism, SeededFleetChurnBitExact)
+{
+    // Seeded rack cuts + crash/rejoin churn across the fleet; the
+    // chaos harness (run_all.sh --chaos) varies SOCFLOW_CHAOS_SEED.
+    const sim::FleetTopology topo{4, 2, 2};
+    FaultPlanConfig fcfg;
+    fcfg.horizonEpochs = 5;
+    fcfg.stepsPerEpoch = 8;
+    fcfg.numSocs = topo.numSocs();
+    fcfg.socsPerBoard = topo.socsPerBoard;
+    fcfg.crashes = 1;
+    fcfg.rejoins = 1;
+    fcfg.rackCuts = 1;
+    fcfg.boardsPerRack = topo.boardsPerRack;
+    fcfg.partitionWindowEpochs = 2;
+    fcfg.seed = chaosSeed();
+    const FaultPlan plan = FaultPlan::random(fcfg);
+    expectBitExactAcrossThreads(
+        [&] { return runFleetTrainer(topo, 4, &plan, 6); },
+        "seeded-fleet-churn");
 }
 
 // -------------------------------------------- pool reconfiguration
