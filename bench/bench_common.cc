@@ -101,6 +101,27 @@ benchJsonOutPath()
     return p;
 }
 
+std::size_t &
+psShardsValue()
+{
+    static std::size_t shards = 8;
+    return shards;
+}
+
+std::size_t &
+stalenessValue()
+{
+    static std::size_t bound = 4;
+    return bound;
+}
+
+std::string &
+metricsExportCmdValue()
+{
+    static std::string cmd;
+    return cmd;
+}
+
 std::string &
 baselinePath()
 {
@@ -151,6 +172,35 @@ writeObservabilityOutputs()
         // Series mode: the NDJSON lines are the output; no text dump.
         std::fprintf(stderr, "metric series written to %s (%zu lines)\n",
                      metricsPath.c_str(), w->snapshotsWritten());
+        // --metrics-export-cmd: pipe the NDJSON series lines to a
+        // user command (remote export hook). Best-effort: a failing
+        // command is reported, never fatal, because the series file
+        // on disk is already the durable output.
+        const std::string &cmd = metricsExportCmdValue();
+        if (!cmd.empty()) {
+            std::ifstream series(metricsPath);
+            FILE *pipe = series ? popen(cmd.c_str(), "w") : nullptr;
+            if (!pipe) {
+                std::fprintf(stderr,
+                             "metrics export: failed to run '%s'\n",
+                             cmd.c_str());
+            } else {
+                std::string line;
+                std::size_t lines = 0;
+                bool ok = true;
+                while (ok && std::getline(series, line)) {
+                    line.push_back('\n');
+                    ok = std::fwrite(line.data(), 1, line.size(),
+                                     pipe) == line.size();
+                    ++lines;
+                }
+                const int rc = pclose(pipe);
+                std::fprintf(stderr,
+                             "metrics export: piped %zu lines to "
+                             "'%s' (exit %d)\n",
+                             lines, cmd.c_str(), rc);
+            }
+        }
     } else if (!metricsPath.empty()) {
         if (obs::metrics().writeTextDump(metricsPath)) {
             std::fprintf(stderr, "metrics written to %s\n",
@@ -197,6 +247,8 @@ initBenchObservability(int &argc, char **argv)
     std::string racksStr;
     std::string coreGbpsStr;
     std::string oversubStr;
+    std::string psShardsStr;
+    std::string stalenessStr;
     int out = 1;
     bool any = false;
     for (int i = 1; i < argc; ++i) {
@@ -221,6 +273,9 @@ initBenchObservability(int &argc, char **argv)
               {"--racks", &racksStr},
               {"--core-gbps", &coreGbpsStr},
               {"--oversub", &oversubStr},
+              {"--ps-shards", &psShardsStr},
+              {"--staleness", &stalenessStr},
+              {"--metrics-export-cmd", &metricsExportCmdValue()},
               {"--bench-json", &benchJsonOutPath()},
               {"--baseline", &baselinePath()}}) {
             const std::string prefix = std::string(flag) + "=";
@@ -266,6 +321,13 @@ initBenchObservability(int &argc, char **argv)
         if (oversubValue() < 1.0)
             fatal("--oversub must be >= 1 (1 = non-blocking core)");
     }
+    if (!psShardsStr.empty()) {
+        psShardsValue() = parseCount("--ps-shards", psShardsStr);
+        if (psShardsValue() == 0)
+            fatal("--ps-shards must be at least 1");
+    }
+    if (!stalenessStr.empty())
+        stalenessValue() = parseCount("--staleness", stalenessStr);
 
     if (!any)
         return;
@@ -278,6 +340,11 @@ initBenchObservability(int &argc, char **argv)
         fatal("--trace-rotate-mb requires --trace-out");
     if (metricsIntervalEpochs() > 0 && metricsOutPath().empty())
         fatal("--metrics-interval requires --metrics-out");
+    if (!metricsExportCmdValue().empty() &&
+        (metricsOutPath().empty() || metricsIntervalEpochs() == 0))
+        fatal("--metrics-export-cmd requires --metrics-out and "
+              "--metrics-interval (the NDJSON series is what gets "
+              "piped)");
     if (!postmortemSpansValue.empty()) {
         const std::size_t n =
             parseCount("--postmortem-spans", postmortemSpansValue);
@@ -343,6 +410,24 @@ double
 benchOversub()
 {
     return oversubValue();
+}
+
+std::size_t
+benchPsShards()
+{
+    return psShardsValue();
+}
+
+std::size_t
+benchStaleness()
+{
+    return stalenessValue();
+}
+
+const std::string &
+metricsExportCmd()
+{
+    return metricsExportCmdValue();
 }
 
 void

@@ -82,6 +82,15 @@ struct Workload {
  *   --oversub=<factor>        fat-tree core oversubscription: every
  *                             rack uplink runs at switch-bandwidth /
  *                             factor (default 1 = non-blocking core)
+ *   --ps-shards=<n>           parameter-server shard count for the
+ *                             sharded-PS benches (default 8; >= 1)
+ *   --staleness=<n>           bounded-staleness limit for the PS
+ *                             benches (default 4; 0 = synchronous)
+ *   --metrics-export-cmd=<c>  after the NDJSON metric series is
+ *                             written, pipe its lines to shell
+ *                             command <c>'s stdin (requires
+ *                             --metrics-out + --metrics-interval);
+ *                             best-effort remote-export hook
  *   --bench-json=<path>       write the machine-readable throughput
  *                             report here (see writeBenchJson)
  *   --baseline=<path>         compare against a committed BENCH_*.json
@@ -121,6 +130,15 @@ double benchCoreGbps();
 
 /** --oversub flag value (default 1 = non-blocking core). */
 double benchOversub();
+
+/** --ps-shards flag value (default 8): parameter-server shard count. */
+std::size_t benchPsShards();
+
+/** --staleness flag value (default 4): bounded-staleness limit. */
+std::size_t benchStaleness();
+
+/** --metrics-export-cmd flag value (empty = no export hook). */
+const std::string &metricsExportCmd();
 
 /**
  * Apply the fleet flags to a cluster template: with --racks > 1 the

@@ -39,6 +39,14 @@
  * the fault plan gains a rack cut -- rack 0 loses its uplink for two
  * epochs, the fleet-scale partition analogue (DESIGN.md ch. 10) --
  * exercising quorum, parking, and heal at rack granularity.
+ *
+ * The day ends with a sharded parameter-server soak (--ps-shards /
+ * --staleness shape it): the same cluster runs ShardedPsTrainer clean
+ * and then against a PS-focused plan -- a shard-host crash
+ * (generation-fenced failover off the chain replica), a board
+ * partition, a corrupt-push burst (CRC retransmits), and a rejoin --
+ * and reports the failover/fencing/retransmit counters next to the
+ * clean run (DESIGN.md ch. 11).
  */
 
 #include <cstdio>
@@ -47,6 +55,7 @@
 #include "core/socflow_trainer.hh"
 #include "data/synthetic.hh"
 #include "fault/fault.hh"
+#include "ps/sharded_ps.hh"
 #include "sim/cluster.hh"
 #include "trace/harvest.hh"
 #include "trace/tidal.hh"
@@ -84,6 +93,65 @@ runDay(const trace::TidalTrace &tidal, fault::FaultInjector *faults,
     hcfg.metricsSnapshotEvery = bench::metricsInterval();
     hcfg.metricSeries = bench::metricSeries();
     return trace::runHarvestDay(trainer, cfg, tidal, hcfg);
+}
+
+/** Tallies from one sharded-PS soak leg. */
+struct PsSoakResult {
+    double testAcc = 0.0;
+    std::size_t epochs = 0;
+    std::size_t pausedEpochs = 0;
+    std::uint64_t timelineHash = 0;
+    std::size_t acked = 0;
+    std::size_t applied = 0;
+    std::size_t blocks = 0;
+    std::size_t fenced = 0;
+    std::size_t retransmits = 0;
+    std::size_t drops = 0;
+    std::size_t failovers = 0;
+    std::size_t rebalances = 0;
+    std::size_t maxAge = 0;
+};
+
+/** One sharded-PS soak leg; `plan` == nullptr runs fault-free. */
+PsSoakResult
+runPsSoak(const fault::FaultPlan *plan,
+          const bench::FaultPolicyFlags &policy, int epochs)
+{
+    data::DataBundle bundle = data::makeDatasetByName("emnist");
+    ps::ShardedPsConfig cfg;
+    cfg.modelFamily = "lenet5";
+    cfg.numSocs = 32;
+    cfg.numShards = bench::benchPsShards();
+    cfg.staleness = bench::benchStaleness();
+    cfg.globalBatch = 32;
+    // Stale gradients amplify heavy momentum into oscillation at this
+    // scale; plain SGD keeps the async runs converging.
+    cfg.sgd.momentum = 0.0;
+    cfg.sync = policy.sync;
+    bench::applyFleetFlags(cfg.clusterTemplate, cfg.numSocs);
+    ps::ShardedPsTrainer trainer(cfg, bundle);
+    fault::FaultInjector injector(plan ? *plan : fault::FaultPlan{});
+    if (plan)
+        trainer.attachFaultInjector(&injector);
+    PsSoakResult r;
+    for (int e = 0; e < epochs; ++e) {
+        const core::EpochRecord rec = trainer.runEpoch();
+        if (rec.paused)
+            ++r.pausedEpochs;
+    }
+    r.testAcc = trainer.testAccuracy();
+    r.epochs = trainer.epochsDone();
+    r.timelineHash = trainer.timelineHash();
+    r.acked = trainer.pushesAcked();
+    r.applied = trainer.pushesApplied();
+    r.blocks = trainer.stalenessBlocks();
+    r.fenced = trainer.fencedPushes();
+    r.retransmits = trainer.retransmitsTotal();
+    r.drops = trainer.syncFailuresTotal();
+    r.failovers = trainer.failoversTotal();
+    r.rebalances = trainer.rebalancesTotal();
+    r.maxAge = trainer.maxSnapshotAgeAtCompute();
+    return r;
 }
 
 } // namespace
@@ -272,5 +340,82 @@ main(int argc, char **argv)
                     "(state preserved, resumed on heal)\n",
                     faulted.pausedEpochs);
     }
+
+    // ---- sharded parameter-server soak (DESIGN.md ch. 11) ----
+    // Same cluster, PS execution mode: crash a shard host (SoC 5 is
+    // the board-1 server under the first-SoC-per-board rule), cut the
+    // board hosting another shard, corrupt a push burst, and bring
+    // the crashed host back. Every recovery shows in the counters.
+    std::printf("\n== sharded-PS soak (%zu shards, staleness %zu) ==\n",
+                bench::benchPsShards(), bench::benchStaleness());
+    fault::FaultPlan psPlan;
+    fault::FaultSpec psCrash;
+    psCrash.kind = fault::FaultKind::PsServerCrash;
+    psCrash.epoch = 2;
+    psCrash.step = 2;
+    psCrash.soc = 5;
+    psPlan.add(psCrash);
+    fault::FaultSpec psCut;
+    psCut.kind = fault::FaultKind::BoardPartition;
+    psCut.epoch = 3;
+    psCut.board = 2;
+    psCut.durationEpochs = 2;
+    psPlan.add(psCut);
+    fault::FaultSpec psCorrupt;
+    psCorrupt.kind = fault::FaultKind::GradCorrupt;
+    psCorrupt.epoch = 4;
+    psCorrupt.step = 1;
+    psCorrupt.soc = 7;
+    psCorrupt.count = 2;
+    psPlan.add(psCorrupt);
+    fault::FaultSpec psRejoin;
+    psRejoin.kind = fault::FaultKind::SocRejoin;
+    psRejoin.epoch = 6;
+    psRejoin.soc = 5;
+    psPlan.add(psRejoin);
+
+    const PsSoakResult psClean = runPsSoak(nullptr, policy, 8);
+    const PsSoakResult psFaulted = runPsSoak(&psPlan, policy, 8);
+
+    Table pt("Sharded-PS soak: clean vs faulted");
+    pt.setHeader({"", "clean", "faulted"});
+    pt.addRow({"epochs trained", std::to_string(psClean.epochs),
+               std::to_string(psFaulted.epochs)});
+    pt.addRow({"final test acc",
+               formatDouble(100.0 * psClean.testAcc, 1) + "%",
+               formatDouble(100.0 * psFaulted.testAcc, 1) + "%"});
+    pt.addRow({"pushes acked", std::to_string(psClean.acked),
+               std::to_string(psFaulted.acked)});
+    pt.addRow({"pushes applied", std::to_string(psClean.applied),
+               std::to_string(psFaulted.applied)});
+    pt.addRow({"staleness blocks", std::to_string(psClean.blocks),
+               std::to_string(psFaulted.blocks)});
+    pt.addRow({"max snapshot age", std::to_string(psClean.maxAge),
+               std::to_string(psFaulted.maxAge)});
+    pt.addRow({"shard failovers", std::to_string(psClean.failovers),
+               std::to_string(psFaulted.failovers)});
+    pt.addRow({"fenced pushes", std::to_string(psClean.fenced),
+               std::to_string(psFaulted.fenced)});
+    pt.addRow({"CRC retransmits", std::to_string(psClean.retransmits),
+               std::to_string(psFaulted.retransmits)});
+    pt.addRow({"typed push drops", std::to_string(psClean.drops),
+               std::to_string(psFaulted.drops)});
+    pt.addRow({"shard rebalances", std::to_string(psClean.rebalances),
+               std::to_string(psFaulted.rebalances)});
+    pt.addRow({"epochs paused (no quorum)",
+               std::to_string(psClean.pausedEpochs),
+               std::to_string(psFaulted.pausedEpochs)});
+    pt.print();
+    std::printf("timeline hash (faulted PS soak): %016llx\n",
+                static_cast<unsigned long long>(
+                    psFaulted.timelineHash));
+    if (psFaulted.failovers == 0)
+        warn("PS soak expected at least one shard failover");
+    if (psFaulted.retransmits == 0)
+        warn("PS soak expected CRC retransmits");
+    if (psFaulted.acked != psFaulted.applied)
+        warn("PS soak lost an acked push (acked != applied)");
+    if (psFaulted.maxAge > bench::benchStaleness())
+        warn("PS soak violated the staleness bound");
     return 0;
 }

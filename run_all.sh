@@ -5,9 +5,9 @@
 #               test suite under AddressSanitizer + UBSan
 #   --tsan      configure build-tsan with -DSANITIZE=thread and run
 #               the concurrency-sensitive suites (streaming obs sink
-#               flusher thread, membership/fencing, thread pool, and
-#               the parallel determinism harness) under
-#               ThreadSanitizer
+#               flusher thread, membership/fencing, thread pool, the
+#               parallel determinism harness, and the sharded
+#               parameter-server suite) under ThreadSanitizer
 #   --bench [tag]
 #               build Release into build-rel, run bench_e2e_throughput
 #               and fig10_scalability, write BENCH_<tag>.json (tag
@@ -15,7 +15,7 @@
 #               if epochs/sec regresses more than 10% against the
 #               committed BENCH_baseline.json
 #   --chaos     run the fault + streaming-obs + membership + parallel
-#               determinism + fleet topology suites
+#               determinism + fleet topology + sharded-PS suites
 #               under ASan+UBSan with 10 fixed chaos seeds
 #               (SOCFLOW_CHAOS_SEED); fails on any sanitizer report or
 #               non-deterministic replay (the ChaosReplay tests hash
@@ -40,8 +40,8 @@
 #               README.md nor DESIGN.md
 cd /root/repo
 
-chaos_targets="test_fault test_fault_step test_obs_stream test_membership test_parallel_determinism test_fleet_topology"
-chaos_regex='test_(fault($|_step)|obs_stream$|membership$|parallel_determinism$|fleet_topology$)'
+chaos_targets="test_fault test_fault_step test_obs_stream test_membership test_parallel_determinism test_fleet_topology test_ps"
+chaos_regex='test_(fault($|_step)|obs_stream$|membership$|parallel_determinism$|fleet_topology$|ps$)'
 
 run_chaos_seed() {
     # $1 = seed, $2 = optional post-mortem dump path
@@ -96,13 +96,13 @@ if [ "$1" = "--chaos-nightly" ]; then
 fi
 
 if [ "$1" = "--tsan" ]; then
-    tsan_targets="test_obs_stream test_membership test_thread_pool test_parallel_determinism"
+    tsan_targets="test_obs_stream test_membership test_thread_pool test_parallel_determinism test_ps"
     cmake -B build-tsan -S . -DSANITIZE=thread || exit 1
     cmake --build build-tsan -j --target $tsan_targets || exit 1
     ( set -o pipefail
       TSAN_OPTIONS=halt_on_error=1 \
           ctest --test-dir build-tsan --output-on-failure \
-              -R 'test_(obs_stream|membership|thread_pool|parallel_determinism)$' 2>&1 |
+              -R 'test_(obs_stream|membership|thread_pool|parallel_determinism|ps)$' 2>&1 |
           tee /root/repo/tsan_output.txt ) || exit 1
     echo "TSAN_RUN_COMPLETE"
     exit 0

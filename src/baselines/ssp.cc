@@ -56,6 +56,71 @@ core::EpochRecord
 SspTrainer::runEpoch()
 {
     core::EpochRecord rec;
+    rec.epoch = epochIdx;
+
+    // Fault replay (satellite of the sharded-PS work): the monolithic
+    // SSP server is SoC 0 with no failover tier, so a server crash or
+    // an unreachable server board pauses the epoch outright. Worker
+    // casualties just shrink the rotation. With no injector attached
+    // the rotation is the identity and every formula below reduces to
+    // the historical fault-free math bit-for-bit.
+    std::vector<std::size_t> activeIdx;
+    double minComputeFactor = 1.0;
+    if (faults) {
+        const auto fired = faults->advanceTo(epochIdx);
+        for (const fault::FaultSpec &s : fired) {
+            timeline.mix(static_cast<std::uint64_t>(s.kind));
+            timeline.mix(static_cast<std::uint64_t>(s.epoch));
+            timeline.mix(static_cast<std::uint64_t>(s.step));
+            timeline.mix(static_cast<std::uint64_t>(s.soc));
+            switch (s.kind) {
+              case fault::FaultKind::SocCrash:
+              case fault::FaultKind::SocCrashMidWave:
+              case fault::FaultKind::LeaderCrash:
+              case fault::FaultKind::PsServerCrash:
+                ++rec.crashes;
+                rec.recoverySeconds += engine.syncPolicy().timeoutS;
+                break;
+              case fault::FaultKind::BoardPartition:
+              case fault::FaultKind::SwitchPartition:
+                ++rec.partitions;
+                break;
+              case fault::FaultKind::SocRejoin:
+                ++rec.rejoins;
+                // The rejoiner lost its snapshot: force a pull
+                // before its next gradient.
+                if (s.soc < workers.size())
+                    workers[s.soc].sincePull = bound + 1;
+                break;
+              default:
+                break;
+            }
+        }
+        const bool serverDown =
+            !faults->socAlive(kServerSoc) ||
+            !faults->boardReachable(cluster.board(kServerSoc));
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            const auto soc = static_cast<sim::SocId>(i);
+            if (faults->socAlive(soc) &&
+                faults->boardReachable(cluster.board(soc))) {
+                activeIdx.push_back(i);
+                minComputeFactor = std::min(
+                    minComputeFactor, faults->computeFactor(soc));
+            }
+        }
+        if (serverDown || activeIdx.empty()) {
+            rec.paused = true;
+            rec.simSeconds = engine.syncPolicy().timeoutS;
+            timeline.mix(static_cast<std::uint64_t>(0xDEADBEA7ULL));
+            timeline.mix(static_cast<std::uint64_t>(epochIdx));
+            ++epochIdx;
+            return rec;
+        }
+    } else {
+        activeIdx.resize(workers.size());
+        for (std::size_t i = 0; i < workers.size(); ++i)
+            activeIdx[i] = i;
+    }
 
     data::BatchIterator it(bundle.train.size(), cfg.globalBatch,
                            rng.split());
@@ -66,7 +131,7 @@ SspTrainer::runEpoch()
     while (!it.epochDone()) {
         const auto idx = it.next();
         auto [x, y] = bundle.train.batch(idx);
-        Worker &w = workers[steps % workers.size()];
+        Worker &w = workers[activeIdx[steps % activeIdx.size()]];
 
         // Bounded staleness, checked before compute: a worker whose
         // snapshot is older than `bound` steps must re-pull first
@@ -103,36 +168,42 @@ SspTrainer::runEpoch()
     // NIC drain rate under fan-in congestion.
     const double f = bundle.timeScale();
     const double stepsD = static_cast<double>(steps) * f;
+    const std::size_t nActive = activeIdx.size();
     const double perWorkerSteps =
-        stepsD / static_cast<double>(workers.size());
-    const double computeS = perWorkerSteps *
-                            static_cast<double>(cfg.globalBatch) *
-                            profile.cpuMsPerSample / 1000.0;
+        stepsD / static_cast<double>(nActive);
+    double computeS = perWorkerSteps *
+                      static_cast<double>(cfg.globalBatch) *
+                      profile.cpuMsPerSample / 1000.0;
+    if (minComputeFactor > 0.0 && minComputeFactor < 1.0)
+        computeS /= minComputeFactor;
     const double pullFraction =
         1.0 / static_cast<double>(bound + 1);
     const double wireBytes =
         stepsD * profile.paramBytes() * (1.0 + pullFraction);
-    const double serverRate =
+    double serverRate =
         (cluster.config().socLinkBps / 8.0) *
-        std::pow(static_cast<double>(workers.size()),
+        std::pow(static_cast<double>(nActive),
                  -cluster.config().congestionExponent);
+    // A degraded NIC on the server's board throttles every exchange.
+    if (faults)
+        serverRate *= faults->linkFactor(cluster.board(kServerSoc));
     const double syncS = wireBytes / serverRate;
 
     rec.computeSeconds = computeS;
     rec.syncSeconds = syncS;
     rec.updateSeconds =
         stepsD * profile.updateMsPerBatch / 1000.0;
-    rec.simSeconds = std::max(computeS, syncS) + rec.updateSeconds;
+    rec.simSeconds = std::max(computeS, syncS) + rec.updateSeconds +
+                     rec.recoverySeconds;
 
     sim::EnergyMeter meter;
     meter.accumulate(sim::PowerState::CpuTrain,
-                     computeS * static_cast<double>(workers.size()));
-    meter.accumulate(sim::PowerState::Comm, syncS, workers.size());
+                     computeS * static_cast<double>(nActive));
+    meter.accumulate(sim::PowerState::Comm, syncS, nActive);
     const double totalSocSeconds =
         rec.simSeconds * static_cast<double>(cfg.numSocs);
-    const double busy =
-        computeS * static_cast<double>(workers.size()) +
-        syncS * static_cast<double>(workers.size());
+    const double busy = computeS * static_cast<double>(nActive) +
+                        syncS * static_cast<double>(nActive);
     if (totalSocSeconds > busy) {
         meter.accumulate(sim::PowerState::Idle,
                          totalSocSeconds - busy);
@@ -141,6 +212,12 @@ SspTrainer::runEpoch()
     rec.trainLoss = sampleSum ? lossSum / sampleSum : 0.0;
     rec.trainAcc = sampleSum ? accSum / sampleSum : 0.0;
     sgd->decayLearningRate();
+
+    timeline.mix(static_cast<std::uint64_t>(epochIdx));
+    timeline.mix(static_cast<std::uint64_t>(steps));
+    timeline.mix(rec.simSeconds);
+    timeline.mix(rec.trainLoss);
+    ++epochIdx;
     return rec;
 }
 

@@ -23,8 +23,10 @@
 #include "collectives/engine.hh"
 #include "core/train_common.hh"
 #include "data/dataset.hh"
+#include "fault/fault.hh"
 #include "nn/zoo.hh"
 #include "sim/calibration.hh"
+#include "util/hash.hh"
 
 namespace socflow {
 namespace baselines {
@@ -50,6 +52,29 @@ class SspTrainer : public core::DistTrainer
     /** Configured staleness bound. */
     std::size_t staleness() const { return bound; }
 
+    /**
+     * Attach a fault injector (not owned; nullptr detaches). Without
+     * one, behaviour is exactly the historical fault-free math, so
+     * monolithic-PS / sharded-PS / group-wise head-to-heads can run
+     * under identical seeded fault mixes. The monolithic server is
+     * SoC 0: its crash or an unreachable board 0 pauses the epoch
+     * (there is no failover tier here -- that asymmetry against the
+     * sharded PS is the point of the comparison).
+     */
+    void attachFaultInjector(fault::FaultInjector *inj)
+    {
+        faults = inj;
+        engine.setFaultModel(inj);
+    }
+
+    /** Deterministic fault/recovery timeline fingerprint. */
+    std::uint64_t timelineHash() const { return timeline.value(); }
+
+    std::size_t epochsDone() const { return epochIdx; }
+
+    /** The single server SoC of the monolithic PS. */
+    static constexpr sim::SocId kServerSoc = 0;
+
   private:
     struct Worker {
         /** Stale snapshot the worker computes gradients against. */
@@ -72,6 +97,10 @@ class SspTrainer : public core::DistTrainer
     std::vector<float> globalWeights;
     std::vector<Worker> workers;
     Rng rng;
+
+    fault::FaultInjector *faults = nullptr;
+    Fnv1a64 timeline;
+    std::size_t epochIdx = 0;
 };
 
 } // namespace baselines

@@ -38,7 +38,7 @@ recordCollective(const char *op, const CommStats &stats)
     };
     static OpMetrics ring("ring"), ps("param_server"), tree("tree"),
         bcast("broadcast"), concurrent("concurrent_rings"),
-        hier("hierarchical");
+        hier("hierarchical"), shardedPs("sharded_ps");
     OpMetrics *m = nullptr;
     switch (op[0]) {
       case 'r':
@@ -46,6 +46,9 @@ recordCollective(const char *op, const CommStats &stats)
         break;
       case 'p':
         m = &ps;
+        break;
+      case 's':
+        m = &shardedPs;
         break;
       case 't':
         m = &tree;
@@ -202,6 +205,137 @@ CollectiveEngine::paramServer(const std::vector<sim::SocId> &workers,
     stats.rounds = 2;
     recordCollective("param_server", stats);
     return stats;
+}
+
+PsExchange
+CollectiveEngine::paramServerDetailed(
+    const std::vector<sim::SocId> &workers, sim::SocId server,
+    double bytes) const
+{
+    return shardedParamServer(workers, {server}, {bytes}, {bytes},
+                              false);
+}
+
+PsExchange
+CollectiveEngine::shardedParamServer(
+    const std::vector<sim::SocId> &workers,
+    const std::vector<sim::SocId> &servers,
+    const std::vector<double> &push_bytes,
+    const std::vector<double> &pull_bytes,
+    bool replicate_to_next) const
+{
+    PsExchange ex;
+    const std::size_t nServers = servers.size();
+    if (nServers == 0)
+        return ex;
+    if (push_bytes.size() != nServers ||
+        pull_bytes.size() != nServers) {
+        fatal("sharded param-server needs one push/pull payload per ",
+              "server: ", push_bytes.size(), "/", pull_bytes.size(),
+              " payloads for ", nServers, " servers");
+    }
+
+    ex.endpoints.resize(nServers);
+    for (std::size_t s = 0; s < nServers; ++s)
+        ex.endpoints[s].server = servers[s];
+
+    std::vector<sim::SocId> clients;
+    for (sim::SocId w : workers) {
+        if (std::find(servers.begin(), servers.end(), w) ==
+            servers.end())
+            clients.push_back(w);
+    }
+    double totalPush = 0.0;
+    double totalPull = 0.0;
+    for (std::size_t s = 0; s < nServers; ++s) {
+        totalPush += std::max(push_bytes[s], 0.0);
+        totalPull += std::max(pull_bytes[s], 0.0);
+    }
+    if (clients.empty() || totalPush + totalPull <= 0.0)
+        return ex;
+
+    // Push phase. Client-major, server-minor flow order: a single
+    // endpoint builds exactly the flow list paramServer() solves, so
+    // the monolithic timings agree bit-for-bit.
+    std::vector<sim::FlowSpec> push;
+    std::vector<std::size_t> owner;
+    for (sim::SocId c : clients) {
+        for (std::size_t s = 0; s < nServers; ++s) {
+            if (push_bytes[s] <= 0.0)
+                continue;
+            push.push_back(transfer(c, servers[s], push_bytes[s]));
+            owner.push_back(s);
+        }
+    }
+    // Chain replication: each endpoint forwards its aggregate intake
+    // to its successor inside the same max-min solve, so durability
+    // traffic contends with the incast it protects. Replication flows
+    // count toward the phase span but not toward any endpoint's drain
+    // attribution (owner = nServers sentinel): EndpointLoad measures
+    // client incast, the signal hot-shard rebalancing acts on.
+    if (replicate_to_next && nServers > 1) {
+        for (std::size_t s = 0; s < nServers; ++s) {
+            const double agg = push_bytes[s] *
+                               static_cast<double>(clients.size());
+            if (agg <= 0.0)
+                continue;
+            push.push_back(transfer(servers[s],
+                                    servers[(s + 1) % nServers], agg));
+            owner.push_back(nServers);
+        }
+    }
+    double pushSpan = 0.0;
+    if (!push.empty()) {
+        const auto res = clusterRef.network().simulate(push);
+        for (std::size_t i = 0; i < res.size(); ++i) {
+            pushSpan = std::max(pushSpan, res[i].finishS);
+            if (owner[i] >= nServers)
+                continue;
+            EndpointLoad &ep = ex.endpoints[owner[i]];
+            ep.pushSeconds = std::max(ep.pushSeconds, res[i].finishS);
+        }
+    }
+
+    // Pull phase, same joint-solve treatment in the other direction.
+    std::vector<sim::FlowSpec> pull;
+    owner.clear();
+    for (sim::SocId c : clients) {
+        for (std::size_t s = 0; s < nServers; ++s) {
+            if (pull_bytes[s] <= 0.0)
+                continue;
+            pull.push_back(transfer(servers[s], c, pull_bytes[s]));
+            owner.push_back(s);
+        }
+    }
+    double pullSpan = 0.0;
+    if (!pull.empty()) {
+        const auto res = clusterRef.network().simulate(pull);
+        for (std::size_t i = 0; i < res.size(); ++i) {
+            pullSpan = std::max(pullSpan, res[i].finishS);
+            EndpointLoad &ep = ex.endpoints[owner[i]];
+            ep.pullSeconds = std::max(ep.pullSeconds, res[i].finishS);
+        }
+    }
+
+    for (std::size_t s = 0; s < nServers; ++s) {
+        if (push_bytes[s] > 0.0) {
+            ex.endpoints[s].fanIn = clients.size();
+            ex.endpoints[s].pushBytes =
+                push_bytes[s] * static_cast<double>(clients.size());
+        }
+    }
+
+    const double overhead =
+        clusterRef.roundOverheadS(clients.size() + nServers);
+    ex.stats.seconds = pushSpan + overhead + pullSpan + overhead;
+    ex.stats.wireBytes = static_cast<double>(clients.size()) *
+                         (totalPush + totalPull);
+    if (replicate_to_next && nServers > 1)
+        ex.stats.wireBytes +=
+            static_cast<double>(clients.size()) * totalPush;
+    ex.stats.rounds = 2;
+    recordCollective("sharded_ps", ex.stats);
+    return ex;
 }
 
 CommStats

@@ -51,6 +51,31 @@ struct CommStats {
     CommStats &operator+=(const CommStats &o);
 };
 
+/**
+ * One server endpoint's share of a (sharded) parameter-server
+ * exchange: the fan-in it absorbed and when its last push/pull flow
+ * drained, taken from the joint max-min solve (so cross-endpoint
+ * contention on shared boards/switches is included).
+ */
+struct EndpointLoad {
+    sim::SocId server = 0;
+    /** Concurrent worker flows into this endpoint (incast degree). */
+    std::size_t fanIn = 0;
+    /** Push bytes received across the whole exchange. */
+    double pushBytes = 0.0;
+    /** Seconds until the last push into this endpoint drained. */
+    double pushSeconds = 0.0;
+    /** Seconds until the last pull out of this endpoint drained. */
+    double pullSeconds = 0.0;
+};
+
+/** Result of a parameter-server exchange with per-endpoint detail. */
+struct PsExchange {
+    CommStats stats;
+    /** Parallel to the servers argument. */
+    std::vector<EndpointLoad> endpoints;
+};
+
 /** Timeout/retry envelope for one synchronization attempt. */
 struct SyncPolicy {
     /** Stall charged per failed attempt before it is abandoned. */
@@ -153,9 +178,42 @@ class CollectiveEngine
      * Parameter-server exchange: every worker pushes `bytes` to the
      * server, then pulls `bytes` back (two incast/outcast rounds).
      * The server SoC is excluded from the workers automatically.
+     * Evaluated through shardedParamServer with a single endpoint, so
+     * the timing is identical to the historical two-round estimate.
      */
     CommStats paramServer(const std::vector<sim::SocId> &workers,
                           sim::SocId server, double bytes) const;
+
+    /**
+     * Monolithic exchange with the per-endpoint flow breakdown (the
+     * single endpoint's fan-in and drain times) exposed.
+     */
+    PsExchange paramServerDetailed(
+        const std::vector<sim::SocId> &workers, sim::SocId server,
+        double bytes) const;
+
+    /**
+     * Sharded parameter-server exchange: every worker pushes
+     * `push_bytes[i]` to server i (its shard slice), then pulls
+     * `pull_bytes[i]` back. Each phase is one joint max-min solve over
+     * the union of all flows, so the per-endpoint incast *and* the
+     * contention between endpoints sharing boards or switch fabric
+     * are priced natively -- a single endpoint reproduces the
+     * monolithic collapse, spreading the same bytes across per-board
+     * endpoints demonstrably avoids it. Servers are excluded from the
+     * worker set automatically; zero-byte endpoints carry no flows.
+     *
+     * With `replicate_to_next`, every server forwards its aggregate
+     * push intake to the next server in the list (chain replication of
+     * acked pushes, the sharded PS durability story); the replication
+     * flows contend in the push phase.
+     */
+    PsExchange shardedParamServer(
+        const std::vector<sim::SocId> &workers,
+        const std::vector<sim::SocId> &servers,
+        const std::vector<double> &push_bytes,
+        const std::vector<double> &pull_bytes,
+        bool replicate_to_next = false) const;
 
     /**
      * Binary-tree aggregate-and-broadcast rooted at nodes[0]:

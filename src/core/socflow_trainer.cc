@@ -1039,6 +1039,14 @@ SoCFlowTrainer::dispatchFired(
         case fault::FaultKind::SocCrash:
             injectCrash(spec.soc);
             break;
+        case fault::FaultKind::PsServerCrash:
+            // Group-wise training has no parameter-server tier; the
+            // shard host is just another member dying, but it must
+            // run the same recovery path (not fall through to the
+            // rate-window default) so PS/group-wise head-to-heads see
+            // identical seeded fault mixes.
+            injectCrash(spec.soc);
+            break;
         case fault::FaultKind::SocCrashMidWave:
             injectMidWaveCrash(
                 spec.soc, spec.progress, step,

@@ -27,6 +27,7 @@ injectedCounter(FaultKind k)
         obs::Counter &boardPart;
         obs::Counter &switchPart;
         obs::Counter &rejoin;
+        obs::Counter &psServer;
         Counters()
             : crash(obs::metrics().counter("fault_injected_total",
                                            {{"kind", "soc_crash"}})),
@@ -50,7 +51,10 @@ injectedCounter(FaultKind k)
                   "fault_injected_total",
                   {{"kind", "switch_partition"}})),
               rejoin(obs::metrics().counter(
-                  "fault_injected_total", {{"kind", "soc_rejoin"}}))
+                  "fault_injected_total", {{"kind", "soc_rejoin"}})),
+              psServer(obs::metrics().counter(
+                  "fault_injected_total",
+                  {{"kind", "ps_server_crash"}}))
         {
         }
     };
@@ -76,6 +80,8 @@ injectedCounter(FaultKind k)
         return c.switchPart;
       case FaultKind::SocRejoin:
         return c.rejoin;
+      case FaultKind::PsServerCrash:
+        return c.psServer;
     }
     panic("unknown fault kind");
 }
@@ -125,6 +131,8 @@ faultKindName(FaultKind k)
         return "switch-partition";
       case FaultKind::SocRejoin:
         return "soc-rejoin";
+      case FaultKind::PsServerCrash:
+        return "ps-server-crash";
     }
     panic("unknown fault kind");
 }
@@ -262,13 +270,29 @@ FaultPlan::random(const FaultPlanConfig &cfg)
         plan.add(rackCut(rng.uniformInt(numRacks), cfg.boardsPerRack,
                          pickEpoch(), cfg.partitionWindowEpochs));
     }
+    // PS-server crashes land on the sharded parameter server's shard
+    // hosts: the first SoC of each of the first min(psShards, boards)
+    // boards (matching ps::ShardMap's initial placement). The loop
+    // draws nothing when the count is zero, so pre-existing seeded
+    // plans replay byte-identically.
+    const std::size_t serverPool = std::min(
+        std::max<std::size_t>(cfg.psShards, 1), numBoards);
+    for (std::size_t i = 0; i < cfg.psServerCrashes; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::PsServerCrash;
+        s.epoch = pickEpoch();
+        s.step = pickStep();
+        s.soc = rng.uniformInt(serverPool) * cfg.socsPerBoard;
+        plan.add(s);
+    }
     // Rejoins target SoCs the plan has already crashed (when it has
     // any), landing strictly after the crash so the comeback is real.
     std::vector<FaultSpec> crashes;
     for (const FaultSpec &s : plan.specs()) {
         if (s.kind == FaultKind::SocCrash ||
             s.kind == FaultKind::SocCrashMidWave ||
-            s.kind == FaultKind::LeaderCrash)
+            s.kind == FaultKind::LeaderCrash ||
+            s.kind == FaultKind::PsServerCrash)
             crashes.push_back(s);
     }
     for (std::size_t i = 0; i < cfg.rejoins; ++i) {
@@ -375,6 +399,7 @@ FaultInjector::advanceTo(const FaultPoint &now)
           case FaultKind::SocCrash:
           case FaultKind::SocCrashMidWave:
           case FaultKind::LeaderCrash:
+          case FaultKind::PsServerCrash:
             if (dead.insert(s.soc).second)
                 crashed.push_back(s.soc);
             break;

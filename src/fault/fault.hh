@@ -59,6 +59,7 @@ enum class FaultKind {
     BoardPartition,  //!< one board's uplink cut: 5 SoCs unreachable
     SwitchPartition, //!< `count` adjacent boards cut (ToR port/cable)
     SocRejoin,       //!< a crashed SoC comes back and asks to rejoin
+    PsServerCrash,   //!< a parameter-server shard host dies
 };
 
 /** Printable fault-kind name. */
@@ -176,6 +177,16 @@ struct FaultPlanConfig {
     std::size_t switchPartitionBoards = 2; //!< boards per switch cut
     std::size_t rackCuts = 0;       //!< whole-rack cuts (fleet only)
     std::size_t boardsPerRack = 12; //!< rack width used by rackCuts
+    /**
+     * PsServerCrash events. Targets are drawn from the per-board
+     * server SoCs of the sharded parameter server (the first SoC of
+     * each of the first min(psShards, boards) boards), so the crash
+     * always lands on a shard host. Zero events draw zero random
+     * numbers, keeping existing seeded plans byte-identical.
+     */
+    std::size_t psServerCrashes = 0;
+    /** Server-pool width used for PsServerCrash target picks. */
+    std::size_t psShards = 8;
     std::uint64_t seed = 2024;
 };
 

@@ -1,0 +1,153 @@
+#include "ps/shard_map.hh"
+
+#include <algorithm>
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace socflow {
+namespace ps {
+
+ShardMap::ShardMap(const ShardMapConfig &cfg)
+{
+    if (cfg.numShards == 0)
+        fatal("shard map needs at least one shard");
+    if (cfg.socsPerBoard == 0 || cfg.numSocs < cfg.socsPerBoard)
+        fatal("shard map needs at least one full board: ", cfg.numSocs,
+              " SoCs at ", cfg.socsPerBoard, " per board");
+
+    // One server per board, first-SoC-of-board, capped at the board
+    // count -- the same pool fault::FaultPlan::random draws
+    // PsServerCrash targets from.
+    const std::size_t numBoards = cfg.numSocs / cfg.socsPerBoard;
+    const std::size_t numServers = std::min(cfg.numShards, numBoards);
+    pool.reserve(numServers);
+    for (std::size_t b = 0; b < numServers; ++b)
+        pool.push_back(static_cast<sim::SocId>(b * cfg.socsPerBoard));
+
+    // Contiguous near-equal ranges; the last shard absorbs the
+    // remainder. Zero-parameter maps are allowed (timing-only runs).
+    ranges.resize(cfg.numShards);
+    const std::size_t base = cfg.paramCount / cfg.numShards;
+    const std::size_t extra = cfg.paramCount % cfg.numShards;
+    std::size_t at = 0;
+    for (std::size_t s = 0; s < cfg.numShards; ++s) {
+        ranges[s].begin = at;
+        at += base + (s < extra ? 1 : 0);
+        ranges[s].end = at;
+    }
+
+    owners.resize(cfg.numShards);
+    for (std::size_t s = 0; s < cfg.numShards; ++s)
+        owners[s] = pool[s % pool.size()];
+}
+
+sim::SocId
+ShardMap::owner(std::size_t shard) const
+{
+    if (shard >= owners.size())
+        fatal("shard ", shard, " out of range (", owners.size(), ")");
+    return owners[shard];
+}
+
+const ShardRange &
+ShardMap::range(std::size_t shard) const
+{
+    if (shard >= ranges.size())
+        fatal("shard ", shard, " out of range (", ranges.size(), ")");
+    return ranges[shard];
+}
+
+std::size_t
+ShardMap::shardOf(std::size_t param) const
+{
+    for (std::size_t s = 0; s < ranges.size(); ++s)
+        if (param >= ranges[s].begin && param < ranges[s].end)
+            return s;
+    fatal("parameter index ", param, " outside the sharded range");
+}
+
+std::vector<std::size_t>
+ShardMap::shardsOwnedBy(sim::SocId server) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t s = 0; s < owners.size(); ++s)
+        if (owners[s] == server)
+            out.push_back(s);
+    return out;
+}
+
+std::size_t
+ShardMap::paramsOwnedBy(sim::SocId server) const
+{
+    std::size_t n = 0;
+    for (std::size_t s = 0; s < owners.size(); ++s)
+        if (owners[s] == server)
+            n += ranges[s].count();
+    return n;
+}
+
+std::uint64_t
+ShardMap::rendezvousScore(std::size_t shard, sim::SocId server)
+{
+    Fnv1a64 h;
+    h.mix(static_cast<std::uint64_t>(shard));
+    h.mix(static_cast<std::uint64_t>(server));
+    return h.value();
+}
+
+std::vector<ShardMove>
+ShardMap::failover(const std::function<bool(sim::SocId)> &usable)
+{
+    std::vector<ShardMove> performed;
+    orphans.clear();
+
+    std::vector<sim::SocId> candidates;
+    for (sim::SocId s : pool)
+        if (usable(s))
+            candidates.push_back(s);
+
+    for (std::size_t s = 0; s < owners.size(); ++s) {
+        if (usable(owners[s]))
+            continue;  // healthy shards never churn
+        if (candidates.empty()) {
+            orphans.push_back(s);
+            continue;
+        }
+        sim::SocId best = candidates.front();
+        std::uint64_t bestScore = rendezvousScore(s, best);
+        for (std::size_t c = 1; c < candidates.size(); ++c) {
+            const std::uint64_t sc =
+                rendezvousScore(s, candidates[c]);
+            if (sc > bestScore ||
+                (sc == bestScore && candidates[c] < best)) {
+                best = candidates[c];
+                bestScore = sc;
+            }
+        }
+        performed.push_back({s, owners[s], best});
+        owners[s] = best;
+        gen.bump();
+        ++moves;
+    }
+    return performed;
+}
+
+bool
+ShardMap::rebalance(std::size_t shard, sim::SocId target)
+{
+    if (shard >= owners.size())
+        fatal("shard ", shard, " out of range (", owners.size(), ")");
+    if (std::find(pool.begin(), pool.end(), target) == pool.end())
+        fatal("rebalance target SoC ", target,
+              " is not in the server pool");
+    if (owners[shard] == target)
+        return false;
+    owners[shard] = target;
+    gen.bump();
+    ++moves;
+    return true;
+}
+
+} // namespace ps
+} // namespace socflow

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Parameter-shard ownership map for the sharded parameter server.
+ *
+ * Parameters are split into `numShards` contiguous, near-equal
+ * ranges. Shard hosts are per-board server SoCs -- the first SoC of
+ * each of the first min(numShards, numBoards) boards -- so every
+ * shard endpoint sits behind its own board NIC and the incast a
+ * monolithic server suffers is spread across boards (the flow model
+ * prices both natively; see collectives::shardedParamServer).
+ *
+ * Ownership is fault-tolerant: when a shard's owner dies or becomes
+ * unreachable, failover() re-homes the orphaned shards onto the
+ * surviving servers by rendezvous hashing (highest FNV score of
+ * (shard, candidate) wins), which is deterministic, needs no
+ * coordination, and moves only the orphaned shards -- shards on
+ * healthy servers never churn. Every ownership change bumps the
+ * embedded membership::GenerationGate, so pushes stamped with an
+ * older generation are fenced instead of folded into a shard that
+ * has since moved (the split-brain guard DESIGN.md ch. 11 walks
+ * through). rebalance() performs the same generation-fenced move for
+ * hot-shard migration when the flow model shows an endpoint's board
+ * NIC saturated.
+ */
+
+#ifndef SOCFLOW_PS_SHARD_MAP_HH
+#define SOCFLOW_PS_SHARD_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "membership/membership.hh"
+#include "sim/cluster.hh"
+
+namespace socflow {
+namespace ps {
+
+/** Geometry of the shard map. */
+struct ShardMapConfig {
+    /** Shard count (`--ps-shards`); clamped to the board count. */
+    std::size_t numShards = 8;
+    /** Flat model parameter count being sharded. */
+    std::size_t paramCount = 0;
+    /** Cluster size; servers are drawn from its boards. */
+    std::size_t numSocs = 60;
+    std::size_t socsPerBoard = 5;
+};
+
+/** Half-open flat-parameter range [begin, end) of one shard. */
+struct ShardRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t count() const { return end - begin; }
+};
+
+/** One ownership change produced by failover() or rebalance(). */
+struct ShardMove {
+    std::size_t shard = 0;
+    sim::SocId from = 0;
+    sim::SocId to = 0;
+};
+
+class ShardMap
+{
+  public:
+    explicit ShardMap(const ShardMapConfig &cfg);
+
+    std::size_t numShards() const { return ranges.size(); }
+
+    /** The fixed server pool (one SoC per hosting board). */
+    const std::vector<sim::SocId> &servers() const { return pool; }
+
+    /** Current owner of `shard` (a member of servers()). */
+    sim::SocId owner(std::size_t shard) const;
+
+    /** Flat-parameter range of `shard`. */
+    const ShardRange &range(std::size_t shard) const;
+
+    /** Shard owning flat parameter index `param`. */
+    std::size_t shardOf(std::size_t param) const;
+
+    /** Shards currently owned by `server`, in shard order. */
+    std::vector<std::size_t> shardsOwnedBy(sim::SocId server) const;
+
+    /** Parameter count currently homed on `server`. */
+    std::size_t paramsOwnedBy(sim::SocId server) const;
+
+    /**
+     * Re-home every shard whose owner fails the `usable` predicate
+     * onto the usable survivors via rendezvous hashing. Shards with
+     * usable owners are untouched. Returns the moves performed (one
+     * generation bump each); a shard with no usable candidate is left
+     * in place and reported via orphaned().
+     */
+    std::vector<ShardMove> failover(
+        const std::function<bool(sim::SocId)> &usable);
+
+    /** Shards whose owner was unusable with no usable candidate. */
+    const std::vector<std::size_t> &orphaned() const { return orphans; }
+
+    /**
+     * Migrate `shard` to `target` (must be in the server pool).
+     * Returns false (no generation bump) when the shard already lives
+     * there.
+     */
+    bool rebalance(std::size_t shard, sim::SocId target);
+
+    /** Fencing gate; bumped once per ownership change. */
+    membership::GenerationGate &gate() { return gen; }
+    const membership::GenerationGate &gate() const { return gen; }
+
+    /** Total ownership changes since construction. */
+    std::size_t movesTotal() const { return moves; }
+
+    /**
+     * Rendezvous score of hosting `shard` on `server`: FNV-1a of the
+     * pair. Deterministic and coordination-free; ties broken toward
+     * the lower SoC id by the callers.
+     */
+    static std::uint64_t rendezvousScore(std::size_t shard,
+                                         sim::SocId server);
+
+  private:
+    std::vector<sim::SocId> pool;
+    std::vector<ShardRange> ranges;
+    std::vector<sim::SocId> owners;
+    std::vector<std::size_t> orphans;
+    membership::GenerationGate gen;
+    std::size_t moves = 0;
+};
+
+} // namespace ps
+} // namespace socflow
+
+#endif // SOCFLOW_PS_SHARD_MAP_HH

@@ -32,6 +32,7 @@
 #include "core/socflow_trainer.hh"
 #include "data/synthetic.hh"
 #include "fault/fault.hh"
+#include "ps/sharded_ps.hh"
 #include "trace/harvest.hh"
 #include "trace/tidal.hh"
 #include "util/thread_pool.hh"
@@ -93,6 +94,36 @@ runTrainer(const FaultPlan *plan, int epochs)
 {
     data::DataBundle bundle = tinyBundle();
     core::SoCFlowTrainer trainer(tinyConfig(), bundle);
+    FaultInjector inj(plan ? *plan : FaultPlan{});
+    if (plan)
+        trainer.attachFaultInjector(&inj);
+    for (int e = 0; e < epochs; ++e)
+        trainer.runEpoch();
+    RunResult r;
+    r.timelineHash = trainer.timelineHash();
+    r.weights = trainer.globalWeights();
+    r.epochsDone = trainer.epochsDone();
+    return r;
+}
+
+/** Sharded-PS variant: same bit-exactness bar for the PS mode. */
+RunResult
+runShardedPs(const FaultPlan *plan, int epochs,
+             const sim::ClusterConfig *fleet = nullptr)
+{
+    data::DataBundle bundle = tinyBundle();
+    ps::ShardedPsConfig cfg;
+    cfg.modelFamily = "mlp";
+    cfg.numSocs = 10;
+    cfg.numShards = 2;
+    cfg.staleness = 2;
+    cfg.globalBatch = 16;
+    cfg.sgd.learningRate = 0.05;
+    if (fleet) {
+        cfg.clusterTemplate = *fleet;
+        cfg.numSocs = fleet->numSocs;
+    }
+    ps::ShardedPsTrainer trainer(cfg, bundle);
     FaultInjector inj(plan ? *plan : FaultPlan{});
     if (plan)
         trainer.attachFaultInjector(&inj);
@@ -247,7 +278,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FaultKind::GradCorrupt, FaultKind::LeaderCrash,
                       FaultKind::BoardPartition,
                       FaultKind::SwitchPartition,
-                      FaultKind::SocRejoin),
+                      FaultKind::SocRejoin,
+                      FaultKind::PsServerCrash),
     [](const ::testing::TestParamInfo<FaultKind> &info) {
         std::string name = faultKindName(info.param);
         for (char &c : name)
@@ -279,6 +311,78 @@ TEST(ParallelDeterminism, SeededChurnBitExact)
     const FaultPlan plan = FaultPlan::random(fcfg);
     expectBitExactAcrossThreads(
         [&plan] { return runTrainer(&plan, 6); }, "seeded-churn");
+}
+
+// ------------------------------------------- sharded-PS scenarios
+
+// The sharded parameter-server mode (src/ps) must clear the same bar
+// as the group-wise trainer: identical timeline hash and exact final
+// weights at every thread count, through every recovery path.
+
+TEST(ParallelDeterminism, ShardedPsCleanBitExact)
+{
+    expectBitExactAcrossThreads(
+        [] { return runShardedPs(nullptr, 4); }, "sharded-ps-clean");
+}
+
+TEST(ParallelDeterminism, ShardedPsServerCrashBitExact)
+{
+    // Crash a shard host (SoC 0 owns a shard on the 10-SoC / 2-shard
+    // layout) mid-epoch: failover + fencing must replay bit-exactly.
+    FaultSpec s;
+    s.kind = FaultKind::PsServerCrash;
+    s.epoch = 1;
+    s.step = 2;
+    s.soc = 0;
+    FaultPlan plan;
+    plan.add(s);
+    expectBitExactAcrossThreads(
+        [&plan] { return runShardedPs(&plan, 5); },
+        "sharded-ps-server-crash");
+}
+
+TEST(ParallelDeterminism, ShardedPsPartitionBitExact)
+{
+    // Board 0 hosts shard server SoC 0; partitioning it forces the
+    // quorum/failover path rather than a plain crash.
+    const FaultPlan plan = planForKind(FaultKind::BoardPartition);
+    expectBitExactAcrossThreads(
+        [&plan] { return runShardedPs(&plan, 5); },
+        "sharded-ps-partition");
+}
+
+TEST(ParallelDeterminism, ShardedPsRackCutBitExact)
+{
+    // Multi-rack fleet: cutting rack 1 parks worker boards while the
+    // shard hosts (rack 0) survive; heal + rejoin must be bit-exact.
+    const sim::FleetTopology topo{4, 2, 2};
+    const sim::ClusterConfig fleet = sim::fleetClusterConfig(topo);
+    FaultPlan plan;
+    plan.add(rackCut(1, topo.boardsPerRack, 1, 2));
+    expectBitExactAcrossThreads(
+        [&] { return runShardedPs(&plan, 5, &fleet); },
+        "sharded-ps-rack-cut");
+}
+
+TEST(ParallelDeterminism, ShardedPsSeededChurnBitExact)
+{
+    // Seeded churn including PS-server crashes; run_all.sh --chaos
+    // varies SOCFLOW_CHAOS_SEED across re-runs.
+    FaultPlanConfig fcfg;
+    fcfg.horizonEpochs = 5;
+    fcfg.stepsPerEpoch = 8;
+    fcfg.numSocs = 10;
+    fcfg.psServerCrashes = 1;
+    fcfg.psShards = 2;
+    fcfg.boardPartitions = 1;
+    fcfg.gradCorrupts = 1;
+    fcfg.rejoins = 1;
+    fcfg.partitionWindowEpochs = 2;
+    fcfg.seed = chaosSeed();
+    const FaultPlan plan = FaultPlan::random(fcfg);
+    expectBitExactAcrossThreads(
+        [&plan] { return runShardedPs(&plan, 6); },
+        "sharded-ps-seeded-churn");
 }
 
 // ------------------------------------------- harvest-day reports
