@@ -11,6 +11,7 @@
 #include "baselines/fedavg.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "obs/snapshot.hh"
 #include "obs/stream_sink.hh"
 #include "obs/trace.hh"
@@ -129,6 +130,13 @@ baselinePath()
     return p;
 }
 
+std::string &
+profileOutPathValue()
+{
+    static std::string p;
+    return p;
+}
+
 /** The streaming sink, when rotation was requested (leaked; its
  *  flusher is joined by the atexit close below). */
 obs::StreamingTraceSink *&
@@ -210,6 +218,26 @@ writeObservabilityOutputs()
                          metricsPath.c_str());
         }
     }
+    // Critical-path profiler outputs: the perf doctor summary prints
+    // for every bench/example that trained at least one epoch; the
+    // full PerfReport JSON lands at --profile-out when requested.
+    obs::Profiler &prof = obs::profiler();
+    if (prof.enabled() && prof.epochsProfiled() > 0) {
+        const obs::PerfReport report = prof.report();
+        std::fputs(report.doctorSummary().c_str(), stderr);
+        const std::string &profPath = profileOutPathValue();
+        if (!profPath.empty()) {
+            std::ofstream out(profPath);
+            if (out && (out << report.toJson() << '\n')) {
+                std::fprintf(stderr, "perf profile written to %s\n",
+                             profPath.c_str());
+            } else {
+                std::fprintf(stderr,
+                             "failed to write perf profile to %s\n",
+                             profPath.c_str());
+            }
+        }
+    }
 }
 
 /** Parse a non-negative integer flag value (fatal on junk). */
@@ -277,7 +305,8 @@ initBenchObservability(int &argc, char **argv)
               {"--staleness", &stalenessStr},
               {"--metrics-export-cmd", &metricsExportCmdValue()},
               {"--bench-json", &benchJsonOutPath()},
-              {"--baseline", &baselinePath()}}) {
+              {"--baseline", &baselinePath()},
+              {"--profile-out", &profileOutPathValue()}}) {
             const std::string prefix = std::string(flag) + "=";
             if (arg.rfind(prefix, 0) == 0) {
                 dest = path;
@@ -329,6 +358,16 @@ initBenchObservability(int &argc, char **argv)
     if (!stalenessStr.empty())
         stalenessValue() = parseCount("--staleness", stalenessStr);
 
+    // Registered for every bench/example, not only flagged runs: the
+    // always-on profiler's doctor summary is part of the default
+    // output contract (it prints only when epochs were profiled).
+    // Touch the registry singletons first so their function-local
+    // statics are constructed -- and therefore destroyed -- strictly
+    // after this atexit handler runs.
+    obs::metrics();
+    obs::profiler();
+    std::atexit(writeObservabilityOutputs);
+
     if (!any)
         return;
     if (!rotateMbValue.empty())
@@ -367,7 +406,6 @@ initBenchObservability(int &argc, char **argv)
     }
     if (metricsIntervalEpochs() > 0)
         seriesWriter() = new obs::MetricSeriesWriter(metricsOutPath());
-    std::atexit(writeObservabilityOutputs);
 }
 
 std::size_t
@@ -458,6 +496,12 @@ benchBaselinePath()
     return baselinePath();
 }
 
+const std::string &
+benchProfileOutPath()
+{
+    return profileOutPathValue();
+}
+
 bool
 writeBenchJson(const std::string &path, const BenchReport &report)
 {
@@ -481,6 +525,15 @@ writeBenchJson(const std::string &path, const BenchReport &report)
             << std::dec << "\"";
         if (!r.label.empty())
             out << ", \"label\": \"" << r.label << "\"";
+        // Optional profiler phase columns (informational; never read
+        // by the --baseline regression comparison).
+        if (r.hasPhases) {
+            out << ", \"phase_compute_seconds\": "
+                << r.phaseComputeSeconds
+                << ", \"phase_sync_seconds\": " << r.phaseSyncSeconds
+                << ", \"phase_stall_seconds\": "
+                << r.phaseStallSeconds;
+        }
         out << "}" << (i + 1 < report.runs.size() ? "," : "") << '\n';
     }
     out << "  ]\n}\n";
@@ -564,6 +617,27 @@ readBenchJson(const std::string &path, BenchReport &out)
              lat < nat)) {
             r.label = ltok;
             cursor = lat;
+        }
+        // Optional profiler phase columns, same row-scoped rule.
+        std::string ptok;
+        std::size_t pat = 0;
+        if (jsonValueAfter(text, "phase_compute_seconds", cursor, ptok,
+                           pat) &&
+            (!jsonValueAfter(text, "threads", cursor, ntok, nat) ||
+             pat < nat)) {
+            r.hasPhases = true;
+            r.phaseComputeSeconds = std::atof(ptok.c_str());
+            cursor = pat;
+            if (jsonValueAfter(text, "phase_sync_seconds", cursor,
+                               ptok, pat)) {
+                r.phaseSyncSeconds = std::atof(ptok.c_str());
+                cursor = pat;
+            }
+            if (jsonValueAfter(text, "phase_stall_seconds", cursor,
+                               ptok, pat)) {
+                r.phaseStallSeconds = std::atof(ptok.c_str());
+                cursor = pat;
+            }
         }
         out.runs.push_back(r);
     }

@@ -96,6 +96,11 @@ struct Workload {
  *   --baseline=<path>         compare against a committed BENCH_*.json
  *                             and fail on >10% epochs/sec regression
  *                             (consumed by bench_e2e_throughput)
+ *   --profile-out=<path>      write the critical-path profiler's
+ *                             PerfReport JSON (obs/profiler.hh) at
+ *                             exit; the "perf doctor" summary prints
+ *                             to stderr regardless whenever the
+ *                             profiler saw at least one epoch
  *
  * enables the process tracer when a trace path is given, and
  * registers an atexit hook that writes the Chrome trace_event JSON
@@ -155,6 +160,9 @@ const std::string &benchJsonPath();
 /** --baseline flag value (empty = no regression comparison). */
 const std::string &benchBaselinePath();
 
+/** --profile-out flag value (empty = no profiler JSON requested). */
+const std::string &benchProfileOutPath();
+
 /** One measured thread configuration of a throughput bench. */
 struct BenchRun {
     std::size_t threads = 1;
@@ -168,6 +176,15 @@ struct BenchRun {
      *  within one label, and the regression anchor ignores labeled
      *  rows so pre-fleet baselines stay comparable. */
     std::string label;
+    /** Optional per-phase breakdown from the critical-path profiler
+     *  (simulated seconds over the run's epochs). Informational
+     *  columns only: the --baseline regression comparison reads
+     *  epochs/sec and never these, so committed BENCH_*.json files
+     *  with and without them stay comparable. */
+    bool hasPhases = false;
+    double phaseComputeSeconds = 0.0;  //!< forward + backward
+    double phaseSyncSeconds = 0.0;     //!< all sync/comm phases
+    double phaseStallSeconds = 0.0;    //!< straggler stall residual
 };
 
 /**

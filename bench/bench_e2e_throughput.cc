@@ -34,6 +34,7 @@
 #include "core/socflow_trainer.hh"
 #include "data/synthetic.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "trace/harvest.hh"
 #include "trace/tidal.hh"
 #include "util/logging.hh"
@@ -112,12 +113,14 @@ runOnce(std::size_t threads, const Scenario &sc)
 
     const double steps0 =
         obs::metrics().counter("trainer_steps_total").value();
+    const obs::PerfReport prof0 = obs::profiler().report();
     const auto t0 = std::chrono::steady_clock::now();
     const trace::HarvestReport report =
         trace::runHarvestDay(trainer, cfg, tidal, hcfg);
     const auto t1 = std::chrono::steady_clock::now();
     const double steps1 =
         obs::metrics().counter("trainer_steps_total").value();
+    const obs::PerfReport prof1 = obs::profiler().report();
 
     bench::BenchRun run;
     run.threads = threads;
@@ -132,6 +135,28 @@ runOnce(std::size_t threads, const Scenario &sc)
                            : 0.0;
     run.timelineHash = report.timelineHash;
     run.label = sc.label;
+
+    // Per-phase breakdown columns from the critical-path profiler:
+    // the cumulative-report delta isolates this run without resetting
+    // accumulated state. Informational only -- the --baseline
+    // comparison below reads epochs/sec, never these, so committed
+    // BENCH_*.json files with and without them stay comparable.
+    if (obs::profiler().enabled() && prof1.epochs > prof0.epochs) {
+        const auto phase = [&](obs::Phase p) {
+            const std::size_t i = static_cast<std::size_t>(p);
+            return prof1.exclusiveSeconds[i] -
+                   prof0.exclusiveSeconds[i];
+        };
+        run.hasPhases = true;
+        run.phaseComputeSeconds =
+            phase(obs::Phase::Forward) + phase(obs::Phase::Backward);
+        run.phaseSyncSeconds = phase(obs::Phase::Wave1Sync) +
+                               phase(obs::Phase::Wave2Sync) +
+                               phase(obs::Phase::HierarchicalSync) +
+                               phase(obs::Phase::PsPush) +
+                               phase(obs::Phase::PsPull);
+        run.phaseStallSeconds = phase(obs::Phase::Stall);
+    }
     return run;
 }
 

@@ -5,9 +5,12 @@
  * parameter updates (Update) for VGG-11 and ResNet-18 at 32 SoCs.
  */
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hh"
+#include "obs/profiler.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -15,6 +18,46 @@ using namespace socflow;
 using namespace socflow::bench;
 
 namespace {
+
+/**
+ * The profiler must agree with the bench's own EpochRecord
+ * accounting: its compute window vs rec.computeSeconds and its comm
+ * window vs the non-recovery share of rec.syncSeconds, both within
+ * 5%. On the comm-bound VGG-11 workload the overlap ratio must also
+ * be < 0.5 -- compute is too short to hide most of the exchange.
+ */
+void
+crossCheckProfiler(const Workload &w, const core::EpochRecord &rec,
+                   const obs::PerfReport &report)
+{
+    auto agree = [](double a, double b) {
+        const double ref = std::fmax(std::fabs(a), std::fabs(b));
+        return ref <= 1e-9 || std::fabs(a - b) <= 0.05 * ref;
+    };
+    const double comm = rec.syncSeconds - rec.recoverySeconds;
+    if (!agree(report.computeWindowSeconds, rec.computeSeconds)) {
+        std::fprintf(stderr,
+                     "FAIL: %s profiler compute window %.6f s "
+                     "disagrees with bench accounting %.6f s (>5%%)\n",
+                     w.key.c_str(), report.computeWindowSeconds,
+                     rec.computeSeconds);
+        std::exit(1);
+    }
+    if (!agree(report.commWindowSeconds, comm)) {
+        std::fprintf(stderr,
+                     "FAIL: %s profiler comm window %.6f s disagrees "
+                     "with bench accounting %.6f s (>5%%)\n",
+                     w.key.c_str(), report.commWindowSeconds, comm);
+        std::exit(1);
+    }
+    if (w.key == "VGG11" && report.overlapRatio >= 0.5) {
+        std::fprintf(stderr,
+                     "FAIL: VGG11 is comm-bound yet the profiler "
+                     "claims %.2f of the exchange is hidden\n",
+                     report.overlapRatio);
+        std::exit(1);
+    }
+}
 
 void
 breakdown(const Workload &w)
@@ -36,7 +79,12 @@ breakdown(const Workload &w)
 
     {
         core::SoCFlowTrainer ours(oursConfig(w, 32, 8), bundle);
-        addRow("Ours", ours.runEpoch());
+        obs::Profiler &prof = obs::profiler();
+        prof.reset();
+        const core::EpochRecord rec = ours.runEpoch();
+        addRow("Ours", rec);
+        if (prof.enabled())
+            crossCheckProfiler(w, rec, prof.report());
     }
     for (const char *m : {"RING", "HiPress", "2D-Paral", "FedAvg"}) {
         auto trainer = baselines::makeBaseline(

@@ -99,5 +99,11 @@ main(int argc, char **argv)
                 report.checkpointsTaken);
     std::printf("model accuracy at the end of the day: %.1f%%\n",
                 100.0 * report.finalTestAcc);
+    // Stable one-line fingerprint: run_all.sh --profile diffs this
+    // between profiled and SOCFLOW_PROFILE=0 runs to prove the
+    // profiler never perturbs the simulation.
+    std::printf("timeline hash: %016llx\n",
+                static_cast<unsigned long long>(
+                    report.timelineHash));
     return 0;
 }

@@ -1,5 +1,5 @@
 #!/bin/bash
-# Usage: run_all.sh [--sanitize|--tsan|--chaos|--chaos-nightly [count]|--bench [tag]|--docs-check]
+# Usage: run_all.sh [--sanitize|--tsan|--chaos|--chaos-nightly [count]|--bench [tag]|--profile|--docs-check]
 #   default     run the test suite + every bench from build/
 #   --sanitize  configure build-asan with -DSANITIZE=ON and run the
 #               test suite under AddressSanitizer + UBSan
@@ -34,14 +34,20 @@
 #               armed (SOCFLOW_POSTMORTEM); failing seeds and their
 #               post-mortem dump paths append to chaos_failures.txt
 #               so a failure found tonight can be replayed tomorrow
+#   --profile   run the profiler test suite plus a profiled harvest
+#               day: fail if the wall-time conservation invariant
+#               breaks (every epoch's exclusive phases must sum to
+#               its wall seconds) or if the profiled run's timeline
+#               hash diverges from a SOCFLOW_PROFILE=0 rerun -- the
+#               zero-perturbation guarantee checked end to end
 #   --docs-check
 #               fail if any user-facing "--flag" handled by
 #               bench/bench_common.cc is documented in neither
 #               README.md nor DESIGN.md
 cd /root/repo
 
-chaos_targets="test_fault test_fault_step test_obs_stream test_membership test_parallel_determinism test_fleet_topology test_ps"
-chaos_regex='test_(fault($|_step)|obs_stream$|membership$|parallel_determinism$|fleet_topology$|ps$)'
+chaos_targets="test_fault test_fault_step test_obs_stream test_membership test_parallel_determinism test_fleet_topology test_ps test_profiler"
+chaos_regex='test_(fault($|_step)|obs_stream$|membership$|parallel_determinism$|fleet_topology$|ps$|profiler$)'
 
 run_chaos_seed() {
     # $1 = seed, $2 = optional post-mortem dump path
@@ -96,13 +102,13 @@ if [ "$1" = "--chaos-nightly" ]; then
 fi
 
 if [ "$1" = "--tsan" ]; then
-    tsan_targets="test_obs_stream test_membership test_thread_pool test_parallel_determinism test_ps"
+    tsan_targets="test_obs_stream test_membership test_thread_pool test_parallel_determinism test_ps test_profiler"
     cmake -B build-tsan -S . -DSANITIZE=thread || exit 1
     cmake --build build-tsan -j --target $tsan_targets || exit 1
     ( set -o pipefail
       TSAN_OPTIONS=halt_on_error=1 \
           ctest --test-dir build-tsan --output-on-failure \
-              -R 'test_(obs_stream|membership|thread_pool|parallel_determinism|ps)$' 2>&1 |
+              -R 'test_(obs_stream|membership|thread_pool|parallel_determinism|ps|profiler)$' 2>&1 |
           tee /root/repo/tsan_output.txt ) || exit 1
     echo "TSAN_RUN_COMPLETE"
     exit 0
@@ -124,6 +130,42 @@ if [ "$1" = "--bench" ]; then
     fi
     ./build-rel/bench/fig10_scalability || exit 1
     echo "BENCH_RUN_COMPLETE (wrote $out)"
+    exit 0
+fi
+
+if [ "$1" = "--profile" ]; then
+    cmake -B build -S . || exit 1
+    cmake --build build -j --target test_profiler harvest_day \
+        fig12_breakdown || exit 1
+    # Unit + integration conservation/attribution suite.
+    ctest --test-dir build --output-on-failure \
+        -R 'test_profiler$' || exit 1
+    # Profiled harvest day: the perf-doctor JSON must certify the
+    # conservation invariant held for every epoch of the day.
+    prof_json=/root/repo/build/profile_harvest.json
+    ./build/examples/harvest_day \
+        --profile-out "$prof_json" > build/profile_on.txt || exit 1
+    if ! grep -q '"conservation_ok":true' "$prof_json"; then
+        echo "PROFILE_RUN_FAILED (conservation invariant violated;"\
+             "see $prof_json)"
+        exit 1
+    fi
+    # Zero perturbation: rerun with the profiler disabled; the
+    # simulated day must replay to the identical timeline hash.
+    SOCFLOW_PROFILE=0 ./build/examples/harvest_day \
+        > build/profile_off.txt || exit 1
+    hash_on=$(grep '^timeline hash:' build/profile_on.txt)
+    hash_off=$(grep '^timeline hash:' build/profile_off.txt)
+    if [ -z "$hash_on" ] || [ "$hash_on" != "$hash_off" ]; then
+        echo "PROFILE_RUN_FAILED (profiling perturbed the timeline:"\
+             "'$hash_on' vs '$hash_off')"
+        exit 1
+    fi
+    # Cross-check against the bench's own breakdown accounting
+    # (fig12_breakdown exits non-zero if the profiler disagrees by
+    # more than 5% or claims a comm-bound model overlaps well).
+    ./build/bench/fig12_breakdown --smoke > /dev/null || exit 1
+    echo "PROFILE_RUN_COMPLETE (report: $prof_json)"
     exit 0
 fi
 

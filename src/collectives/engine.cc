@@ -14,11 +14,16 @@ namespace {
 /**
  * Per-operation accounting: how often each collective is evaluated,
  * what it puts on the wire, and its cost distribution. References
- * are cached so the hot path is three atomic updates.
+ * are cached so the hot path is three atomic updates. Skipped while
+ * a flow capture is armed (`captured`): attribution replays of
+ * already-priced collectives must not double-count.
  */
 void
-recordCollective(const char *op, const CommStats &stats)
+recordCollective(const char *op, const CommStats &stats,
+                 bool captured = false)
 {
+    if (captured)
+        return;
     struct OpMetrics {
         obs::Counter &ops;
         obs::Counter &wireBytes;
@@ -176,7 +181,7 @@ CollectiveEngine::ringAllReduce(const std::vector<sim::SocId> &ring,
     stats.wireBytes =
         chunk * static_cast<double>(n) * static_cast<double>(rounds);
     stats.rounds = rounds;
-    recordCollective("ring", stats);
+    recordCollective("ring", stats, clusterRef.network().captureActive());
     return stats;
 }
 
@@ -203,7 +208,7 @@ CollectiveEngine::paramServer(const std::vector<sim::SocId> &workers,
                     clusterRef.network().makespan(pull) + overhead;
     stats.wireBytes = 2.0 * bytes * static_cast<double>(clients.size());
     stats.rounds = 2;
-    recordCollective("param_server", stats);
+    recordCollective("param_server", stats, clusterRef.network().captureActive());
     return stats;
 }
 
@@ -334,7 +339,7 @@ CollectiveEngine::shardedParamServer(
         ex.stats.wireBytes +=
             static_cast<double>(clients.size()) * totalPush;
     ex.stats.rounds = 2;
-    recordCollective("sharded_ps", ex.stats);
+    recordCollective("sharded_ps", ex.stats, clusterRef.network().captureActive());
     return ex;
 }
 
@@ -378,7 +383,7 @@ CollectiveEngine::treeAggregate(const std::vector<sim::SocId> &nodes,
         stats.wireBytes += bytes * static_cast<double>(flows.size());
         ++stats.rounds;
     }
-    recordCollective("tree", stats);
+    recordCollective("tree", stats, clusterRef.network().captureActive());
     return stats;
 }
 
@@ -412,7 +417,7 @@ CollectiveEngine::broadcast(sim::SocId root,
         ++stats.rounds;
         holders += sends;
     }
-    recordCollective("broadcast", stats);
+    recordCollective("broadcast", stats, clusterRef.network().captureActive());
     return stats;
 }
 
@@ -451,7 +456,7 @@ CollectiveEngine::concurrentRings(
                          clusterRef.roundOverheadS(maxParticipants);
         ++stats.rounds;
     }
-    recordCollective("concurrent_rings", stats);
+    recordCollective("concurrent_rings", stats, clusterRef.network().captureActive());
     return stats;
 }
 
@@ -508,7 +513,7 @@ CollectiveEngine::hierarchicalAllReduce(
         fanout.wireBytes += b.wireBytes;
     }
     stats += fanout;
-    recordCollective("hierarchical", stats);
+    recordCollective("hierarchical", stats, clusterRef.network().captureActive());
     return stats;
 }
 
@@ -535,7 +540,7 @@ CollectiveEngine::ringAllReduceFrom(const std::vector<sim::SocId> &ring,
     stats.wireBytes =
         chunk * static_cast<double>(n) * static_cast<double>(rounds);
     stats.rounds = rounds;
-    recordCollective("ring", stats);
+    recordCollective("ring", stats, clusterRef.network().captureActive());
     return stats;
 }
 

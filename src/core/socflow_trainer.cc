@@ -8,6 +8,7 @@
 #include "core/checkpoint.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -294,6 +295,54 @@ SoCFlowTrainer::leaderAggregateSeconds(
 }
 
 void
+SoCFlowTrainer::captureSyncAttribution() const
+{
+    // Replay the memoized sync cost queries with a capture sink
+    // armed: same inputs, same const code paths, results discarded.
+    // The sink suppresses the replay's metric side effects
+    // (sim/flow_network.hh beginCapture), so this cannot perturb the
+    // timeline -- it only prices where the sync time goes.
+    const sim::FlowNetwork &net = cluster.network();
+    const double bytes = profile.paramBytes();
+    profStepCap = sim::FlowCapture{};
+    profEpochCap = sim::FlowCapture{};
+    net.beginCapture(&profStepCap);
+    if (cfg.usePlanning)
+        planSyncSchedule(engine, mapping, plan, bytes);
+    else
+        unplannedSyncCost(engine, mapping, bytes);
+    net.endCapture();
+    net.beginCapture(&profEpochCap);
+    if (groups.size() > 1) {
+        std::vector<sim::SocId> leaders;
+        for (const auto &g : groups)
+            leaders.push_back(g->socs.front());
+        leaderAggregateSeconds(std::move(leaders));
+        for (const auto &g : groups) {
+            if (g->socs.size() <= 1)
+                continue;
+            std::vector<sim::SocId> members(g->socs.begin() + 1,
+                                            g->socs.end());
+            engine.broadcast(g->socs.front(), members, bytes);
+        }
+    }
+    net.endCapture();
+    profCaptureValid = true;
+}
+
+void
+SoCFlowTrainer::registerProfilerLayers()
+{
+    if (profLayersRegistered || groups.empty())
+        return;
+    std::vector<std::pair<std::string, std::size_t>> table;
+    for (const nn::Param *p : groups.front()->fp32.params())
+        table.emplace_back(p->name, p->value.numel());
+    obs::profiler().registerLayers(table);
+    profLayersRegistered = true;
+}
+
+void
 SoCFlowTrainer::profileAlpha()
 {
     if (!cfg.useMixedPrecision || cfg.fixedCpuFraction >= 0.0 ||
@@ -366,10 +415,26 @@ SoCFlowTrainer::runEpoch()
         cachedStepSyncS = -1.0;
         cachedEpochSyncS = -1.0;
         cachedWaveS.clear();
+        profCaptureValid = false;
         // Heal sweep: partition windows that expired with the advance
         // above release their boards; paused groups resume and
         // isolated SoCs rejoin before any training work is scheduled.
         healMemberships();
+    }
+
+    // Time-attribution profiler (obs/profiler.hh): a passive span
+    // consumer over the same simulated timings the records and traces
+    // use. Epoch-relative span clock `profT`; every value it reads is
+    // computed by the training path regardless, so enabling it cannot
+    // perturb the timeline (asserted in test_parallel_determinism).
+    obs::Profiler &prof = obs::profiler();
+    const bool profiling = prof.enabled();
+    double profT = 0.0;
+    if (profiling) {
+        registerProfilerLayers();
+        prof.beginEpoch(groups.size());
+        profEpochUse.assign(cluster.network().numResources(),
+                            sim::ResourceUsage{});
     }
 
     // Quorum rule: with no partition side holding a majority, the
@@ -396,6 +461,14 @@ SoCFlowTrainer::runEpoch()
         inform("epoch ", epochCounter - 1,
                " paused: no partition side holds quorum; state "
                "preserved, awaiting heal");
+        if (profiling) {
+            prof.addSpan(obs::kAllSlots, obs::Phase::Paused, 0.0,
+                         rec.simSeconds);
+            prof.attributeCritical("fault-recovery", rec.simSeconds,
+                                   rec.simSeconds);
+            prof.noteTimelineHash(timeline.value());
+            prof.endEpoch(rec.simSeconds);
+        }
         return rec;
     }
 
@@ -452,6 +525,26 @@ SoCFlowTrainer::runEpoch()
         const double stepSync = stepSyncSeconds();
         const double t0 = simClockS;
         double stepComputeS = 0.0;
+
+        // Profiler: snapshot the wave layout and per-resource
+        // attribution matching the stepSync just read -- a wave-phase
+        // fault below may rebuild the topology and drop both caches
+        // before the spans are laid out.
+        std::vector<double> profWaves;
+        if (profiling) {
+            if (!profCaptureValid)
+                captureSyncAttribution();
+            profWaves = cachedWaveS;
+            if (profEpochUse.size() < profStepCap.usage.size())
+                profEpochUse.resize(profStepCap.usage.size());
+            for (std::size_t r = 0; r < profStepCap.usage.size();
+                 ++r) {
+                const sim::ResourceUsage &u = profStepCap.usage[r];
+                profEpochUse[r].busySeconds += u.busySeconds * f;
+                profEpochUse[r].bytes += u.bytes * f;
+                profEpochUse[r].bindingSeconds += u.bindingSeconds * f;
+            }
+        }
 
         // Per-group training steps are independent until the wave
         // sync: each worker touches only its own GroupState, its own
@@ -589,6 +682,66 @@ SoCFlowTrainer::runEpoch()
             stepWallS = stepComputeS + stepSync + updateS;
         }
         rec.simSeconds += stepWallS;
+
+        if (profiling) {
+            // Span layout mirrors the trace block below, at paper
+            // scale on the epoch-relative clock. Per group: forward
+            // is the first third of its compute, the gap to the
+            // slowest group is straggler stall. Waves are shared
+            // (kAllSlots) and tile the step's sync window exactly
+            // (conservation); the residual guard absorbs per-wave fp
+            // rounding and a mid-step cache drop.
+            const double base = profT;
+            const double cMaxS = stepComputeS * f;
+            const double syncS = stepSync * f;
+            for (std::size_t gi = 0; gi < outs.size(); ++gi) {
+                const double cg =
+                    outs[gi].ran ? outs[gi].gSec * f : 0.0;
+                if (cg > 0.0) {
+                    prof.addSpan(gi, obs::Phase::Forward, base,
+                                 base + cg / 3.0);
+                    prof.addSpan(gi, obs::Phase::Backward,
+                                 base + cg / 3.0, base + cg);
+                }
+                if (cg < cMaxS)
+                    prof.addSpan(gi, obs::Phase::Stall, base + cg,
+                                 base + cMaxS);
+            }
+            const double waveStart = overlap ? base : base + cMaxS;
+            double waveT = waveStart;
+            for (std::size_t w = 0; w < profWaves.size(); ++w) {
+                prof.addSpan(obs::kAllSlots,
+                             w == 0 ? obs::Phase::Wave1Sync
+                                    : obs::Phase::Wave2Sync,
+                             waveT, waveT + profWaves[w] * f);
+                waveT += profWaves[w] * f;
+            }
+            if (waveT < waveStart + syncS)
+                prof.addSpan(obs::kAllSlots, obs::Phase::Wave1Sync,
+                             waveT, waveStart + syncS);
+            prof.addSpan(obs::kAllSlots, obs::Phase::Update,
+                         base + (stepWallS - updateS) * f,
+                         base + stepWallS * f);
+            prof.noteStepWindows(cMaxS, syncS, overlap);
+            // Critical path of the step: under overlap the longer of
+            // compute/comm binds and relieving it saves the excess;
+            // without overlap both windows are fully critical. Comm
+            // shares resolve against the flow capture at epoch close.
+            if (overlap) {
+                if (cMaxS >= syncS)
+                    prof.attributeCritical("compute", cMaxS,
+                                           cMaxS - syncS);
+                else
+                    prof.attributeCommCritical(syncS, syncS - cMaxS);
+            } else {
+                prof.attributeCritical("compute", cMaxS, cMaxS);
+                prof.attributeCommCritical(syncS, syncS);
+            }
+            prof.attributeCritical("optimizer", updateS * f,
+                                   updateS * f);
+            prof.noteSlotCount(groups.size());
+            profT += stepWallS * f;
+        }
 
         if (tracing) {
             // Sync waves: concurrent with compute under the CG plan,
@@ -742,6 +895,25 @@ SoCFlowTrainer::runEpoch()
     }
     simClockS += epochSync;
 
+    if (profiling) {
+        if (!profCaptureValid)
+            captureSyncAttribution();
+        prof.addSpan(obs::kAllSlots, obs::Phase::HierarchicalSync,
+                     profT, profT + epochSync);
+        prof.noteEpochComm(epochSync);
+        prof.attributeCommCritical(epochSync, epochSync);
+        // The epoch aggregation runs once at paper scale (unscaled).
+        if (profEpochUse.size() < profEpochCap.usage.size())
+            profEpochUse.resize(profEpochCap.usage.size());
+        for (std::size_t r = 0; r < profEpochCap.usage.size(); ++r) {
+            const sim::ResourceUsage &u = profEpochCap.usage[r];
+            profEpochUse[r].busySeconds += u.busySeconds;
+            profEpochUse[r].bytes += u.bytes;
+            profEpochUse[r].bindingSeconds += u.bindingSeconds;
+        }
+        profT += epochSync;
+    }
+
     // Per-group digest fan-in: each leader ships its group's
     // collective-latency sketch with the epoch aggregation (t-digests
     // merge losslessly), and the merged cluster-wide view exports as
@@ -793,6 +965,14 @@ SoCFlowTrainer::runEpoch()
     rec.simSeconds += tally.recoverySeconds;
     tally = RecoveryTally{};
 
+    if (profiling && rec.recoverySeconds > 0.0) {
+        prof.addSpan(obs::kAllSlots, obs::Phase::Recovery, profT,
+                     profT + rec.recoverySeconds);
+        prof.attributeCritical("fault-recovery", rec.recoverySeconds,
+                               rec.recoverySeconds);
+        profT += rec.recoverySeconds;
+    }
+
     rec.energyJoules = meter.totalJoules();
     rec.trainLoss = sampleSum ? lossSum / sampleSum : 0.0;
     rec.trainAcc = sampleSum ? accSum / sampleSum : 0.0;
@@ -814,6 +994,19 @@ SoCFlowTrainer::runEpoch()
     m.alpha.set(mpc.alpha());
     m.cpuFraction.set(fCpu);
     m.activeGroups.set(static_cast<double>(groups.size()));
+    if (profiling) {
+        const sim::FlowNetwork &net = cluster.network();
+        for (sim::ResourceId r = 0; r < profEpochUse.size(); ++r) {
+            const sim::ResourceUsage &u = profEpochUse[r];
+            if (u.busySeconds <= 0.0)
+                continue;
+            prof.noteResourceUsage(net.name(r), net.capacity(r),
+                                   u.busySeconds, u.bytes,
+                                   u.bindingSeconds);
+        }
+        prof.noteTimelineHash(timeline.value());
+        prof.endEpoch(rec.simSeconds);
+    }
     return rec;
 }
 
@@ -919,6 +1112,7 @@ SoCFlowTrainer::attachFaultInjector(fault::FaultInjector *injector)
     cachedStepSyncS = -1.0;
     cachedEpochSyncS = -1.0;
     cachedWaveS.clear();
+    profCaptureValid = false;
 }
 
 double
@@ -1320,6 +1514,7 @@ SoCFlowTrainer::rebuildTopology()
     cachedStepSyncS = -1.0;
     cachedEpochSyncS = -1.0;
     cachedWaveS.clear();
+    profCaptureValid = false;
     // New groups may exist; re-emit track names on the next epoch.
     obsTracksNamed = false;
     groupDigests.clear();

@@ -338,6 +338,21 @@ class SoCFlowTrainer : public DistTrainer
     /** Profile alpha on the validation slice. */
     void profileAlpha();
 
+    /**
+     * Profiler support: replay the memoized sync cost queries (step
+     * waves + epoch aggregation) with a sim::FlowCapture armed on the
+     * cluster network, filling profStepCap/profEpochCap with
+     * per-resource busy/bytes/binding attribution. A pure accounting
+     * replay of const cost queries -- no timing, cache, RNG, or
+     * timeline state changes (obs/profiler.hh zero-perturbation
+     * contract). Re-run whenever the sync caches are invalidated.
+     */
+    void captureSyncAttribution() const;
+
+    /** Install the model's (layer name, parameter count) table into
+     *  the profiler once per trainer (latest registrant wins). */
+    void registerProfilerLayers();
+
     /** Rebuild mapping/plan after a preemption. */
     void rebuildTopology();
 
@@ -467,6 +482,20 @@ class SoCFlowTrainer : public DistTrainer
     mutable double cachedEpochSyncS = -1.0;
     /** Per-wave breakdown matching cachedStepSyncS (trace layout). */
     mutable std::vector<double> cachedWaveS;
+
+    // Profiler attribution state (obs/profiler.hh). The captures
+    // memoize the replayed sync cost attribution alongside the cost
+    // caches above and share their invalidation points.
+    /** True while profStepCap/profEpochCap match the sync caches. */
+    mutable bool profCaptureValid = false;
+    /** Per-resource attribution of one step's sync waves. */
+    mutable sim::FlowCapture profStepCap;
+    /** Per-resource attribution of the epoch aggregation. */
+    mutable sim::FlowCapture profEpochCap;
+    /** Layer table pushed to the profiler (once per trainer). */
+    bool profLayersRegistered = false;
+    /** Current epoch's accumulated per-resource usage (paper scale). */
+    std::vector<sim::ResourceUsage> profEpochUse;
 
     /** Simulated-timeline cursor for trace spans (paper-scale s). */
     double simClockS = 0.0;

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "util/logging.hh"
 
 namespace socflow {
@@ -131,7 +132,12 @@ FlightRecorder::dumpPostMortem(std::string_view reason,
             doc += "null";
         }
     }
-    doc += "}}";
+    // Bottleneck attribution at the moment of death: top critical-path
+    // resources plus the conservation check, so a post-mortem says not
+    // only what happened but where the run's time was going.
+    doc += "},\"perf_attribution\":";
+    doc += profiler().report().summaryJson();
+    doc += '}';
 
     std::ofstream out(dest);
     if (!out) {

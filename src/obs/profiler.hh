@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Critical-path profiler & bottleneck-attribution plane (DESIGN.md
+ * ch. 12).
+ *
+ * A passive, always-available time-attribution engine over the
+ * *simulated* clock. Trainers emit phase spans on an epoch-relative
+ * timeline (per logical group, or shared across all groups); at epoch
+ * close the profiler folds the possibly-overlapping span stream into
+ * *exclusive* per-phase seconds -- phases earlier in the Phase order
+ * own contested time, Stall takes only the residual -- and enforces
+ * the conservation invariant: per group, the exclusive phase times
+ * sum to the epoch's wall seconds within fp tolerance.
+ *
+ * On top of the ledger it tracks the epoch's critical path (compute-
+ * vs comm-bound per step, optimizer, fault recovery), splits the
+ * comm-bound share across network resources by the flow network's
+ * progressive-filling binding-constraint signal (sim/flow_network.hh
+ * FlowCapture), computes per-layer compute/comm windows and the
+ * compute-comm overlap ratio, and exports everything as a PerfReport
+ * (JSON via --profile-out, a human "perf doctor" summary, and
+ * phase_seconds_digest / overlap_ratio / critical_path_share /
+ * flow_resource_utilization series in the metrics registry).
+ *
+ * Zero perturbation: every hook is gated on one relaxed atomic, and
+ * nothing recorded here feeds back into timing, RNG draws, memoized
+ * cost caches, or the fault timeline -- profiling on vs. off is
+ * bit-exact (asserted in tests/test_parallel_determinism.cc).
+ * Folding sorts the span ledger, so concurrent addSpan() insertion
+ * order cannot change any total (tests/test_profiler.cc).
+ */
+
+#ifndef SOCFLOW_OBS_PROFILER_HH
+#define SOCFLOW_OBS_PROFILER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace socflow {
+namespace obs {
+
+/**
+ * Exclusive wall-time phases, in fold priority order: when spans
+ * overlap, the earlier phase owns the contested interval. Stall is
+ * last by construction -- it is the residual nobody else claims
+ * (straggler wait inside the compute window).
+ */
+enum class Phase : unsigned {
+    Forward = 0,       //!< forward compute (first third of a group step)
+    Backward,          //!< backward compute (remaining two thirds)
+    Update,            //!< optimizer update
+    Wave1Sync,         //!< CG wave 1: intra-board rings
+    Wave2Sync,         //!< CG wave 2+ / unplanned contended sync
+    HierarchicalSync,  //!< per-epoch cross-group aggregation tiers
+    PsPush,            //!< parameter-server gradient push
+    PsPull,            //!< parameter-server weight pull
+    Recovery,          //!< fault recovery (timeouts, re-syncs, rejoin)
+    Paused,            //!< quorum-paused epochs
+    Stall,             //!< residual: straggler / idle wait
+};
+
+/** Number of Phase values (Stall is last). */
+constexpr std::size_t kNumPhases =
+    static_cast<std::size_t>(Phase::Stall) + 1;
+
+/** Metric-label name of a phase ("forward", "wave1_sync", ...). */
+const char *phaseName(Phase p);
+
+/** addSpan() slot meaning "applies to every group of this epoch". */
+constexpr std::size_t kAllSlots = static_cast<std::size_t>(-1);
+
+/** Per-layer compute/comm windows accumulated over profiled epochs. */
+struct PerfLayer {
+    std::string name;
+    double computeSeconds = 0.0;
+    double commSeconds = 0.0;
+    /** Comm seconds hidden under compute (overlap scheduling). */
+    double hiddenSeconds = 0.0;
+
+    double
+    overlapRatio() const
+    {
+        return commSeconds > 0.0 ? hiddenSeconds / commSeconds : 0.0;
+    }
+};
+
+/**
+ * One bottleneck candidate: a flow-network resource (uplink, switch,
+ * core, SoC port) or a synthetic lane ("compute", "optimizer",
+ * "fault-recovery", "network" when no capture ran).
+ */
+struct PerfResource {
+    std::string name;
+    /** Seconds of the critical path attributed to this resource. */
+    double criticalSeconds = 0.0;
+    /** criticalSeconds / total critical-path seconds. */
+    double criticalShare = 0.0;
+    /** Wall seconds predicted recoverable by relieving it. */
+    double predictedBenefitSeconds = 0.0;
+    /** Captured busy seconds / profiled wall seconds (network only). */
+    double utilization = 0.0;
+    /**
+     * Unused capacity fraction while busy: 1 - achieved/capacity.
+     * Under fan-in congestion collapse the binding resource itself
+     * shows headroom (= 1 - u^-gamma) recoverable by reducing
+     * concurrent users, not by adding bandwidth.
+     */
+    double headroom = 0.0;
+    double busySeconds = 0.0;
+    double bytes = 0.0;
+    /** Seconds it was the progressive-filling binding constraint. */
+    double bindingSeconds = 0.0;
+};
+
+/** Aggregated attribution over every profiled epoch. */
+struct PerfReport {
+    std::size_t epochs = 0;
+    double wallSeconds = 0.0;
+    /** Per-group-mean exclusive seconds by phase (sums to wall). */
+    double exclusiveSeconds[kNumPhases] = {};
+    /** Raw (pre-exclusivity) per-group-mean span seconds by phase. */
+    double inclusiveSeconds[kNumPhases] = {};
+    /** Sum over steps of the step compute window (slowest group). */
+    double computeWindowSeconds = 0.0;
+    /** Sum over steps of the sync window, plus epoch aggregations. */
+    double commWindowSeconds = 0.0;
+    /** Comm seconds hidden under compute across all steps. */
+    double hiddenCommSeconds = 0.0;
+    /** hiddenCommSeconds / commWindowSeconds (0 when no comm). */
+    double overlapRatio = 0.0;
+    bool conservationOk = true;
+    /** Worst per-slot relative conservation error seen. */
+    double worstConservationError = 0.0;
+    std::uint64_t timelineHash = 0;
+    std::vector<PerfLayer> layers;
+    /** Sorted by criticalSeconds descending. */
+    std::vector<PerfResource> resources;
+
+    /** Full JSON document (--profile-out). */
+    std::string toJson() const;
+
+    /** Human-readable end-of-run summary: top-3 bottlenecks with the
+     *  predicted benefit of relieving each, plus the conservation and
+     *  overlap verdicts. */
+    std::string doctorSummary() const;
+
+    /** Compact JSON for the flight recorder's post-mortem dump. */
+    std::string summaryJson() const;
+};
+
+/**
+ * The attribution engine. One process-wide instance via profiler();
+ * enabled by default, disabled with SOCFLOW_PROFILE=0 (or "off").
+ *
+ * Threading: addSpan() is safe from any thread (the parallel step
+ * workers); every other hook is called from the trainers' serial
+ * sections. report() may be called at any time between epochs.
+ */
+class Profiler
+{
+  public:
+    Profiler();
+
+    /** Cheap hook gate (one relaxed atomic load). */
+    bool
+    enabled() const noexcept
+    {
+        return on.load(std::memory_order_relaxed);
+    }
+
+    void setEnabled(bool enable) noexcept;
+
+    /** Drop all accumulated state (reports, ledgers, layer table). */
+    void reset();
+
+    /**
+     * Install the per-layer weight table: (layer name, trainable
+     * scalar count) in model order. Compute and comm windows are
+     * split across layers proportionally to parameter count; comm is
+     * laid out in backward order (last layer's gradients transfer
+     * first). Replaces any previous table -- with several trainers
+     * alive, layer attribution follows the latest registrant.
+     */
+    void registerLayers(
+        const std::vector<std::pair<std::string, std::size_t>> &layer_params);
+
+    /** Open an epoch ledger with `slots` per-group span slots. */
+    void beginEpoch(std::size_t slots);
+
+    /** Groups shrank mid-epoch: slots >= the minimum count observed
+     *  are dropped at fold time (their ledgers are incomplete). */
+    void noteSlotCount(std::size_t slots);
+
+    /**
+     * Record one phase span on the epoch-relative timeline. `slot` is
+     * a group index or kAllSlots for spans shared by every group.
+     * Thread-safe; insertion order never affects fold results.
+     */
+    void addSpan(std::size_t slot, Phase phase, double start_s,
+                 double end_s);
+
+    /**
+     * Account one step's compute window (slowest group) and sync
+     * window for overlap-ratio and per-layer attribution. With
+     * `overlapped`, min(compute, sync) of the comm is hidden.
+     */
+    void noteStepWindows(double compute_s, double sync_s,
+                         bool overlapped);
+
+    /** Epoch-granular comm (cross-group aggregation): never hidden. */
+    void noteEpochComm(double sync_s);
+
+    /** Charge `seconds` of the epoch's critical path to a synthetic
+     *  lane, with the wall seconds relieving it would recover. */
+    void attributeCritical(const std::string &resource, double seconds,
+                           double relief_s);
+
+    /**
+     * Charge comm-bound critical-path seconds; split at epoch close
+     * across this epoch's captured resources proportionally to their
+     * bindingSeconds ("network" when no capture was recorded).
+     */
+    void attributeCommCritical(double seconds, double relief_s);
+
+    /** Feed one resource's captured usage for the closing epoch
+     *  (paper-scale seconds; see sim::FlowCapture). */
+    void noteResourceUsage(const std::string &name, double capacity_bps,
+                           double busy_s, double bytes_through,
+                           double binding_s);
+
+    /** Stamp the trainer's current fault-timeline hash (reported so
+     *  profiled/unprofiled runs can be compared externally). */
+    void noteTimelineHash(std::uint64_t hash);
+
+    /**
+     * Close the epoch: fold the span ledger per slot into exclusive
+     * phase seconds, check conservation against `wall_s`, resolve
+     * comm critical-path splits, publish the metric series, and
+     * accumulate into the cumulative report.
+     */
+    void endEpoch(double wall_s);
+
+    /** Cumulative report over every epoch since the last reset(). */
+    PerfReport report() const;
+
+    /** Epochs folded since the last reset(). */
+    std::size_t epochsProfiled() const;
+
+  private:
+    struct Span {
+        std::size_t slot;
+        Phase phase;
+        double startS;
+        double endS;
+    };
+
+    struct LayerAcc {
+        std::string name;
+        double weight;  //!< parameter-count fraction of the model
+        double computeS = 0.0;
+        double commS = 0.0;
+        double hiddenS = 0.0;
+    };
+
+    struct ResourceAcc {
+        double capacityBps = 0.0;
+        double busyS = 0.0;
+        double bytes = 0.0;
+        double bindingS = 0.0;
+        double criticalS = 0.0;
+        double reliefS = 0.0;
+    };
+
+    /** Fold one slot's spans into exclusive per-phase seconds. */
+    static void foldSlot(std::vector<Span> &slot_spans,
+                         double exclusive[kNumPhases]);
+
+    void publishMetricsLocked();
+
+    std::atomic<bool> on{true};
+
+    mutable std::mutex mu;
+    // --- current epoch ledger ---
+    std::vector<Span> spans;
+    std::size_t slotCount = 0;
+    std::size_t minSlotCount = 0;
+    bool epochOpen = false;
+    std::map<std::string, ResourceAcc> epochRes;
+    double pendingCommCriticalS = 0.0;
+    double pendingCommReliefS = 0.0;
+
+    // --- cumulative state ---
+    std::size_t epochs = 0;
+    double wallS = 0.0;
+    double cumExclusive[kNumPhases] = {};
+    double cumInclusive[kNumPhases] = {};
+    double computeWinS = 0.0;
+    double commWinS = 0.0;
+    double hiddenS = 0.0;
+    bool conservationOk = true;
+    double worstConsErr = 0.0;
+    std::uint64_t lastTimelineHash = 0;
+    std::vector<LayerAcc> layers;
+    std::map<std::string, ResourceAcc> cumRes;
+};
+
+/** The process-wide profiler used by the trainers and benches. */
+Profiler &profiler();
+
+} // namespace obs
+} // namespace socflow
+
+#endif // SOCFLOW_OBS_PROFILER_HH

@@ -5,6 +5,7 @@
 
 #include "data/dataset.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "sim/energy.hh"
 #include "util/logging.hh"
 
@@ -365,6 +366,23 @@ ShardedPsTrainer::runEpoch()
     PsMetrics &pm = psMetrics();
     const double paramBytes = profile.paramBytes();
 
+    // Time-attribution profiler (obs/profiler.hh): the PS epoch is a
+    // single timeline (slot 0) -- workers stream pushes/pulls while
+    // computing, so overlap here is epoch-granular. Passive consumer;
+    // enabling it cannot change timings, weights, or the timeline.
+    obs::Profiler &prof = obs::profiler();
+    const bool profiling = prof.enabled();
+    if (profiling) {
+        if (!profLayersRegistered) {
+            std::vector<std::pair<std::string, std::size_t>> table;
+            for (const nn::Param *p : model.params())
+                table.emplace_back(p->name, p->value.numel());
+            prof.registerLayers(table);
+            profLayersRegistered = true;
+        }
+        prof.beginEpoch(1);
+    }
+
     const auto pull = [&](Worker &w) {
         w.snapshot = global;
         w.sincePull = 0;
@@ -392,6 +410,13 @@ ShardedPsTrainer::runEpoch()
         pm.pausedEpochs.add(1.0);
         timeline.mix(static_cast<std::uint64_t>(0xDEADBEA7ULL));
         timeline.mix(static_cast<std::uint64_t>(epochIdx));
+        if (profiling) {
+            prof.addSpan(0, obs::Phase::Paused, 0.0, rec.simSeconds);
+            prof.attributeCritical("fault-recovery", rec.simSeconds,
+                                   rec.simSeconds);
+            prof.noteTimelineHash(timeline.value());
+            prof.endEpoch(rec.simSeconds);
+        }
         ++epochIdx;
         return rec;
     }
@@ -530,6 +555,8 @@ ShardedPsTrainer::runEpoch()
 
     double syncS = 0.0;
     collectives::PsExchange ex;
+    sim::FlowCapture psCap;
+    double profPushShare = 0.5;
     if (steps > 0) {
         const double pullFraction =
             1.0 / static_cast<double>(cfg.staleness + 1);
@@ -555,6 +582,26 @@ ShardedPsTrainer::runEpoch()
                                        pushB, pullB,
                                        cfg.chainReplication);
         syncS = ex.stats.seconds;
+        if (profiling) {
+            // Attribution replay of the cost query just made, with a
+            // capture sink armed: same inputs, same const code path,
+            // result discarded, metric side effects suppressed
+            // (sim/flow_network.hh) -- prices where the sync time
+            // went without perturbing anything.
+            const sim::FlowNetwork &net = cluster.network();
+            net.beginCapture(&psCap);
+            engine.shardedParamServer(workerSocs, map.servers(),
+                                      pushB, pullB,
+                                      cfg.chainReplication);
+            net.endCapture();
+            double tp = 0.0, tl = 0.0;
+            for (std::size_t s = 0; s < map.servers().size(); ++s) {
+                tp += pushB[s];
+                tl += pullB[s];
+            }
+            if (tp + tl > 0.0)
+                profPushShare = tp / (tp + tl);
+        }
         double migrationS = 0.0;
         maybeRebalance(ex, rec, migrationS);
         syncS += migrationS;
@@ -565,6 +612,42 @@ ShardedPsTrainer::runEpoch()
     rec.updateSeconds = stepsD * profile.updateMsPerBatch / 1000.0;
     rec.simSeconds = std::max(computeS, syncS) + rec.updateSeconds +
                      rec.recoverySeconds;
+
+    if (profiling) {
+        // Single-slot span layout: compute and the push/pull streams
+        // overlap over [0, max(compute, sync)); update and recovery
+        // serialize after. The sync window splits into push/pull by
+        // byte share. End-to-end the union tiles [0, simSeconds)
+        // exactly (conservation invariant).
+        const double spanS = std::max(computeS, syncS);
+        if (computeS > 0.0) {
+            prof.addSpan(0, obs::Phase::Forward, 0.0, computeS / 3.0);
+            prof.addSpan(0, obs::Phase::Backward, computeS / 3.0,
+                         computeS);
+        }
+        const double pushEndS = syncS * profPushShare;
+        if (pushEndS > 0.0)
+            prof.addSpan(0, obs::Phase::PsPush, 0.0, pushEndS);
+        if (syncS > pushEndS)
+            prof.addSpan(0, obs::Phase::PsPull, pushEndS, syncS);
+        const double updEndS = spanS + rec.updateSeconds;
+        prof.addSpan(0, obs::Phase::Update, spanS, updEndS);
+        if (rec.recoverySeconds > 0.0) {
+            prof.addSpan(0, obs::Phase::Recovery, updEndS,
+                         updEndS + rec.recoverySeconds);
+            prof.attributeCritical("fault-recovery",
+                                   rec.recoverySeconds,
+                                   rec.recoverySeconds);
+        }
+        prof.noteStepWindows(computeS, syncS, true);
+        if (computeS >= syncS)
+            prof.attributeCritical("compute", computeS,
+                                   computeS - syncS);
+        else
+            prof.attributeCommCritical(syncS, syncS - computeS);
+        prof.attributeCritical("optimizer", rec.updateSeconds,
+                               rec.updateSeconds);
+    }
 
     sim::EnergyMeter meter;
     meter.accumulate(sim::PowerState::CpuTrain,
@@ -593,6 +676,20 @@ ShardedPsTrainer::runEpoch()
     timeline.mix(static_cast<std::uint64_t>(rebalances));
     timeline.mix(map.gate().current());
     timeline.mix(rec.simSeconds);
+
+    if (profiling) {
+        const sim::FlowNetwork &net = cluster.network();
+        for (sim::ResourceId r = 0; r < psCap.usage.size(); ++r) {
+            const sim::ResourceUsage &u = psCap.usage[r];
+            if (u.busySeconds <= 0.0)
+                continue;
+            prof.noteResourceUsage(net.name(r), net.capacity(r),
+                                   u.busySeconds, u.bytes,
+                                   u.bindingSeconds);
+        }
+        prof.noteTimelineHash(timeline.value());
+        prof.endEpoch(rec.simSeconds);
+    }
 
     learningRate *= cfg.sgd.lrDecayPerEpoch;
     ++epochIdx;

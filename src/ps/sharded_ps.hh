@@ -198,6 +198,8 @@ class ShardedPsTrainer : public core::DistTrainer
     std::size_t rebalances = 0;
     std::size_t maxAgeSeen = 0;
     double minComputeFactor = 1.0;
+    /** Layer table pushed to the profiler (once per trainer). */
+    bool profLayersRegistered = false;
 };
 
 } // namespace ps

@@ -46,6 +46,29 @@ FlowNetwork::name(ResourceId id) const
 std::vector<double>
 FlowNetwork::maxMinRates(const std::vector<const FlowSpec *> &active) const
 {
+    return maxMinRates(active, nullptr);
+}
+
+void
+FlowNetwork::beginCapture(FlowCapture *sink) const
+{
+    SOCFLOW_ASSERT(capture == nullptr || sink == nullptr,
+                   "nested flow capture");
+    capture = sink;
+    if (capture && capture->usage.size() != capacities.size())
+        capture->usage.resize(capacities.size());
+}
+
+void
+FlowNetwork::endCapture() const
+{
+    capture = nullptr;
+}
+
+std::vector<double>
+FlowNetwork::maxMinRates(const std::vector<const FlowSpec *> &active,
+                         ResourceId *first_bottleneck) const
+{
     const std::size_t n = active.size();
     std::vector<double> rates(n, 0.0);
     if (n == 0)
@@ -83,6 +106,7 @@ FlowNetwork::maxMinRates(const std::vector<const FlowSpec *> &active) const
     constexpr std::size_t kParResourceMin = 128;
     constexpr std::size_t kParFlowMin = 256;
     ThreadPool &pool = globalThreadPool();
+    bool firstPass = true;
 
     // Each resource's fair share is a pure function of (residual[r],
     // usersOnResource[r]) -- identical FP ops at any thread count.
@@ -146,6 +170,11 @@ FlowNetwork::maxMinRates(const std::vector<const FlowSpec *> &active) const
             }
         }
         SOCFLOW_ASSERT(found, "unfrozen flows but no used resource");
+        if (firstPass) {
+            if (first_bottleneck)
+                *first_bottleneck = best;
+            firstPass = false;
+        }
 
         // Freeze every unfrozen flow crossing the bottleneck. The
         // candidate set depends only on frozen[] as of entry to this
@@ -199,12 +228,16 @@ FlowNetwork::simulate(const std::vector<FlowSpec> &flows) const
     if (n == 0)
         return results;
 
-    static obs::Counter &simCalls =
-        obs::metrics().counter("flow_network_simulations_total");
-    static obs::Counter &simFlows =
-        obs::metrics().counter("flow_network_flows_total");
-    simCalls.add(1.0);
-    simFlows.add(static_cast<double>(n));
+    if (capture == nullptr) {
+        static obs::Counter &simCalls =
+            obs::metrics().counter("flow_network_simulations_total");
+        static obs::Counter &simFlows =
+            obs::metrics().counter("flow_network_flows_total");
+        simCalls.add(1.0);
+        simFlows.add(static_cast<double>(n));
+    } else {
+        ++capture->simulations;
+    }
 
     std::vector<double> remainingBytes(n);
     std::vector<bool> arrived(n, false), done(n, false);
@@ -263,7 +296,9 @@ FlowNetwork::simulate(const std::vector<FlowSpec> &flows) const
             continue;
         }
 
-        const std::vector<double> rates = maxMinRates(active);
+        ResourceId binding = 0;
+        const std::vector<double> rates =
+            maxMinRates(active, capture ? &binding : nullptr);
 
         // Time until the first active flow drains.
         double dt = std::numeric_limits<double>::infinity();
@@ -275,6 +310,26 @@ FlowNetwork::simulate(const std::vector<FlowSpec> &flows) const
         SOCFLOW_ASSERT(dt < std::numeric_limits<double>::infinity(),
                        "active flows but zero aggregate rate");
         dt = std::min(dt, nextArrival - now);
+
+        // Attribution replay: charge the interval to every resource a
+        // finite-rate flow crossed, and its full span to the binding
+        // constraint the first filling pass identified.
+        if (capture && dt > 0.0) {
+            std::vector<ResourceUsage> &use = capture->usage;
+            std::vector<char> touched(use.size(), 0);
+            for (std::size_t k = 0; k < active.size(); ++k) {
+                if (!std::isfinite(rates[k]))
+                    continue;
+                for (ResourceId r : active[k]->path) {
+                    use[r].bytes += rates[k] * dt;
+                    touched[r] = 1;
+                }
+            }
+            for (ResourceId r = 0; r < use.size(); ++r)
+                if (touched[r])
+                    use[r].busySeconds += dt;
+            use[binding].bindingSeconds += dt;
+        }
 
         // Drain bytes over the interval.
         for (std::size_t k = 0; k < active.size(); ++k) {
@@ -309,7 +364,7 @@ FlowNetwork::makespan(const std::vector<FlowSpec> &flows) const
     double finish = 0.0;
     for (const auto &r : simulate(flows))
         finish = std::max(finish, r.finishS);
-    if (!flows.empty()) {
+    if (!flows.empty() && capture == nullptr) {
         static obs::Histogram &span =
             obs::metrics().histogram("flow_network_makespan_seconds");
         span.observe(finish);

@@ -56,6 +56,31 @@ struct FlowResult {
     double meanRate = 0.0;
 };
 
+/** Per-resource usage accumulated while a capture sink is armed. */
+struct ResourceUsage {
+    /** Seconds with at least one active flow crossing the resource. */
+    double busySeconds = 0.0;
+    /** Bytes drained through the resource. */
+    double bytes = 0.0;
+    /**
+     * Seconds this resource was the *binding constraint*: the first
+     * progressive-filling pass's bottleneck for the active set during
+     * the interval (obs/profiler.hh attributes critical-path comm
+     * time to resources by this signal).
+     */
+    double bindingSeconds = 0.0;
+};
+
+/**
+ * Passive attribution sink for replayed simulate() calls. Armed via
+ * FlowNetwork::beginCapture by the profiler's cost-replay path; never
+ * armed on the simulation's own cost queries.
+ */
+struct FlowCapture {
+    std::vector<ResourceUsage> usage;  //!< indexed by ResourceId
+    std::size_t simulations = 0;
+};
+
 /**
  * A set of capacity resources plus a fluid max-min simulation over
  * them. Resources are registered once; simulate() is const and
@@ -115,10 +140,44 @@ class FlowNetwork
     std::vector<double> maxMinRates(
         const std::vector<const FlowSpec *> &active) const;
 
+    /**
+     * maxMinRates, additionally reporting the binding constraint of
+     * the active set: the bottleneck resource the *first* progressive
+     * filling pass saturates (the lexicographic (share, id) minimum,
+     * identical at any thread count). `first_bottleneck` is written
+     * only when at least one flow uses a resource.
+     */
+    std::vector<double> maxMinRates(
+        const std::vector<const FlowSpec *> &active,
+        ResourceId *first_bottleneck) const;
+
+    /**
+     * Arm a passive attribution sink: subsequent simulate()/makespan()
+     * calls accumulate per-resource busy/bytes/binding seconds into
+     * `sink` and suppress their metric side effects (a captured run
+     * is an accounting *replay* of a cost query, not a new
+     * simulation). Rates and results are byte-identical with and
+     * without a sink armed. Serial use only: arm, replay, disarm on
+     * one thread; nested arming is an internal error.
+     */
+    void beginCapture(FlowCapture *sink) const;
+
+    /** Disarm the capture sink installed by beginCapture(). */
+    void endCapture() const;
+
+    /** True while a capture sink is armed. */
+    bool captureActive() const { return capture != nullptr; }
+
   private:
     double congestionExp;
     std::vector<double> capacities;
     std::vector<std::string> names;
+    /**
+     * Armed attribution sink. Mutable: capture replays re-run const
+     * cost queries purely for attribution, leaving results and
+     * registered resources untouched.
+     */
+    mutable FlowCapture *capture = nullptr;
 };
 
 } // namespace sim

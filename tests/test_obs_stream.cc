@@ -776,6 +776,9 @@ TEST(FlightRecorder, PostMortemIsValidJsonWithHashAndSpans)
               std::string::npos);
     EXPECT_NE(doc.find("\"span2\""), std::string::npos);
     EXPECT_NE(doc.find("\"metrics\":{"), std::string::npos);
+    // Bottleneck attribution rides along in every post-mortem.
+    EXPECT_NE(doc.find("\"perf_attribution\":{"), std::string::npos);
+    EXPECT_NE(doc.find("\"top_bottlenecks\""), std::string::npos);
     std::remove(path.c_str());
 }
 

@@ -32,6 +32,7 @@
 #include "core/socflow_trainer.hh"
 #include "data/synthetic.hh"
 #include "fault/fault.hh"
+#include "obs/profiler.hh"
 #include "ps/sharded_ps.hh"
 #include "trace/harvest.hh"
 #include "trace/tidal.hh"
@@ -483,6 +484,149 @@ TEST(ParallelDeterminism, SeededFleetChurnBitExact)
     expectBitExactAcrossThreads(
         [&] { return runFleetTrainer(topo, 4, &plan, 6); },
         "seeded-fleet-churn");
+}
+
+// ------------------------------------- profiler zero perturbation
+
+namespace {
+
+/**
+ * The critical-path profiler must be a pure observer: running the
+ * same seeded scenario with profiling ON must reproduce the
+ * profiling-OFF timeline hash, weights, and epoch count bit-exactly
+ * at every thread count -- and the profiled run must still satisfy
+ * the wall-time conservation invariant.
+ */
+template <typename Fn>
+void
+expectProfilerTransparent(Fn &&scenario, const char *label)
+{
+    obs::Profiler &prof = obs::profiler();
+    const bool wasEnabled = prof.enabled();
+
+    setGlobalThreads(1);
+    prof.setEnabled(false);
+    const RunResult ref = scenario();
+    EXPECT_NE(ref.timelineHash, 0u) << label;
+
+    for (std::size_t t : {std::size_t{1}, std::size_t{2},
+                          std::size_t{5}, std::size_t{8}}) {
+        setGlobalThreads(t);
+        prof.reset();
+        prof.setEnabled(true);
+        const RunResult got = scenario();
+        prof.setEnabled(false);
+        EXPECT_EQ(got.timelineHash, ref.timelineHash)
+            << label << ": profiling perturbed the timeline at " << t
+            << " threads";
+        EXPECT_EQ(got.epochsDone, ref.epochsDone)
+            << label << " at " << t << " threads";
+        ASSERT_EQ(got.weights.size(), ref.weights.size())
+            << label << " at " << t << " threads";
+        for (std::size_t i = 0; i < ref.weights.size(); ++i)
+            ASSERT_EQ(got.weights[i], ref.weights[i])
+                << label << ": weight " << i
+                << " perturbed by profiling at " << t << " threads";
+        const obs::PerfReport r = prof.report();
+        EXPECT_GT(r.epochs, 0u) << label << " at " << t << " threads";
+        EXPECT_TRUE(r.conservationOk)
+            << label << " at " << t << " threads (worst error "
+            << r.worstConservationError << ")";
+        EXPECT_EQ(r.timelineHash, ref.timelineHash)
+            << label << " at " << t << " threads";
+    }
+    prof.reset();
+    prof.setEnabled(wasEnabled);
+    setGlobalThreads(0);
+}
+
+} // namespace
+
+TEST(ParallelDeterminism, ProfilerTransparentCleanRun)
+{
+    expectProfilerTransparent(
+        [] { return runTrainer(nullptr, 4); }, "profiled-clean");
+}
+
+TEST(ParallelDeterminism, ProfilerTransparentSeededChurn)
+{
+    FaultPlanConfig fcfg;
+    fcfg.horizonEpochs = 5;
+    fcfg.stepsPerEpoch = 8;
+    fcfg.numSocs = 10;
+    fcfg.crashes = 1;
+    fcfg.linkDegrades = 1;
+    fcfg.stragglers = 1;
+    fcfg.midWaveCrashes = 1;
+    fcfg.gradCorrupts = 1;
+    fcfg.leaderCrashes = 1;
+    fcfg.boardPartitions = 1;
+    fcfg.rejoins = 1;
+    fcfg.partitionWindowEpochs = 2;
+    fcfg.seed = chaosSeed();
+    const FaultPlan plan = FaultPlan::random(fcfg);
+    expectProfilerTransparent(
+        [&plan] { return runTrainer(&plan, 6); }, "profiled-churn");
+}
+
+TEST(ParallelDeterminism, ProfilerTransparentFleetRun)
+{
+    const sim::FleetTopology topo{4, 2, 2};
+    FaultPlan plan;
+    plan.add(rackCut(1, topo.boardsPerRack, 1, 2));
+    expectProfilerTransparent(
+        [&] { return runFleetTrainer(topo, 4, &plan, 5); },
+        "profiled-fleet");
+}
+
+TEST(ParallelDeterminism, ProfilerTransparentShardedPs)
+{
+    FaultSpec s;
+    s.kind = FaultKind::PsServerCrash;
+    s.epoch = 1;
+    s.step = 2;
+    s.soc = 0;
+    FaultPlan plan;
+    plan.add(s);
+    expectProfilerTransparent(
+        [&plan] { return runShardedPs(&plan, 5); },
+        "profiled-sharded-ps");
+}
+
+TEST(ParallelDeterminism, ProfilerTransparentHarvestDay)
+{
+    FaultPlanConfig fcfg;
+    fcfg.horizonEpochs = 24;
+    fcfg.numSocs = 10;
+    fcfg.crashes = 1;
+    fcfg.linkDegrades = 1;
+    fcfg.stragglers = 1;
+    fcfg.checkpointFailures = 1;
+    fcfg.boardPartitions = 1;
+    fcfg.rejoins = 1;
+    fcfg.seed = chaosSeed();
+    expectProfilerTransparent(
+        [&fcfg] {
+            data::DataBundle bundle = tinyBundle();
+            core::SoCFlowConfig cfg = tinyConfig();
+            core::SoCFlowTrainer trainer(cfg, bundle);
+            FaultInjector inj(FaultPlan::random(fcfg));
+            trace::TidalConfig tcfg;
+            tcfg.numSocs = 10;
+            tcfg.slotMinutes = 60.0;
+            trace::TidalTrace tidal(tcfg);
+            trace::HarvestConfig hcfg;
+            hcfg.socsPerGroup = 2;
+            hcfg.faults = &inj;
+            const trace::HarvestReport report =
+                trace::runHarvestDay(trainer, cfg, tidal, hcfg);
+            RunResult r;
+            r.timelineHash = report.timelineHash;
+            r.weights = trainer.globalWeights();
+            r.epochsDone = report.epochsTrained;
+            return r;
+        },
+        "profiled-harvest-day");
 }
 
 // -------------------------------------------- pool reconfiguration

@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Critical-path profiler tests: exclusive-phase fold semantics, the
+ * wall-time conservation invariant across clean/faulted/fleet/PS
+ * runs, bottleneck attribution, and the report surfaces (JSON,
+ * doctor summary, metrics).
+ *
+ * The profiler is a process-global singleton; every test starts with
+ * reset() so accumulation from earlier tests never leaks in.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/socflow_trainer.hh"
+#include "data/synthetic.hh"
+#include "fault/fault.hh"
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
+#include "ps/sharded_ps.hh"
+#include "util/thread_pool.hh"
+
+using namespace socflow;
+using namespace socflow::obs;
+
+namespace {
+
+/** Fresh, enabled profiler for the test body; restores state after. */
+class ScopedProfiler
+{
+  public:
+    ScopedProfiler() : wasEnabled(profiler().enabled())
+    {
+        profiler().reset();
+        profiler().setEnabled(true);
+    }
+    ~ScopedProfiler()
+    {
+        profiler().reset();
+        profiler().setEnabled(wasEnabled);
+    }
+
+  private:
+    bool wasEnabled;
+};
+
+data::DataBundle
+tinyBundle(std::uint64_t seed = 77)
+{
+    data::SyntheticParams p;
+    p.name = "tiny";
+    p.classes = 4;
+    p.channels = 1;
+    p.height = 8;
+    p.width = 8;
+    p.trainSamples = 256;
+    p.testSamples = 96;
+    p.noise = 0.3;
+    p.seed = seed;
+    return data::makeSynthetic(p);
+}
+
+core::SoCFlowConfig
+tinyConfig(std::size_t socs = 10, std::size_t groups = 5)
+{
+    core::SoCFlowConfig cfg;
+    cfg.modelFamily = "mlp";
+    cfg.numSocs = socs;
+    cfg.numGroups = groups;
+    cfg.groupBatch = 16;
+    cfg.sgd.learningRate = 0.05;
+    return cfg;
+}
+
+/** The ISSUE's conservation bar, asserted with context. */
+void
+expectConservation(const PerfReport &r, const char *label)
+{
+    EXPECT_TRUE(r.conservationOk)
+        << label << ": exclusive phases do not sum to wall time "
+        << "(worst relative error " << r.worstConservationError
+        << ")";
+    EXPECT_LE(r.worstConservationError, 1e-6) << label;
+}
+
+double
+sumExclusive(const PerfReport &r)
+{
+    double s = 0.0;
+    for (std::size_t p = 0; p < kNumPhases; ++p)
+        s += r.exclusiveSeconds[p];
+    return s;
+}
+
+} // namespace
+
+// ----------------------------------------------- fold semantics
+
+TEST(ProfilerFold, OverlapPartitionsByPhasePriority)
+{
+    ScopedProfiler guard;
+    Profiler &prof = profiler();
+    prof.beginEpoch(1);
+    // Forward [0,2) overlaps Wave1Sync [1,3): forward has fold
+    // priority, so wave-1 keeps only its uncovered tail [2,3).
+    prof.addSpan(0, Phase::Wave1Sync, 1.0, 3.0);
+    prof.addSpan(0, Phase::Forward, 0.0, 2.0);
+    prof.addSpan(0, Phase::Stall, 3.0, 4.0);
+    prof.endEpoch(4.0);
+
+    const PerfReport r = prof.report();
+    EXPECT_DOUBLE_EQ(
+        r.exclusiveSeconds[static_cast<std::size_t>(Phase::Forward)],
+        2.0);
+    EXPECT_DOUBLE_EQ(
+        r.exclusiveSeconds[static_cast<std::size_t>(Phase::Wave1Sync)],
+        1.0);
+    EXPECT_DOUBLE_EQ(
+        r.exclusiveSeconds[static_cast<std::size_t>(Phase::Stall)],
+        1.0);
+    // Inclusive keeps the raw span lengths (wave-1 still 2 s).
+    EXPECT_DOUBLE_EQ(
+        r.inclusiveSeconds[static_cast<std::size_t>(Phase::Wave1Sync)],
+        2.0);
+    expectConservation(r, "fold-overlap");
+}
+
+TEST(ProfilerFold, DuplicateAndNestedSpansCountOnce)
+{
+    ScopedProfiler guard;
+    Profiler &prof = profiler();
+    prof.beginEpoch(1);
+    prof.addSpan(0, Phase::Backward, 0.0, 4.0);
+    prof.addSpan(0, Phase::Backward, 0.0, 4.0);  // exact duplicate
+    prof.addSpan(0, Phase::Backward, 1.0, 2.0);  // fully nested
+    prof.endEpoch(4.0);
+    const PerfReport r = prof.report();
+    EXPECT_DOUBLE_EQ(
+        r.exclusiveSeconds[static_cast<std::size_t>(Phase::Backward)],
+        4.0);
+    expectConservation(r, "fold-duplicates");
+}
+
+TEST(ProfilerFold, SharedSpansReplicateIntoEverySlot)
+{
+    ScopedProfiler guard;
+    Profiler &prof = profiler();
+    prof.beginEpoch(3);
+    for (std::size_t g = 0; g < 3; ++g)
+        prof.addSpan(g, Phase::Forward, 0.0, 2.0);
+    prof.addSpan(kAllSlots, Phase::HierarchicalSync, 2.0, 5.0);
+    prof.endEpoch(5.0);
+    const PerfReport r = prof.report();
+    // Per-slot means: every slot sees the same shape.
+    EXPECT_DOUBLE_EQ(
+        r.exclusiveSeconds[static_cast<std::size_t>(Phase::Forward)],
+        2.0);
+    EXPECT_DOUBLE_EQ(r.exclusiveSeconds[static_cast<std::size_t>(
+                         Phase::HierarchicalSync)],
+                     3.0);
+    expectConservation(r, "fold-shared");
+}
+
+// Satellite: spans recorded concurrently by many workers must fold
+// into exactly the same exclusive totals no matter how many threads
+// recorded them -- insertion order can never leak into the result.
+TEST(ProfilerFold, ConcurrentRecordingFoldsIdentically)
+{
+    ScopedProfiler guard;
+    Profiler &prof = profiler();
+
+    // A fixed overlapping span soup, generated deterministically.
+    struct S {
+        std::size_t slot;
+        Phase phase;
+        double s, e;
+    };
+    std::vector<S> soup;
+    for (std::size_t i = 0; i < 400; ++i) {
+        const double s = static_cast<double>((i * 37) % 97) * 0.1;
+        const double len = 0.1 + static_cast<double>((i * 13) % 7);
+        soup.push_back({i % 4,
+                        static_cast<Phase>(i % kNumPhases), s,
+                        s + len});
+    }
+
+    auto runAt = [&](std::size_t workers) {
+        prof.reset();
+        prof.beginEpoch(4);
+        std::vector<std::thread> pool;
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&, w] {
+                for (std::size_t i = w; i < soup.size(); i += workers)
+                    prof.addSpan(soup[i].slot, soup[i].phase,
+                                 soup[i].s, soup[i].e);
+            });
+        }
+        for (auto &t : pool)
+            t.join();
+        prof.endEpoch(20.0);
+        const PerfReport r = prof.report();
+        std::vector<double> totals(r.exclusiveSeconds,
+                                   r.exclusiveSeconds + kNumPhases);
+        return totals;
+    };
+
+    const std::vector<double> ref = runAt(1);
+    for (std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+        const std::vector<double> got = runAt(workers);
+        for (std::size_t p = 0; p < kNumPhases; ++p)
+            EXPECT_EQ(got[p], ref[p])
+                << "phase " << phaseName(static_cast<Phase>(p))
+                << " diverged with " << workers << " recorders";
+    }
+}
+
+// ------------------------------------- conservation on real runs
+
+TEST(ProfilerConservation, CleanTrainerRun)
+{
+    ScopedProfiler guard;
+    data::DataBundle bundle = tinyBundle();
+    core::SoCFlowTrainer trainer(tinyConfig(), bundle);
+    double wall = 0.0;
+    for (int e = 0; e < 3; ++e)
+        wall += trainer.runEpoch().simSeconds;
+    const PerfReport r = profiler().report();
+    EXPECT_EQ(r.epochs, 3u);
+    expectConservation(r, "clean");
+    EXPECT_NEAR(r.wallSeconds, wall, 1e-9 + 1e-6 * wall);
+    // The accumulated per-epoch exclusive decomposition reproduces
+    // the total wall time.
+    EXPECT_NEAR(sumExclusive(r), wall, 1e-9 + 1e-6 * wall);
+}
+
+TEST(ProfilerConservation, FaultedTrainerRun)
+{
+    ScopedProfiler guard;
+    fault::FaultPlanConfig fcfg;
+    fcfg.horizonEpochs = 5;
+    fcfg.stepsPerEpoch = 8;
+    fcfg.numSocs = 10;
+    fcfg.crashes = 1;
+    fcfg.linkDegrades = 1;
+    fcfg.stragglers = 1;
+    fcfg.midWaveCrashes = 1;
+    fcfg.gradCorrupts = 1;
+    fcfg.leaderCrashes = 1;
+    fcfg.boardPartitions = 1;
+    fcfg.rejoins = 1;
+    fcfg.partitionWindowEpochs = 2;
+    fcfg.seed = 2024;
+    fault::FaultInjector inj(fault::FaultPlan::random(fcfg));
+
+    data::DataBundle bundle = tinyBundle();
+    core::SoCFlowTrainer trainer(tinyConfig(), bundle);
+    trainer.attachFaultInjector(&inj);
+    for (int e = 0; e < 6; ++e)
+        trainer.runEpoch();
+    const PerfReport r = profiler().report();
+    EXPECT_EQ(r.epochs, 6u);
+    expectConservation(r, "faulted");
+}
+
+TEST(ProfilerConservation, FourRackFleetRun)
+{
+    ScopedProfiler guard;
+    const sim::FleetTopology topo{4, 2, 2};
+    data::DataBundle bundle = tinyBundle();
+    core::SoCFlowConfig cfg = tinyConfig(topo.numSocs(), 4);
+    cfg.clusterTemplate = sim::fleetClusterConfig(topo);
+    core::SoCFlowTrainer trainer(cfg, bundle);
+    fault::FaultPlan plan;
+    plan.add(fault::rackCut(1, topo.boardsPerRack, 1, 2));
+    fault::FaultInjector inj(plan);
+    trainer.attachFaultInjector(&inj);
+    for (int e = 0; e < 5; ++e)
+        trainer.runEpoch();
+    const PerfReport r = profiler().report();
+    EXPECT_EQ(r.epochs, 5u);
+    expectConservation(r, "fleet-4rack");
+}
+
+TEST(ProfilerConservation, ShardedPsRun)
+{
+    ScopedProfiler guard;
+    data::DataBundle bundle = tinyBundle();
+    ps::ShardedPsConfig cfg;
+    cfg.modelFamily = "mlp";
+    cfg.numSocs = 10;
+    cfg.numShards = 2;
+    cfg.staleness = 2;
+    cfg.globalBatch = 16;
+    cfg.sgd.learningRate = 0.05;
+    ps::ShardedPsTrainer trainer(cfg, bundle);
+    fault::FaultSpec s;
+    s.kind = fault::FaultKind::PsServerCrash;
+    s.epoch = 1;
+    s.step = 2;
+    s.soc = 0;
+    fault::FaultPlan plan;
+    plan.add(s);
+    fault::FaultInjector inj(plan);
+    trainer.attachFaultInjector(&inj);
+    for (int e = 0; e < 5; ++e)
+        trainer.runEpoch();
+    const PerfReport r = profiler().report();
+    EXPECT_EQ(r.epochs, 5u);
+    expectConservation(r, "sharded-ps");
+    // PS exchange phases must actually appear in the decomposition.
+    EXPECT_GT(
+        r.exclusiveSeconds[static_cast<std::size_t>(Phase::PsPush)] +
+            r.exclusiveSeconds[static_cast<std::size_t>(
+                Phase::PsPull)],
+        0.0);
+}
+
+// ---------------------------------------- attribution + reports
+
+TEST(ProfilerReport, OverlapRatioAndWindowsSane)
+{
+    ScopedProfiler guard;
+    data::DataBundle bundle = tinyBundle();
+    core::SoCFlowTrainer trainer(tinyConfig(), bundle);
+    for (int e = 0; e < 2; ++e)
+        trainer.runEpoch();
+    const PerfReport r = profiler().report();
+    EXPECT_GE(r.overlapRatio, 0.0);
+    EXPECT_LE(r.overlapRatio, 1.0);
+    EXPECT_GT(r.computeWindowSeconds, 0.0);
+    EXPECT_GT(r.commWindowSeconds, 0.0);
+    EXPECT_LE(r.hiddenCommSeconds, r.commWindowSeconds + 1e-9);
+    ASSERT_FALSE(r.layers.empty());
+    double layerComm = 0.0;
+    for (const PerfLayer &l : r.layers) {
+        EXPECT_GE(l.overlapRatio(), 0.0);
+        EXPECT_LE(l.overlapRatio(), 1.0);
+        layerComm += l.commSeconds;
+    }
+    // Per-layer comm shares partition the comm window.
+    EXPECT_NEAR(layerComm, r.commWindowSeconds,
+                1e-9 + 1e-6 * r.commWindowSeconds);
+}
+
+TEST(ProfilerReport, BottleneckAttributionPresent)
+{
+    ScopedProfiler guard;
+    data::DataBundle bundle = tinyBundle();
+    core::SoCFlowTrainer trainer(tinyConfig(), bundle);
+    for (int e = 0; e < 2; ++e)
+        trainer.runEpoch();
+    const PerfReport r = profiler().report();
+    ASSERT_FALSE(r.resources.empty());
+    double shares = 0.0;
+    for (const PerfResource &res : r.resources) {
+        EXPECT_GE(res.criticalShare, 0.0);
+        EXPECT_LE(res.criticalShare, 1.0);
+        EXPECT_GE(res.utilization, 0.0);
+        EXPECT_GE(res.headroom, 0.0);
+        EXPECT_LE(res.headroom, 1.0);
+        EXPECT_GE(res.predictedBenefitSeconds, 0.0);
+        shares += res.criticalShare;
+    }
+    EXPECT_NEAR(shares, 1.0, 1e-6);
+    // Sorted most-critical first.
+    for (std::size_t i = 1; i < r.resources.size(); ++i)
+        EXPECT_GE(r.resources[i - 1].criticalSeconds,
+                  r.resources[i].criticalSeconds);
+    // Flow-network resources (not just synthetic "compute"/
+    // "optimizer" buckets) must be attributed.
+    bool sawFlowResource = false;
+    for (const PerfResource &res : r.resources)
+        if (res.busySeconds > 0.0)
+            sawFlowResource = true;
+    EXPECT_TRUE(sawFlowResource);
+}
+
+TEST(ProfilerReport, JsonDoctorAndMetricsSurfaces)
+{
+    ScopedProfiler guard;
+    data::DataBundle bundle = tinyBundle();
+    core::SoCFlowTrainer trainer(tinyConfig(), bundle);
+    trainer.runEpoch();
+    const PerfReport r = profiler().report();
+
+    const std::string json = r.toJson();
+    for (const char *key :
+         {"\"epochs\"", "\"conservation_ok\"", "\"overlap_ratio\"",
+          "\"phases\"", "\"wave1_sync\"", "\"step_windows\"",
+          "\"layers\"", "\"resources\"", "\"critical_path_share\"",
+          "\"predicted_benefit_seconds\"", "\"headroom\"",
+          "\"timeline_hash\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+
+    const std::string doctor = r.doctorSummary();
+    EXPECT_NE(doctor.find("perf doctor"), std::string::npos);
+    EXPECT_NE(doctor.find("top bottlenecks"), std::string::npos);
+    EXPECT_NE(doctor.find("conservation: OK"), std::string::npos);
+
+    const std::string summary = r.summaryJson();
+    EXPECT_NE(summary.find("\"top_bottlenecks\""), std::string::npos);
+    EXPECT_NE(summary.find("\"conservation_ok\""), std::string::npos);
+
+    // Metric series: phase digests + attribution gauges published.
+    bool sawDigest = false, sawOverlap = false, sawShare = false,
+         sawUtil = false;
+    for (const auto &kv : metrics().snapshotValues()) {
+        if (kv.first.find("phase_seconds_digest") != std::string::npos)
+            sawDigest = true;
+        if (kv.first.find("overlap_ratio") != std::string::npos)
+            sawOverlap = true;
+        if (kv.first.find("critical_path_share") != std::string::npos)
+            sawShare = true;
+        if (kv.first.find("flow_resource_utilization") !=
+            std::string::npos)
+            sawUtil = true;
+    }
+    EXPECT_TRUE(sawDigest);
+    EXPECT_TRUE(sawOverlap);
+    EXPECT_TRUE(sawShare);
+    EXPECT_TRUE(sawUtil);
+}
+
+TEST(ProfilerReport, DisabledProfilerRecordsNothing)
+{
+    ScopedProfiler guard;
+    profiler().setEnabled(false);
+    data::DataBundle bundle = tinyBundle();
+    core::SoCFlowTrainer trainer(tinyConfig(), bundle);
+    trainer.runEpoch();
+    EXPECT_EQ(profiler().epochsProfiled(), 0u);
+}
