@@ -660,6 +660,8 @@ parseFaultPolicyFlags(int &argc, char **argv)
         {"--sync-backoff-max", &flags.sync.backoffMaxS, nullptr},
         {"--ckpt-retries", nullptr, &flags.checkpointMaxRetries},
         {"--ckpt-backoff", &flags.checkpointBackoffS, nullptr},
+        {"--ckpt-replicas", nullptr, &flags.ckptReplicas},
+        {"--ckpt-interval", nullptr, &flags.ckptIntervalEpochs},
         {"--phi-threshold", &flags.phiThreshold, nullptr},
         {"--phi-window", nullptr, &flags.phiWindow},
     };

@@ -221,6 +221,14 @@ struct FaultPolicyFlags {
     /** Heartbeat inter-arrival window of the failure detector
      *  (core::SoCFlowConfig::phiWindow). */
     std::size_t phiWindow = 32;
+    /** Durable checkpoint replication factor
+     *  (trace::HarvestConfig::ckptReplicas); 0 = legacy in-memory
+     *  path, 2 survives the loss of any single rack. */
+    std::size_t ckptReplicas = 0;
+    /** Extra durable checkpoint every N trained epochs
+     *  (trace::HarvestConfig::ckptIntervalEpochs); 0 = only on
+     *  preempt/suspend. */
+    std::size_t ckptIntervalEpochs = 0;
 };
 
 /**
@@ -232,6 +240,9 @@ struct FaultPolicyFlags {
  *   --sync-backoff-max=<seconds>   backoff ceiling
  *   --ckpt-retries=<n>             checkpoint-write retry budget
  *   --ckpt-backoff=<seconds>       first checkpoint retry backoff
+ *   --ckpt-replicas=<k>            durable checkpoint copies spread
+ *                                  across failure domains (0 = off)
+ *   --ckpt-interval=<epochs>       durable checkpoint every N epochs
  *   --phi-threshold=<phi>          failure-detector suspicion level
  *                                  that declares a SoC failed
  *   --phi-window=<n>               heartbeat history window of the

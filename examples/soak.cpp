@@ -40,6 +40,13 @@
  * epochs, the fleet-scale partition analogue (DESIGN.md ch. 10) --
  * exercising quorum, parking, and heal at rack granularity.
  *
+ * A third leg replays the same day with a whole-rack power loss
+ * mid-epoch against the replicated checkpoint store (--ckpt-replicas
+ * copies spread across failure domains, --ckpt-interval epochs
+ * between durable writes): the fleet restarts from the nearest
+ * surviving replica and the table reports the lost-work epochs (RPO)
+ * and the priced restore latency (DESIGN.md ch. 13).
+ *
  * The day ends with a sharded parameter-server soak (--ps-shards /
  * --staleness shape it): the same cluster runs ShardedPsTrainer clean
  * and then against a PS-focused plan -- a shard-host crash
@@ -66,10 +73,14 @@ using namespace socflow;
 
 namespace {
 
-/** One harvested day; `faults` == nullptr runs fault-free. */
+/** One harvested day; `faults` == nullptr runs fault-free.
+ *  ckpt_replicas > 0 arms the replicated durable checkpoint store
+ *  (failure-domain spread + interval checkpoints), enabling
+ *  whole-fleet restart after a RackPowerLoss. */
 trace::HarvestReport
 runDay(const trace::TidalTrace &tidal, fault::FaultInjector *faults,
-       const bench::FaultPolicyFlags &policy)
+       const bench::FaultPolicyFlags &policy,
+       std::size_t ckpt_replicas = 0, std::size_t ckpt_interval = 0)
 {
     data::DataBundle bundle = data::makeDatasetByName("emnist");
     core::SoCFlowConfig cfg;
@@ -92,6 +103,8 @@ runDay(const trace::TidalTrace &tidal, fault::FaultInjector *faults,
     hcfg.checkpointBackoffS = policy.checkpointBackoffS;
     hcfg.metricsSnapshotEvery = bench::metricsInterval();
     hcfg.metricSeries = bench::metricSeries();
+    hcfg.ckptReplicas = ckpt_replicas;
+    hcfg.ckptIntervalEpochs = ckpt_interval;
     return trace::runHarvestDay(trainer, cfg, tidal, hcfg);
 }
 
@@ -340,6 +353,61 @@ main(int argc, char **argv)
                     "(state preserved, resumed on heal)\n",
                     faulted.pausedEpochs);
     }
+
+    // ---- rack power loss + durable restore day (DESIGN.md ch. 13) --
+    // Same day, same background faults, plus a whole-rack power loss
+    // mid-epoch. With the replicated checkpoint store armed
+    // (--ckpt-replicas, default 2 here; --ckpt-interval bounds the
+    // RPO) the scheduler restarts the fleet from the nearest
+    // surviving replica in the same slot: lost work stays within the
+    // checkpoint interval, and the quorum-read manifest picks the
+    // last *acked* generation even when the newest write was torn.
+    const std::size_t soakReplicas =
+        policy.ckptReplicas > 0 ? policy.ckptReplicas : 2;
+    const std::size_t soakInterval =
+        policy.ckptIntervalEpochs > 0 ? policy.ckptIntervalEpochs : 2;
+    std::printf("\n== rack power loss + restore day (k=%zu, "
+                "interval %zu epochs) ==\n",
+                soakReplicas, soakInterval);
+    fault::FaultPlan powerPlan = plan;
+    fault::FaultSpec outage;
+    outage.kind = fault::FaultKind::RackPowerLoss;
+    outage.epoch = 15; // mid-interval, so the RPO is visible
+    outage.step = 1;
+    outage.phase = fault::FaultPhase::Wave1;
+    outage.board = 0;  // rack id; the fail-stop takes the whole fleet
+    outage.count = 1;
+    powerPlan.add(outage);
+    fault::FaultInjector powerInjector(powerPlan);
+    const trace::HarvestReport powerDay = runDay(
+        tidal, &powerInjector, policy, soakReplicas, soakInterval);
+
+    Table rt("Rack power loss day (replicated checkpoints)");
+    rt.setHeader({"", "value"});
+    rt.addRow({"epochs trained",
+               std::to_string(powerDay.epochsTrained)});
+    rt.addRow({"final test acc",
+               formatDouble(100.0 * powerDay.finalTestAcc, 1) + "%"});
+    rt.addRow({"power losses", std::to_string(powerDay.powerLosses)});
+    rt.addRow({"replica copies written",
+               std::to_string(powerDay.replicaWrites)});
+    rt.addRow({"checkpoints taken",
+               std::to_string(powerDay.checkpointsTaken)});
+    rt.addRow({"lost work (epochs, RPO)",
+               std::to_string(powerDay.lostWorkEpochs)});
+    rt.addRow({"restore latency",
+               formatDuration(powerDay.restoreSeconds)});
+    rt.addRow({"slots down (no restore)",
+               std::to_string(powerDay.downSlots)});
+    rt.print();
+    std::printf("timeline hash (power-loss day): %016llx\n",
+                static_cast<unsigned long long>(powerDay.timelineHash));
+    if (powerDay.powerLosses == 0)
+        warn("soak expected a rack power loss");
+    if (powerDay.powerLosses > 0 && powerDay.restoreSeconds <= 0.0)
+        warn("soak expected a priced durable restore");
+    if (powerDay.downSlots > 0)
+        warn("fleet stayed dark after power loss: replicas unreadable");
 
     // ---- sharded parameter-server soak (DESIGN.md ch. 11) ----
     // Same cluster, PS execution mode: crash a shard host (SoC 5 is

@@ -1,5 +1,5 @@
 #!/bin/bash
-# Usage: run_all.sh [--sanitize|--tsan|--chaos|--chaos-nightly [count]|--bench [tag]|--profile|--docs-check]
+# Usage: run_all.sh [--sanitize|--tsan|--chaos|--chaos-nightly [count]|--bench [tag]|--profile|--crash-restart|--docs-check]
 #   default     run the test suite + every bench from build/
 #   --sanitize  configure build-asan with -DSANITIZE=ON and run the
 #               test suite under AddressSanitizer + UBSan
@@ -40,14 +40,23 @@
 #               its wall seconds) or if the profiled run's timeline
 #               hash diverges from a SOCFLOW_PROFILE=0 rerun -- the
 #               zero-perturbation guarantee checked end to end
+#   --crash-restart
+#               run the replicated-checkpoint suites (test_ckpt,
+#               test_checkpoint, the crash-restart determinism
+#               scenarios) plus the crash_restart example: a 2-rack
+#               fleet loses power mid-epoch AND the primary replica's
+#               rack loses durable storage; the run must restore from
+#               the surviving cross-rack copy and the resumed
+#               timeline hash must equal a resume from the original
+#               blob (the invariant DESIGN.md ch. 13 promises)
 #   --docs-check
 #               fail if any user-facing "--flag" handled by
 #               bench/bench_common.cc is documented in neither
 #               README.md nor DESIGN.md
 cd /root/repo
 
-chaos_targets="test_fault test_fault_step test_obs_stream test_membership test_parallel_determinism test_fleet_topology test_ps test_profiler"
-chaos_regex='test_(fault($|_step)|obs_stream$|membership$|parallel_determinism$|fleet_topology$|ps$|profiler$)'
+chaos_targets="test_fault test_fault_step test_obs_stream test_membership test_parallel_determinism test_fleet_topology test_ps test_profiler test_ckpt"
+chaos_regex='test_(fault($|_step)|obs_stream$|membership$|parallel_determinism$|fleet_topology$|ps$|profiler$|ckpt$)'
 
 run_chaos_seed() {
     # $1 = seed, $2 = optional post-mortem dump path
@@ -102,13 +111,13 @@ if [ "$1" = "--chaos-nightly" ]; then
 fi
 
 if [ "$1" = "--tsan" ]; then
-    tsan_targets="test_obs_stream test_membership test_thread_pool test_parallel_determinism test_ps test_profiler"
+    tsan_targets="test_obs_stream test_membership test_thread_pool test_parallel_determinism test_ps test_profiler test_ckpt"
     cmake -B build-tsan -S . -DSANITIZE=thread || exit 1
     cmake --build build-tsan -j --target $tsan_targets || exit 1
     ( set -o pipefail
       TSAN_OPTIONS=halt_on_error=1 \
           ctest --test-dir build-tsan --output-on-failure \
-              -R 'test_(obs_stream|membership|thread_pool|parallel_determinism|ps|profiler)$' 2>&1 |
+              -R 'test_(obs_stream|membership|thread_pool|parallel_determinism|ps|profiler|ckpt)$' 2>&1 |
           tee /root/repo/tsan_output.txt ) || exit 1
     echo "TSAN_RUN_COMPLETE"
     exit 0
@@ -166,6 +175,36 @@ if [ "$1" = "--profile" ]; then
     # more than 5% or claims a comm-bound model overlaps well).
     ./build/bench/fig12_breakdown --smoke > /dev/null || exit 1
     echo "PROFILE_RUN_COMPLETE (report: $prof_json)"
+    exit 0
+fi
+
+if [ "$1" = "--crash-restart" ]; then
+    cmake -B build -S . || exit 1
+    cmake --build build -j --target test_ckpt test_checkpoint \
+        test_parallel_determinism crash_restart || exit 1
+    # Unit layer: placement, envelope/manifest fuzz, quorum restore,
+    # rack-survival of acked writes.
+    ctest --test-dir build --output-on-failure \
+        -R 'test_(ckpt|checkpoint)$' || exit 1
+    # Determinism layer: crash + restore replays bit-exactly at
+    # 1/2/5/8 threads, and a resumed run matches an uninterrupted
+    # one from the same checkpoint.
+    ./build/tests/test_parallel_determinism \
+        --gtest_filter='*CrashRestart*:*Resumed*' || exit 1
+    # End to end: power loss + rack storage loss + restore + resume.
+    out=build/crash_restart.txt
+    if ! ./build/examples/crash_restart > "$out"; then
+        echo "CRASH_RESTART_FAILED (recovery run exited non-zero;"\
+             "see $out)"
+        exit 1
+    fi
+    hashes=$(grep '^timeline hash:' "$out" | awk '{print $3}' | sort -u)
+    if [ "$(echo "$hashes" | wc -l)" != 1 ] || [ -z "$hashes" ]; then
+        echo "CRASH_RESTART_FAILED (resumed and reference timelines"\
+             "diverged: $hashes)"
+        exit 1
+    fi
+    echo "CRASH_RESTART_COMPLETE"
     exit 0
 fi
 

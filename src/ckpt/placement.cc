@@ -1,0 +1,64 @@
+#include "ckpt/placement.hh"
+
+#include <set>
+
+#include "util/logging.hh"
+
+namespace socflow {
+namespace ckpt {
+
+std::vector<ReplicaSite>
+planPlacement(const sim::Cluster &cluster, sim::SocId source,
+              std::size_t replicas, const fault::FaultModel *live)
+{
+    const std::size_t numSocs = cluster.config().numSocs;
+    if (source >= numSocs)
+        fatal("replica source SoC ", source, " outside the cluster");
+    if (replicas == 0)
+        fatal("checkpoint replication factor must be >= 1");
+
+    const auto site = [&cluster](sim::SocId s) {
+        return ReplicaSite{s, cluster.board(s), cluster.rack(s)};
+    };
+    const auto alive = [live](sim::SocId s) {
+        return !live || live->socAlive(s);
+    };
+
+    std::vector<ReplicaSite> plan;
+    plan.push_back(site(source));
+    std::set<sim::SocId> usedSocs = {source};
+    std::set<sim::BoardId> usedBoards = {plan[0].board};
+    std::set<sim::RackId> usedRacks = {plan[0].rack};
+
+    while (plan.size() < replicas) {
+        // Preference classes, best first: fresh rack beats fresh
+        // board beats merely-fresh SoC. Lowest id inside the class.
+        sim::SocId best = numSocs;
+        int bestClass = 3;
+        for (sim::SocId s = 0; s < numSocs; ++s) {
+            if (usedSocs.count(s) || !alive(s))
+                continue;
+            int cls;
+            if (!usedRacks.count(cluster.rack(s)))
+                cls = 0;
+            else if (!usedBoards.count(cluster.board(s)))
+                cls = 1;
+            else
+                cls = 2;
+            if (cls < bestClass) {
+                bestClass = cls;
+                best = s;
+            }
+        }
+        if (best == numSocs)
+            break; // live fleet exhausted: fewer sites than asked
+        plan.push_back(site(best));
+        usedSocs.insert(best);
+        usedBoards.insert(plan.back().board);
+        usedRacks.insert(plan.back().rack);
+    }
+    return plan;
+}
+
+} // namespace ckpt
+} // namespace socflow

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Failure-domain-aware checkpoint replica placement.
+ *
+ * A checkpoint that lives on one board dies with that board's rack.
+ * The planner spreads k replicas of a blob across distinct failure
+ * domains of the live fleet -- a fresh rack first, then a fresh
+ * board, then any live SoC -- so the configured replication factor
+ * buys real independence: with k = 2 on a multi-rack fleet the two
+ * copies always land in two different racks, and the loss of any
+ * single rack leaves an intact copy (tests/test_ckpt.cc proves this
+ * for every rack). Placement is fully deterministic (lowest-id
+ * candidate within the preferred domain class), so seeded runs
+ * replay bit-exactly.
+ */
+
+#ifndef SOCFLOW_CKPT_PLACEMENT_HH
+#define SOCFLOW_CKPT_PLACEMENT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault.hh"
+#include "sim/cluster.hh"
+
+namespace socflow {
+namespace ckpt {
+
+/** One chosen replica location. */
+struct ReplicaSite {
+    sim::SocId soc = 0;
+    sim::BoardId board = 0;
+    sim::RackId rack = 0;
+};
+
+/**
+ * Plan `replicas` sites for a checkpoint written by `source`.
+ *
+ * Site 0 is always the source itself (the local durable copy every
+ * write starts from). Each further site prefers, in order: a SoC in
+ * a rack no earlier site uses, then a SoC on a board no earlier site
+ * uses, then any unused live SoC -- lowest SoC id within the class,
+ * for determinism. SoCs reported dead by `live` (when given) are
+ * skipped. Returns fewer than `replicas` sites when the live fleet
+ * has fewer distinct SoCs.
+ */
+std::vector<ReplicaSite> planPlacement(
+    const sim::Cluster &cluster, sim::SocId source,
+    std::size_t replicas, const fault::FaultModel *live = nullptr);
+
+} // namespace ckpt
+} // namespace socflow
+
+#endif // SOCFLOW_CKPT_PLACEMENT_HH

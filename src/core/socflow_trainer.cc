@@ -419,7 +419,21 @@ SoCFlowTrainer::runEpoch()
         // Heal sweep: partition windows that expired with the advance
         // above release their boards; paused groups resume and
         // isolated SoCs rejoin before any training work is scheduled.
-        healMemberships();
+        // A powered-off fleet has nothing to heal.
+        if (!fleetDown)
+            healMemberships();
+    }
+
+    // A rack power loss has the fleet down: volatile state is gone,
+    // so no epoch makes progress until the caller restores from a
+    // durable checkpoint (restoreAfterPowerLoss, or a fresh trainer +
+    // loadCheckpoint). Distinct from a quorum pause: state was LOST,
+    // not preserved.
+    if (fleetDown) {
+        rec.powerLost = true;
+        tr.recordInstant("epoch skipped (fleet down)", "fault",
+                         obs::kTrackControl, simClockS);
+        return rec;
     }
 
     // Time-attribution profiler (obs/profiler.hh): a passive span
@@ -522,6 +536,8 @@ SoCFlowTrainer::runEpoch()
                 cursor.assign(groups.size(), 0);
             }
         }
+        if (fleetDown)
+            break; // power lost before this step's compute
         const double stepSync = stepSyncSeconds();
         const double t0 = simClockS;
         double stepComputeS = 0.0;
@@ -669,6 +685,8 @@ SoCFlowTrainer::runEpoch()
                 cursor.assign(groups.size(), 0);
             }
         }
+        if (fleetDown)
+            break; // power lost mid-wave: the step never commits
 
         // Timing: groups compute concurrently; syncs follow the CG
         // plan and overlap with the next step's compute when enabled.
@@ -814,11 +832,51 @@ SoCFlowTrainer::runEpoch()
     // here, before the leader ring runs, so a re-elected leader (or a
     // shrunken group set) carries the aggregation.
     const std::size_t lastStep = steps - 1;
-    if (faults) {
+    if (faults && !fleetDown) {
         dispatchFired(
             faults->advanceTo(fault::FaultPoint{
                 epochCounter, lastStep, fault::FaultPhase::LeaderRing}),
             lastStep);
+    }
+
+    // A RackPowerLoss fired inside the epoch: abort without closing.
+    // No leader ring, no aggregation, no epoch-counter advance and no
+    // epoch-close hash mix -- the epoch died with the fleet, and the
+    // resumed run (restored from a durable checkpoint) re-trains it
+    // from the checkpoint's state. Recovery accounting up to the
+    // outage folds into the aborted record.
+    if (fleetDown) {
+        rec.powerLost = true;
+        rec.crashes = tally.crashes;
+        rec.recoverySeconds = tally.recoverySeconds;
+        rec.waveResumes = tally.waveResumes;
+        rec.leaderElections = tally.leaderElections;
+        rec.gradCorruptDetected = tally.gradCorruptDetected;
+        rec.chunksRetransmitted = tally.chunksRetransmitted;
+        rec.syncFailures = tally.syncFailures;
+        rec.partitions = tally.partitions;
+        rec.rejoins = tally.rejoins;
+        rec.fencedStaleMsgs = fencedTotal - fencedReported;
+        fencedReported = fencedTotal;
+        rec.simSeconds += tally.recoverySeconds;
+        rec.syncSeconds += tally.recoverySeconds;
+        tally = RecoveryTally{};
+        rec.energyJoules = meter.totalJoules();
+        rec.trainLoss = sampleSum ? lossSum / sampleSum : 0.0;
+        rec.trainAcc = sampleSum ? accSum / sampleSum : 0.0;
+        if (profiling) {
+            if (rec.recoverySeconds > 0.0) {
+                prof.addSpan(obs::kAllSlots, obs::Phase::Recovery,
+                             profT, profT + rec.recoverySeconds);
+                prof.attributeCritical("fault-recovery",
+                                       rec.recoverySeconds,
+                                       rec.recoverySeconds);
+                profT += rec.recoverySeconds;
+            }
+            prof.noteTimelineHash(timeline.value());
+            prof.endEpoch(rec.simSeconds);
+        }
+        return rec;
     }
 
     // Delayed cross-group aggregation (leaders' ring + broadcast).
@@ -1263,6 +1321,14 @@ SoCFlowTrainer::dispatchFired(
             break;
         case fault::FaultKind::SocRejoin:
             rejoinSoc(spec.soc);
+            break;
+        case fault::FaultKind::RackPowerLoss:
+            handleRackPowerLoss(spec);
+            break;
+        case fault::FaultKind::CkptReplicaLoss:
+            // Durable-storage loss is invisible to the trainer; the
+            // replicated checkpoint store drains the injector's
+            // replica-loss budget at its next read/write boundary.
             break;
         default:
             break; // rate windows are state, not events
@@ -1740,6 +1806,34 @@ SoCFlowTrainer::handlePartition(const fault::FaultSpec &spec)
 }
 
 void
+SoCFlowTrainer::handleRackPowerLoss(const fault::FaultSpec &spec)
+{
+    // spec.board carries the first rack lost; spec.count how many
+    // racks go down with it. Synchronized group-wise training cannot
+    // commit an epoch with any rack's volatile state gone, so the
+    // trainer fail-stops fleet-wide: the epoch in flight aborts and
+    // nothing trains until a durable-checkpoint restore. This is the
+    // one fault that actually LOSES state -- unlike a partition
+    // (state preserved across the cut) or a crash (survivors keep
+    // consensus), a power cycle wipes every machine's memory; only
+    // the replicated checkpoint store (src/ckpt) survives it.
+    const std::size_t firstRack = spec.board;
+    const std::size_t racksLost = std::max<std::size_t>(spec.count, 1);
+    fleetDown = true;
+    timeline.mix(std::uint64_t{0x42}); // 'B': blackout (power loss)
+    timeline.mix(static_cast<std::uint64_t>(firstRack));
+    timeline.mix(static_cast<std::uint64_t>(racksLost));
+    obs::tracer().recordInstant("rack power loss", "fault",
+                                obs::kTrackControl, simClockS);
+    obs::flightRecorder().dumpPostMortem("rack-power-loss",
+                                         timeline.value());
+    warn("rack power loss at epoch ", epochCounter, ": racks [",
+         firstRack, ", ", firstRack + racksLost,
+         ") down; volatile training state lost, awaiting "
+         "durable-checkpoint restore");
+}
+
+void
 SoCFlowTrainer::healMemberships()
 {
     if (!faults)
@@ -2060,6 +2154,94 @@ SoCFlowTrainer::loadCheckpoint(const std::vector<std::uint8_t> &bytes)
     epochCounter = epoch;
     mpc.setAlpha(alphaVal);
     trainerMetrics().checkpointLoads.add(1.0);
+}
+
+void
+SoCFlowTrainer::rebuildAllGroups()
+{
+    // Boot state of a power-cycled fleet: every volatile structure
+    // (group replicas, momentum, dead sets, pauses, isolation, the
+    // failure detector's arrival windows) is reconstructed exactly as
+    // the constructor built it. The data RNG is deliberately NOT
+    // rewound -- the restarted fleet draws fresh shards, like any
+    // real restart would.
+    deadSocs.clear();
+    isolatedSocs.clear();
+    isolatedSinceS.clear();
+    pausedGroups.clear();
+    quorumLost = false;
+
+    membership::PhiConfig pc;
+    pc.threshold = cfg.phiThreshold;
+    pc.windowSize = cfg.phiWindow;
+    detector = membership::PhiAccrualDetector(pc);
+
+    Rng initRng(cfg.seed ^ 0xbeef);
+    nn::Model proto =
+        nn::buildModel(cfg.modelFamily, bundle.spec, initRng);
+
+    mapping = fullMapping;
+    plan = planCommGroups(
+        conflictGraph(mapping, cluster.config().socsPerBoard));
+    groups.clear();
+    groups.reserve(mapping.numGroups());
+    for (std::size_t g = 0; g < mapping.numGroups(); ++g) {
+        groups.push_back(std::make_unique<GroupState>(
+            mapping.members[g], proto, cfg.sgd, cfg.quant,
+            cfg.seed + 101 * (g + 1)));
+    }
+
+    groupDigests.clear();
+    cachedStepSyncS = -1.0;
+    cachedEpochSyncS = -1.0;
+    cachedWaveS.clear();
+    profCaptureValid = false;
+    obsTracksNamed = false;
+}
+
+std::size_t
+SoCFlowTrainer::restoreAfterPowerLoss(
+    const std::vector<std::uint8_t> &bytes)
+{
+    obs::ScopedSpan span(obs::tracer(), "restoreAfterPowerLoss",
+                         "checkpoint");
+    const std::size_t epochsBefore = epochCounter;
+    rebuildAllGroups();
+    // loadCheckpoint validates everything before mutating weights; a
+    // corrupt blob throws here and the fleet STAYS down (groups are
+    // rebooted but fleetDown holds until a valid restore), so the
+    // caller can try the next surviving replica.
+    loadCheckpoint(bytes);
+    fleetDown = false;
+    // Everything that survived did so through durable storage; any
+    // pre-outage in-flight traffic that somehow resurfaces must be
+    // fenced as stale -- but the rebooted groups themselves restart
+    // current, or the first post-restore aggregation would fence its
+    // own members.
+    gate.bump();
+    for (auto &g : groups)
+        g->generation = gate.current();
+
+    // RPO accounting: epochs completed after the restored checkpoint
+    // was taken are lost work (the aborted epoch itself never closed,
+    // so it is not counted -- nothing of it was ever durable).
+    const std::size_t lost =
+        epochsBefore > epochCounter ? epochsBefore - epochCounter : 0;
+    static obs::Gauge &lostWork =
+        obs::metrics().gauge("ckpt_lost_work_epochs");
+    lostWork.set(static_cast<double>(lost));
+
+    timeline.mix(std::uint64_t{0x56}); // 'V': power-loss restore
+    timeline.mix(static_cast<std::uint64_t>(epochCounter));
+    timeline.mix(static_cast<std::uint64_t>(lost));
+    timeline.mix(gate.current());
+    obs::tracer().recordInstant("fleet restored from checkpoint",
+                                "checkpoint", obs::kTrackControl,
+                                simClockS);
+    inform("fleet restored from durable checkpoint at epoch ",
+           epochCounter, " (", lost,
+           " epochs of work lost, generation ", gate.current(), ")");
+    return lost;
 }
 
 } // namespace core

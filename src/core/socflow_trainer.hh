@@ -291,6 +291,31 @@ class SoCFlowTrainer : public DistTrainer
      */
     void loadCheckpoint(const std::vector<std::uint8_t> &bytes);
 
+    /**
+     * True after a RackPowerLoss took the whole fleet down: no
+     * further epoch makes progress (runEpoch returns immediately with
+     * powerLost set) until restoreAfterPowerLoss() -- or a fresh
+     * trainer + loadCheckpoint() -- brings the fleet back.
+     */
+    bool powerLost() const { return fleetDown; }
+
+    /**
+     * Whole-fleet crash-restart: rebuild every group from scratch
+     * (power-cycled machines boot with empty volatile state -- dead
+     * sets, pauses, isolation, and momentum are all gone), then
+     * restore weights/epoch/alpha from a durable checkpoint via
+     * loadCheckpoint() and bump the membership generation so any
+     * stale pre-outage traffic is fenced. Returns the epochs of lost
+     * work (epochs trained after the checkpoint was taken -- the
+     * caller's RPO accounting). Throws CheckpointError -- with the
+     * fleet still down -- when the bytes fail validation.
+     */
+    std::size_t restoreAfterPowerLoss(
+        const std::vector<std::uint8_t> &bytes);
+
+    /** The simulated cluster (checkpoint replica placement/pricing). */
+    const sim::Cluster &clusterModel() const { return cluster; }
+
     /** Consensus (post-sync) weights of the global model. */
     std::vector<float> globalWeights() const;
 
@@ -384,6 +409,16 @@ class SoCFlowTrainer : public DistTrainer
      *  minority groups, and re-map + re-plan the majority. */
     void handlePartition(const fault::FaultSpec &spec);
 
+    /** React to a RackPowerLoss spec: mark the fleet down (volatile
+     *  state is gone), mix the outage into the timeline, and dump a
+     *  post-mortem. The epoch in flight aborts without closing. */
+    void handleRackPowerLoss(const fault::FaultSpec &spec);
+
+    /** Rebuild every group from the constructor-deterministic seeds
+     *  (the state a power-cycled fleet boots with) and clear all
+     *  volatile membership state. Used by restoreAfterPowerLoss. */
+    void rebuildAllGroups();
+
     /** Epoch-open heal sweep: resume paused groups whose boards are
      *  reachable again, fold isolated/rejoining SoCs back in, fence
      *  their stale replayed traffic, and re-map the live set. */
@@ -462,6 +497,9 @@ class SoCFlowTrainer : public DistTrainer
     std::map<sim::SocId, double> isolatedSinceS;
     /** True while no partition side holds quorum. */
     bool quorumLost = false;
+    /** True after a RackPowerLoss killed the fleet; cleared only by
+     *  restoreAfterPowerLoss(). */
+    bool fleetDown = false;
     /** Highest phi any live SoC reached (false-positive guard). */
     double peakPhi = 0.0;
     /** Stale messages fenced so far (gate + engine admissions). */

@@ -54,6 +54,13 @@ struct EpochRecord {
      * failed epoch: nothing was lost, training resumes on heal).
      */
     bool paused = false;
+    /**
+     * True when a RackPowerLoss took the fleet down mid-epoch: the
+     * epoch's volatile progress is gone and the trainer will not make
+     * progress until restored from a durable checkpoint
+     * (restoreAfterPowerLoss or a fresh trainer + loadCheckpoint).
+     */
+    bool powerLost = false;
 };
 
 /** A whole training run. */

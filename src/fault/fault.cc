@@ -28,6 +28,8 @@ injectedCounter(FaultKind k)
         obs::Counter &switchPart;
         obs::Counter &rejoin;
         obs::Counter &psServer;
+        obs::Counter &rackPower;
+        obs::Counter &replicaLoss;
         Counters()
             : crash(obs::metrics().counter("fault_injected_total",
                                            {{"kind", "soc_crash"}})),
@@ -54,7 +56,13 @@ injectedCounter(FaultKind k)
                   "fault_injected_total", {{"kind", "soc_rejoin"}})),
               psServer(obs::metrics().counter(
                   "fault_injected_total",
-                  {{"kind", "ps_server_crash"}}))
+                  {{"kind", "ps_server_crash"}})),
+              rackPower(obs::metrics().counter(
+                  "fault_injected_total",
+                  {{"kind", "rack_power_loss"}})),
+              replicaLoss(obs::metrics().counter(
+                  "fault_injected_total",
+                  {{"kind", "ckpt_replica_loss"}}))
         {
         }
     };
@@ -82,6 +90,10 @@ injectedCounter(FaultKind k)
         return c.rejoin;
       case FaultKind::PsServerCrash:
         return c.psServer;
+      case FaultKind::RackPowerLoss:
+        return c.rackPower;
+      case FaultKind::CkptReplicaLoss:
+        return c.replicaLoss;
     }
     panic("unknown fault kind");
 }
@@ -133,6 +145,10 @@ faultKindName(FaultKind k)
         return "soc-rejoin";
       case FaultKind::PsServerCrash:
         return "ps-server-crash";
+      case FaultKind::RackPowerLoss:
+        return "rack-power-loss";
+      case FaultKind::CkptReplicaLoss:
+        return "ckpt-replica-loss";
     }
     panic("unknown fault kind");
 }
@@ -283,6 +299,27 @@ FaultPlan::random(const FaultPlanConfig &cfg)
         s.epoch = pickEpoch();
         s.step = pickStep();
         s.soc = rng.uniformInt(serverPool) * cfg.socsPerBoard;
+        plan.add(s);
+    }
+    // Rack power losses land mid-epoch (random step, Compute phase)
+    // on a random rack; `rackPowerLossRacks` >= the fleet's rack
+    // count makes the loss fleet-wide. Both loops draw nothing when
+    // their count is zero, so existing seeded plans stay
+    // byte-identical.
+    for (std::size_t i = 0; i < cfg.rackPowerLosses; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::RackPowerLoss;
+        s.epoch = pickEpoch();
+        s.step = pickStep();
+        s.board = rng.uniformInt(std::max<std::size_t>(cfg.numRacks, 1));
+        s.count = std::max<std::size_t>(cfg.rackPowerLossRacks, 1);
+        plan.add(s);
+    }
+    for (std::size_t i = 0; i < cfg.ckptReplicaLosses; ++i) {
+        FaultSpec s;
+        s.kind = FaultKind::CkptReplicaLoss;
+        s.epoch = pickEpoch();
+        s.count = std::max<std::size_t>(cfg.ckptReplicaLossBurst, 1);
         plan.add(s);
     }
     // Rejoins target SoCs the plan has already crashed (when it has
@@ -441,6 +478,19 @@ FaultInjector::advanceTo(const FaultPoint &now)
                                           crashed.end(), s.soc),
                               crashed.end());
             break;
+          case FaultKind::RackPowerLoss:
+            // Event-only: a power cycle reboots the machines rather
+            // than removing them, so the dead-set stays untouched.
+            // Volatile training state on the affected racks is gone;
+            // the trainer observes the fired spec and aborts the
+            // epoch, then restarts from a durable checkpoint.
+            break;
+          case FaultKind::CkptReplicaLoss:
+            // Durable-storage loss: the replicated checkpoint store
+            // drains this budget at its next read/write boundary and
+            // destroys that many replica copies.
+            replicaLossBudget += std::max<std::size_t>(s.count, 1);
+            break;
         }
         fired.push_back(s);
     }
@@ -520,6 +570,14 @@ FaultInjector::drainGradCorrupt()
 {
     const std::size_t n = gradCorruptBudget;
     gradCorruptBudget = 0;
+    return n;
+}
+
+std::size_t
+FaultInjector::drainReplicaLosses()
+{
+    const std::size_t n = replicaLossBudget;
+    replicaLossBudget = 0;
     return n;
 }
 

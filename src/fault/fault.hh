@@ -60,6 +60,8 @@ enum class FaultKind {
     SwitchPartition, //!< `count` adjacent boards cut (ToR port/cable)
     SocRejoin,       //!< a crashed SoC comes back and asks to rejoin
     PsServerCrash,   //!< a parameter-server shard host dies
+    RackPowerLoss,   //!< whole rack (or fleet) loses power mid-epoch
+    CkptReplicaLoss, //!< durable checkpoint replicas destroyed
 };
 
 /** Printable fault-kind name. */
@@ -187,6 +189,29 @@ struct FaultPlanConfig {
     std::size_t psServerCrashes = 0;
     /** Server-pool width used for PsServerCrash target picks. */
     std::size_t psShards = 8;
+    /**
+     * RackPowerLoss events: an entire rack (spec.board = rack id)
+     * loses power mid-epoch. Volatile training state on the rack
+     * dies; durable checkpoint replicas survive the power cycle.
+     * When `count` >= the fleet's rack total the loss is fleet-wide
+     * and the run can only continue by restoring from a durable
+     * checkpoint. Zero events draw zero random numbers, keeping
+     * existing seeded plans byte-identical.
+     */
+    std::size_t rackPowerLosses = 0;
+    /** Racks taken down per RackPowerLoss event. */
+    std::size_t rackPowerLossRacks = 1;
+    /** Rack count used by rackPowerLosses target picks. */
+    std::size_t numRacks = 1;
+    /**
+     * CkptReplicaLoss events: `ckptReplicaLossBurst` durable replica
+     * copies are destroyed (disk loss, not power loss). The
+     * replicated checkpoint store drains the budget at its next
+     * read/write boundary. Zero events draw zero random numbers.
+     */
+    std::size_t ckptReplicaLosses = 0;
+    /** Replica copies destroyed per CkptReplicaLoss event. */
+    std::size_t ckptReplicaLossBurst = 1;
     std::uint64_t seed = 2024;
 };
 
@@ -305,6 +330,20 @@ class FaultInjector : public FaultModel
     std::size_t pendingGradCorrupt() const { return gradCorruptBudget; }
 
     /**
+     * Drain the pending replica-loss budget (CkptReplicaLoss). The
+     * replicated checkpoint store calls this at its read/write
+     * boundaries and destroys that many durable replica copies,
+     * newest placement first.
+     */
+    std::size_t drainReplicaLosses();
+
+    /** Replica destructions still queued. */
+    std::size_t pendingReplicaLosses() const
+    {
+        return replicaLossBudget;
+    }
+
+    /**
      * SoCs currently down (all crash kinds), in firing order; a
      * SocRejoin removes its target from this list.
      */
@@ -339,6 +378,7 @@ class FaultInjector : public FaultModel
     std::multimap<sim::BoardId, Window> partitioned;
     std::size_t ckptFailBudget = 0;
     std::size_t gradCorruptBudget = 0;
+    std::size_t replicaLossBudget = 0;
 };
 
 } // namespace fault

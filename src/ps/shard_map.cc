@@ -149,5 +149,14 @@ ShardMap::rebalance(std::size_t shard, sim::SocId target)
     return true;
 }
 
+std::vector<ckpt::ReplicaSite>
+shardCheckpointSites(const ShardMap &map, std::size_t shard,
+                     const sim::Cluster &cluster, std::size_t replicas,
+                     const fault::FaultModel *live)
+{
+    return ckpt::planPlacement(cluster, map.owner(shard), replicas,
+                               live);
+}
+
 } // namespace ps
 } // namespace socflow

@@ -31,6 +31,7 @@
 #include <functional>
 #include <vector>
 
+#include "ckpt/placement.hh"
 #include "membership/membership.hh"
 #include "sim/cluster.hh"
 
@@ -131,6 +132,19 @@ class ShardMap
     membership::GenerationGate gen;
     std::size_t moves = 0;
 };
+
+/**
+ * Checkpoint replica sites for one shard's durable state: delegates
+ * to ckpt::planPlacement anchored at the shard's current owner, so
+ * the shard's k copies span distinct failure domains (rack first,
+ * then board) exactly like trainer checkpoints do. A shard whose
+ * host rack loses power is then restorable from a replica outside
+ * that rack -- the PS-mode analogue of the acked-write durability
+ * guarantee (tests/test_ckpt.cc asserts the spread for every shard).
+ */
+std::vector<ckpt::ReplicaSite> shardCheckpointSites(
+    const ShardMap &map, std::size_t shard, const sim::Cluster &cluster,
+    std::size_t replicas, const fault::FaultModel *live = nullptr);
 
 } // namespace ps
 } // namespace socflow

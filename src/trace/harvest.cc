@@ -1,8 +1,11 @@
 #include "trace/harvest.hh"
 
 #include <algorithm>
+#include <memory>
 #include <string_view>
 
+#include "ckpt/replicated_store.hh"
+#include "core/checkpoint.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "obs/snapshot.hh"
@@ -29,6 +32,10 @@ eventKindName(HarvestEvent::Kind k)
         return "resume";
       case HarvestEvent::Kind::Crash:
         return "crash";
+      case HarvestEvent::Kind::PowerLoss:
+        return "power-loss";
+      case HarvestEvent::Kind::Restore:
+        return "restore";
     }
     panic("unknown harvest event kind");
 }
@@ -58,6 +65,14 @@ class HarvestDriver
     {
         if (cfg.faults)
             trainer.attachFaultInjector(cfg.faults);
+        if (cfg.ckptReplicas > 0) {
+            ckpt::CkptStoreConfig sc;
+            sc.replicas = cfg.ckptReplicas;
+            sc.source = 0;
+            sc.faults = cfg.faults;
+            store = std::make_unique<ckpt::ReplicatedCkptStore>(
+                trainer.clusterModel(), sc);
+        }
     }
 
     /** Process one trace slot; mutates the report. */
@@ -110,6 +125,10 @@ class HarvestDriver
 
         // Train one epoch in this slot.
         const core::EpochRecord rec = trainer.runEpoch();
+        if (rec.powerLost) {
+            handlePowerLoss(rec, ev);
+            return;
+        }
         if (rec.paused) {
             // No partition side held quorum: nothing trained, nothing
             // lost. Counted as paused, NOT as a trained epoch and NOT
@@ -148,9 +167,63 @@ class HarvestDriver
         report.rejoins += rec.rejoins;
         report.fencedStaleMsgs += rec.fencedStaleMsgs;
 
+        // Interval checkpointing bounds the RPO: at most N epochs of
+        // work sit between the fleet and its last durable replica.
+        if (store && cfg.ckptIntervalEpochs > 0 &&
+            report.epochsTrained % cfg.ckptIntervalEpochs == 0)
+            takeCheckpoint();
+
         ev.kind = HarvestEvent::Kind::Train;
         ev.activeGroups = trainer.activeGroups();
         pushEvent(ev);
+    }
+
+    /**
+     * A RackPowerLoss killed the fleet this slot (or it is still
+     * dark from an earlier one). Account the aborted epoch's fault
+     * tallies, then attempt a whole-fleet restart from the nearest
+     * surviving replica. Without a replicated store -- or with every
+     * replica destroyed -- the fleet stays dark and the slot is
+     * counted as downtime; the restore is retried next slot (the
+     * operator keeps trying).
+     */
+    void
+    handlePowerLoss(const core::EpochRecord &rec, HarvestEvent ev)
+    {
+        report.crashRecoveries += rec.crashes;
+        report.recoverySeconds += rec.recoverySeconds;
+        report.waveResumes += rec.waveResumes;
+        report.leaderElections += rec.leaderElections;
+        report.gradCorruptDetected += rec.gradCorruptDetected;
+        report.chunksRetransmitted += rec.chunksRetransmitted;
+        report.syncFailures += rec.syncFailures;
+        report.partitions += rec.partitions;
+        report.rejoins += rec.rejoins;
+        report.fencedStaleMsgs += rec.fencedStaleMsgs;
+
+        if (!down) {
+            down = true;
+            ++report.powerLosses;
+            ev.kind = HarvestEvent::Kind::PowerLoss;
+            ev.activeGroups = 0;
+            pushEvent(ev);
+        }
+        if (store) {
+            try {
+                ckpt::RestoreResult r = store->restore(0);
+                report.lostWorkEpochs +=
+                    trainer.restoreAfterPowerLoss(r.bytes);
+                report.restoreSeconds += r.restoreSeconds;
+                down = false;
+                ev.kind = HarvestEvent::Kind::Restore;
+                ev.activeGroups = trainer.activeGroups();
+                pushEvent(ev);
+                return;
+            } catch (const core::CheckpointError &e) {
+                warn("fleet restart blocked: ", e.what());
+            }
+        }
+        ++report.downSlots;
     }
 
     /** Finalize and return the report. */
@@ -190,13 +263,33 @@ class HarvestDriver
         static auto &backoffH = obs::metrics().histogram(
             "checkpoint_backoff_seconds");
 
+        // Nothing meaningful to persist while the fleet is dark: the
+        // volatile state a checkpoint would capture is already gone.
+        if (trainer.powerLost())
+            return;
+
         const std::vector<std::uint8_t> bytes =
             trainer.saveCheckpoint();
-        (void)bytes;  // a real deployment would persist these
 
         double backoff = cfg.checkpointBackoffS;
         for (std::size_t attempt = 0;; ++attempt) {
-            if (!cfg.faults || !cfg.faults->checkpointWriteFails()) {
+            if (store) {
+                // Replicated path: one attempt fans the sealed blob
+                // out to every planned site; injected write failures
+                // tear individual copies inside write(). Only an
+                // acked (majority-durable) write counts as taken.
+                const ckpt::WriteReceipt receipt =
+                    store->write(trainer.epochsDone(), bytes);
+                report.replicaWrites += receipt.replicasWritten;
+                if (receipt.acked) {
+                    ++report.checkpointsTaken;
+                    return;
+                }
+            } else if (!cfg.faults ||
+                       !cfg.faults->checkpointWriteFails()) {
+                // Legacy single-copy path: the bytes are discarded (a
+                // real deployment would persist them); only the
+                // injected-failure bookkeeping matters.
                 ++report.checkpointsTaken;
                 return;
             }
@@ -223,6 +316,10 @@ class HarvestDriver
     HarvestConfig cfg;
     HarvestReport report;
     bool running = false;
+    /** Fleet dark after a power loss, awaiting a durable restore. */
+    bool down = false;
+    /** Durable replicated store (null on the legacy discard path). */
+    std::unique_ptr<ckpt::ReplicatedCkptStore> store;
 };
 
 } // namespace

@@ -76,6 +76,23 @@ struct HarvestConfig {
      */
     obs::MetricSeriesWriter *metricSeries = nullptr;
     std::size_t metricsSnapshotEvery = 0;
+
+    /**
+     * Replication factor for durable checkpoints (--ckpt-replicas).
+     * 0 keeps the legacy in-memory discard path byte-identical; >= 1
+     * builds a ckpt::ReplicatedCkptStore over the trainer's cluster,
+     * prices every replica write on the shared FlowNetwork, and makes
+     * whole-fleet crash-restart after a RackPowerLoss possible (k = 2
+     * survives the loss of any single rack).
+     */
+    std::size_t ckptReplicas = 0;
+    /**
+     * Take an extra durable checkpoint every N trained epochs
+     * (--ckpt-interval), bounding the recovery-point objective. 0 =
+     * only event-driven checkpoints (preempt/suspend). Ignored while
+     * ckptReplicas == 0.
+     */
+    std::size_t ckptIntervalEpochs = 0;
 };
 
 /** One scheduler decision in the timeline. */
@@ -83,7 +100,15 @@ struct HarvestEvent {
     double hour = 0.0;
     std::size_t idleSocs = 0;
     std::size_t activeGroups = 0;
-    enum class Kind { Train, Preempt, Suspend, Resume, Crash } kind;
+    enum class Kind {
+        Train,
+        Preempt,
+        Suspend,
+        Resume,
+        Crash,
+        PowerLoss, //!< rack power loss took the whole fleet down
+        Restore    //!< fleet restarted from a durable replica
+    } kind;
     double testAcc = 0.0;
 };
 
@@ -120,6 +145,16 @@ struct HarvestReport {
      *  paused and preserved state instead of training (distinct from
      *  epochsTrained AND from a failure -- nothing was lost). */
     std::size_t pausedEpochs = 0;
+
+    // Whole-fleet power loss + durable restore (ckptReplicas > 0).
+    std::size_t powerLosses = 0;    //!< rack/fleet power-loss events
+    std::size_t replicaWrites = 0;  //!< durable replica copies written
+    std::size_t lostWorkEpochs = 0; //!< RPO: epochs re-trained after
+                                    //!< restores (0 = no acked work
+                                    //!< lost)
+    double restoreSeconds = 0.0;    //!< quorum read + blob fetch time
+    std::size_t downSlots = 0;      //!< slots skipped, fleet dark (no
+                                    //!< restorable checkpoint)
     /** Deterministic digest of the trainer's fault/recovery timeline
      *  (same seeds => same hash; replay divergence is a bug). */
     std::uint64_t timelineHash = 0;

@@ -7,12 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
+#include "ckpt/replicated_store.hh"
 #include "core/checkpoint.hh"
 #include "core/socflow_trainer.hh"
 #include "data/synthetic.hh"
+#include "sim/cluster.hh"
 
 using namespace socflow;
 using namespace socflow::core;
@@ -244,6 +247,104 @@ TEST(TrainerCheckpointBlob, ValidBlobStillLoadsAfterRejections)
     EXPECT_THROW(fx.trainer.loadCheckpoint(bad), CheckpointError);
     EXPECT_NO_THROW(fx.trainer.loadCheckpoint(fx.blob));
     EXPECT_EQ(fx.trainer.epochsDone(), 1u);
+}
+
+// ------------------------------------------------- bit-flip fuzzing
+
+TEST(TrainerCheckpointBlob, EverySingleByteCorruptionRejected)
+{
+    // Exhaustive single-byte fuzz over a real trainer checkpoint:
+    // whatever byte is damaged -- magic, epoch, alpha, weight count,
+    // any weight, or the checksum itself -- loadCheckpoint must raise
+    // a typed CheckpointError. No corruption ever loads silently.
+    BlobFixture fx;
+    for (std::size_t i = 0; i < fx.blob.size(); ++i) {
+        std::vector<std::uint8_t> bad = fx.blob;
+        bad[i] ^= 0xff;
+        EXPECT_THROW(fx.trainer.loadCheckpoint(bad), CheckpointError)
+            << "byte " << i << " corrupted but the blob loaded";
+    }
+    // The pristine blob still loads: the fuzz loop never poisoned
+    // the trainer.
+    EXPECT_NO_THROW(fx.trainer.loadCheckpoint(fx.blob));
+}
+
+namespace {
+
+/** 3-rack fleet for the replicated-store fuzz runs. */
+sim::ClusterConfig
+fuzzFleetConfig()
+{
+    sim::ClusterConfig cfg;
+    cfg.numRacks = 3;
+    cfg.boardsPerRack = 2;
+    cfg.socsPerBoard = 2;
+    cfg.numSocs = cfg.numRacks * cfg.socsPerRack();
+    return cfg;
+}
+
+} // namespace
+
+TEST(ReplicatedManifestFuzz, EveryManifestByteCorruptionIsTyped)
+{
+    // Exhaustive single-byte fuzz over the replicated store's
+    // generation manifest, corrupting EVERY copy at once (so no
+    // intact sibling can mask the damage): restore must raise a
+    // typed CheckpointError -- a damaged manifest never elects a
+    // checkpoint.
+    sim::Cluster cluster(fuzzFleetConfig());
+    BlobFixture fx;
+    ckpt::CkptStoreConfig sc;
+    sc.replicas = 2;
+    ckpt::ReplicatedCkptStore probe(cluster, sc);
+    ASSERT_TRUE(probe.write(1, fx.blob).acked);
+    const std::size_t manifestLen = probe.manifestData(0).size();
+
+    for (std::size_t i = 0; i < manifestLen; ++i) {
+        ckpt::ReplicatedCkptStore store(cluster, sc);
+        ASSERT_TRUE(store.write(1, fx.blob).acked);
+        store.manifestData(0)[i] ^= 0xff;
+        store.manifestData(1)[i] ^= 0xff;
+        EXPECT_THROW(store.restore(0), CheckpointError)
+            << "manifest byte " << i
+            << " corrupted in every copy yet restore succeeded";
+    }
+}
+
+TEST(ReplicatedDataFuzz, CorruptDataEnvelopeNeverRestoresSilently)
+{
+    // Single-byte fuzz over the sealed replica data envelope,
+    // corrupting every copy: header and checksum regions are swept
+    // exhaustively, the payload by stride (the checksum math is
+    // position-independent, so the sample proves the class). Restore
+    // must throw -- never return damaged weights.
+    sim::Cluster cluster(fuzzFleetConfig());
+    BlobFixture fx;
+    ckpt::CkptStoreConfig sc;
+    sc.replicas = 2;
+    ckpt::ReplicatedCkptStore probe(cluster, sc);
+    ASSERT_TRUE(probe.write(1, fx.blob).acked);
+    const std::size_t envLen = probe.replicaData(0).size();
+
+    std::vector<std::size_t> positions;
+    for (std::size_t i = 0; i < 16 && i < envLen; ++i)
+        positions.push_back(i); // magic + length header
+    for (std::size_t i = envLen >= 8 ? envLen - 8 : 0; i < envLen; ++i)
+        positions.push_back(i); // trailing checksum
+    const std::size_t stride =
+        std::max<std::size_t>(1, envLen / 256);
+    for (std::size_t i = 16; i + 8 < envLen; i += stride)
+        positions.push_back(i); // payload sample
+
+    for (const std::size_t i : positions) {
+        ckpt::ReplicatedCkptStore store(cluster, sc);
+        ASSERT_TRUE(store.write(1, fx.blob).acked);
+        store.replicaData(0)[i] ^= 0xff;
+        store.replicaData(1)[i] ^= 0xff;
+        EXPECT_THROW(store.restore(0), CheckpointError)
+            << "data envelope byte " << i
+            << " corrupted in every copy yet restore succeeded";
+    }
 }
 
 TEST(CheckpointFile, TrainerResumesAcrossFile)

@@ -29,6 +29,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "ckpt/replicated_store.hh"
+#include "core/checkpoint.hh"
 #include "core/socflow_trainer.hh"
 #include "data/synthetic.hh"
 #include "fault/fault.hh"
@@ -242,6 +244,9 @@ planForKind(FaultKind kind)
         break;
     case FaultKind::SocCrashMidWave:
     case FaultKind::GradCorrupt:
+    case FaultKind::RackPowerLoss:
+        // Mid-epoch: the outage must abort an epoch in flight, not
+        // land on a tidy epoch boundary.
         s.phase = FaultPhase::Wave1;
         break;
     case FaultKind::CheckpointFail:
@@ -280,7 +285,9 @@ INSTANTIATE_TEST_SUITE_P(
                       FaultKind::BoardPartition,
                       FaultKind::SwitchPartition,
                       FaultKind::SocRejoin,
-                      FaultKind::PsServerCrash),
+                      FaultKind::PsServerCrash,
+                      FaultKind::RackPowerLoss,
+                      FaultKind::CkptReplicaLoss),
     [](const ::testing::TestParamInfo<FaultKind> &info) {
         std::string name = faultKindName(info.param);
         for (char &c : name)
@@ -312,6 +319,165 @@ TEST(ParallelDeterminism, SeededChurnBitExact)
     const FaultPlan plan = FaultPlan::random(fcfg);
     expectBitExactAcrossThreads(
         [&plan] { return runTrainer(&plan, 6); }, "seeded-churn");
+}
+
+// ------------------------- whole-fleet crash-restart (DESIGN ch.13)
+
+namespace {
+
+/** A RackPowerLoss spec: racks [rack, rack+count) go dark mid-epoch. */
+FaultSpec
+powerLossSpec(std::size_t epoch, std::size_t rack, std::size_t count)
+{
+    FaultSpec s;
+    s.kind = FaultKind::RackPowerLoss;
+    s.epoch = epoch;
+    s.step = 1;
+    s.phase = FaultPhase::Wave1;
+    s.board = rack;
+    s.count = count;
+    return s;
+}
+
+/**
+ * The full recovery loop the harvest driver runs: checkpoint every
+ * epoch through a ReplicatedCkptStore, and when a power loss kills
+ * the fleet mid-epoch, restore from the nearest surviving replica
+ * and keep training. The crashed-and-recovered timeline -- hash,
+ * weights, epoch count -- must replay bit-exactly at every thread
+ * count, or replay checking cannot audit restarted fleets.
+ */
+RunResult
+runCrashRestart(const FaultPlan &plan, int epochs, std::size_t replicas,
+                const sim::ClusterConfig *fleet = nullptr)
+{
+    data::DataBundle bundle = tinyBundle();
+    core::SoCFlowConfig cfg =
+        fleet ? tinyConfig(fleet->numSocs, 4) : tinyConfig();
+    if (fleet)
+        cfg.clusterTemplate = *fleet;
+    core::SoCFlowTrainer trainer(cfg, bundle);
+    FaultInjector inj(plan);
+    trainer.attachFaultInjector(&inj);
+
+    ckpt::CkptStoreConfig sc;
+    sc.replicas = replicas;
+    sc.faults = &inj;
+    ckpt::ReplicatedCkptStore store(trainer.clusterModel(), sc);
+
+    for (int e = 0; e < epochs; ++e) {
+        const core::EpochRecord rec = trainer.runEpoch();
+        if (rec.powerLost) {
+            try {
+                trainer.restoreAfterPowerLoss(store.restore(0).bytes);
+            } catch (const core::CheckpointError &) {
+                // Nothing durable yet (outage before the first write):
+                // the fleet stays dark. Still a deterministic outcome
+                // the thread sweep must reproduce.
+            }
+            continue;
+        }
+        store.write(trainer.epochsDone(), trainer.saveCheckpoint());
+    }
+    RunResult r;
+    r.timelineHash = trainer.timelineHash();
+    r.weights = trainer.globalWeights();
+    r.epochsDone = trainer.epochsDone();
+    return r;
+}
+
+} // namespace
+
+TEST(ParallelDeterminism, CrashRestartBitExact)
+{
+    FaultPlan plan;
+    plan.add(powerLossSpec(3, 0, 1));
+    expectBitExactAcrossThreads(
+        [&plan] { return runCrashRestart(plan, 6, 2); },
+        "crash-restart");
+}
+
+TEST(ParallelDeterminism, CrashRestartFleetWideBitExact)
+{
+    // Multi-rack fleet, ALL racks lose power at once: restore pulls
+    // from durable replica storage (which survives a power cycle,
+    // unlike volatile training state).
+    const sim::FleetTopology topo{4, 2, 2};
+    const sim::ClusterConfig fleet = sim::fleetClusterConfig(topo);
+    FaultPlan plan;
+    plan.add(powerLossSpec(2, 0, 4));
+    expectBitExactAcrossThreads(
+        [&] { return runCrashRestart(plan, 5, 2, &fleet); },
+        "crash-restart-fleet");
+}
+
+TEST(ParallelDeterminism, SeededCrashRestartChurnBitExact)
+{
+    // Seeded power losses + at-rest replica destruction on top of
+    // ordinary churn; run_all.sh --chaos varies SOCFLOW_CHAOS_SEED.
+    FaultPlanConfig fcfg;
+    fcfg.horizonEpochs = 5;
+    fcfg.stepsPerEpoch = 8;
+    fcfg.numSocs = 10;
+    fcfg.crashes = 1;
+    fcfg.rejoins = 1;
+    fcfg.rackPowerLosses = 1;
+    fcfg.ckptReplicaLosses = 1;
+    fcfg.seed = chaosSeed();
+    const FaultPlan plan = FaultPlan::random(fcfg);
+    expectBitExactAcrossThreads(
+        [&plan] { return runCrashRestart(plan, 6, 3); },
+        "seeded-crash-restart");
+}
+
+TEST(ParallelDeterminism, ResumedRunMatchesUninterruptedFromCheckpoint)
+{
+    // The restart invariant the store's ack promises: a run resumed
+    // from the replicated store after losing the primary's whole rack
+    // is bit-exact -- timeline hash AND weights -- with an
+    // uninterrupted run resumed from the original blob. Checked at
+    // every thread count.
+    auto scenario = [] {
+        const sim::FleetTopology topo{4, 2, 2};
+        data::DataBundle bundle = tinyBundle();
+        core::SoCFlowConfig cfg = tinyConfig(topo.numSocs(), 4);
+        cfg.clusterTemplate = sim::fleetClusterConfig(topo);
+
+        core::SoCFlowTrainer writer(cfg, bundle);
+        for (int e = 0; e < 2; ++e)
+            writer.runEpoch();
+        const std::vector<std::uint8_t> blob = writer.saveCheckpoint();
+
+        ckpt::CkptStoreConfig sc;
+        sc.replicas = 2;
+        ckpt::ReplicatedCkptStore store(writer.clusterModel(), sc);
+        EXPECT_TRUE(store.write(writer.epochsDone(), blob).acked);
+        store.loseRack(store.placement().front().rack);
+        const ckpt::RestoreResult restored = store.restore(0);
+        EXPECT_EQ(restored.bytes, blob)
+            << "surviving replica is not bit-identical";
+
+        auto finish = [&cfg](const std::vector<std::uint8_t> &bytes) {
+            data::DataBundle b = tinyBundle();
+            core::SoCFlowTrainer t(cfg, b);
+            t.loadCheckpoint(bytes);
+            for (int e = 0; e < 3; ++e)
+                t.runEpoch();
+            RunResult r;
+            r.timelineHash = t.timelineHash();
+            r.weights = t.globalWeights();
+            r.epochsDone = t.epochsDone();
+            return r;
+        };
+        const RunResult resumed = finish(restored.bytes);
+        const RunResult uninterrupted = finish(blob);
+        EXPECT_EQ(resumed.timelineHash, uninterrupted.timelineHash)
+            << "resumed run diverged from uninterrupted run";
+        EXPECT_EQ(resumed.weights, uninterrupted.weights);
+        EXPECT_EQ(resumed.epochsDone, uninterrupted.epochsDone);
+        return resumed;
+    };
+    expectBitExactAcrossThreads(scenario, "resumed-vs-uninterrupted");
 }
 
 // ------------------------------------------- sharded-PS scenarios
